@@ -1,0 +1,113 @@
+// Ablation A6: ECHMM vs discrete bank chain as the memory model.
+//
+// Moro '09 (paper Section 2.1.4) trains an Ergodic Continuous HMM on the
+// raw memory-reference stream and claims it is "significantly more
+// accurate in determining the memory behavior of a workload than
+// previously proposed methods". Here both models are trained on the same
+// memory trace (addresses with hot/cold regions) and compared on held-out
+// predictive quality and on how well their synthetic traces reproduce the
+// original's bank-hit distribution.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "markov/chain.hpp"
+#include "markov/discretizer.hpp"
+#include "markov/echmm.hpp"
+#include "stats/hypothesis.hpp"
+#include "trace/features.hpp"
+
+namespace {
+
+using namespace kooza;
+
+constexpr std::uint64_t kSeed = 36;
+
+/// Memory address stream with hot/cold phases: long runs in a hot region
+/// with occasional excursions to a cold one (Search-like behavior the
+/// paper's Section 2.1.4 describes).
+std::vector<double> address_stream(std::size_t n, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    bool hot = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(hot ? 0.01 : 0.05)) hot = !hot;
+        const double center = hot ? 0.2e9 : 3.0e9;
+        const double spread = hot ? 0.05e9 : 0.4e9;
+        out.push_back(std::max(0.0, rng.normal(center, spread)));
+    }
+    return out;
+}
+
+void print_ablation() {
+    std::cout << "==================================================================\n"
+              << " Ablation A6 - ECHMM (Moro '09) vs discrete bank Markov chain\n"
+              << " as the memory model (hot/cold address stream; seed=" << kSeed
+              << ")\n"
+              << "==================================================================\n\n";
+
+    const auto train = address_stream(6000, kSeed);
+    const auto test = address_stream(2000, kSeed + 1);
+
+    bench::Table t({16, 10, 20, 14});
+    t.row("Model", "Params", "TestLogLik/step", "AddrKS");
+    t.rule();
+
+    // Bank-chain baseline at a few granularities: discretize addresses to
+    // banks, fit a chain, score the test set, generate and compare the
+    // address distribution (bank representatives).
+    for (std::size_t banks : {4, 16, 64}) {
+        markov::EqualWidthDiscretizer disc(0.0, 4e9, banks);
+        const std::vector<std::vector<std::size_t>> train_seq{
+            markov::discretize(disc, train)};
+        const auto chain = markov::MarkovChain::fit(train_seq, banks, 0.5);
+        const auto test_seq = markov::discretize(disc, test);
+        const double ll =
+            chain.log_likelihood(test_seq) / double(test_seq.size());
+        sim::Rng rng(kSeed + banks);
+        const auto path = chain.sample_path(test.size(), rng);
+        std::vector<double> synth;
+        for (auto s : path) synth.push_back(disc.sample_within(s, rng));
+        t.row("chain/" + std::to_string(banks), banks * banks + banks,
+              bench::fmt(ll, 4),
+              bench::fmt(stats::ks_statistic_two_sample(test, synth), 3));
+    }
+
+    // ECHMM: continuous emissions, few states.
+    for (std::size_t states : {2, 4, 8}) {
+        const std::vector<std::vector<double>> seqs{train};
+        const auto hmm = markov::Echmm::fit(seqs, states, 30);
+        // Per-step log-likelihood on held-out data, made comparable to the
+        // discrete chain by integrating the Gaussian over the bank width
+        // (log p(x) + log(binwidth) ~ log P(bin)); report the density-based
+        // value and the synthetic-trace KS which needs no such alignment.
+        const double ll = hmm.log_likelihood(test) / double(test.size());
+        sim::Rng rng(kSeed + states);
+        const auto synth = hmm.generate(test.size(), rng);
+        t.row("echmm/" + std::to_string(states), hmm.parameter_count(),
+              bench::fmt(ll + std::log(4e9 / 64.0), 4),  // align to 64-bin width
+              bench::fmt(stats::ks_statistic_two_sample(test, synth), 3));
+    }
+    std::cout << "\nExpected shape: a 2-4 state ECHMM matches the address\n"
+              << "distribution (low KS) with an order of magnitude fewer\n"
+              << "parameters than a fine-grained bank chain — Moro's claim.\n\n";
+}
+
+void BM_FitEchmm(benchmark::State& state) {
+    const auto train = address_stream(3000, kSeed);
+    const std::vector<std::vector<double>> seqs{train};
+    for (auto _ : state) {
+        auto m = markov::Echmm::fit(seqs, std::size_t(state.range(0)), 10);
+        benchmark::DoNotOptimize(m.training_log_likelihood());
+    }
+}
+BENCHMARK(BM_FitEchmm)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_ablation();
+    return kooza::bench::run_benchmarks(argc, argv);
+}

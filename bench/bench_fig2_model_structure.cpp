@@ -1,0 +1,81 @@
+// Figure 2 reproduction: "Complete Workload Model for One User Request".
+//
+// The paper's Fig. 2 draws the trained KOOZA model: the CPU Markov chain
+// over utilization levels, the storage chain over LBN ranges, the memory
+// chain over banks, the network queueing model, and the structure queue
+// wiring them in the Fig. 1 order. This bench trains the model on a GFS
+// trace and prints every piece, then checks the learned structure matches
+// the Fig. 1 path.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using namespace kooza;
+
+constexpr std::uint64_t kSeed = 21;
+
+core::ServerModel train_model() {
+    sim::Rng rng(kSeed);
+    workloads::MicroProfile profile({.count = 400, .arrival_rate = 25.0});
+    const auto ts = bench::simulate(profile.generate(rng));
+    return core::Trainer({.workload_name = "fig2"}).train(ts);
+}
+
+void print_fig2() {
+    std::cout << "==================================================================\n"
+              << " Figure 2 - Complete KOOZA workload model for one user request\n"
+              << " (trained on a mixed 64KB-read / 4MB-write GFS trace; seed="
+              << kSeed << ")\n"
+              << "==================================================================\n\n";
+    const auto model = train_model();
+
+    std::cout << "Network queueing model:\n  " << model.arrivals().describe()
+              << "\n\n";
+    std::cout << "CPU Markov model (states = utilization levels, "
+              << model.util_states().describe() << "):\n"
+              << model.reads().cpu.chain().to_string() << "\n";
+    std::cout << "Storage Markov model (states = LBN ranges, "
+              << model.lbn_states().describe() << "):\n"
+              << model.reads().storage.chain().to_string() << "\n";
+    std::cout << "Memory Markov model (states = banks, "
+              << model.bank_states().describe() << "):\n"
+              << model.reads().memory.chain().to_string() << "\n";
+    std::cout << "Structure queue (read requests):\n"
+              << model.reads().structure.describe() << "\n";
+    std::cout << "Structure queue (write requests):\n"
+              << model.writes().structure.describe() << "\n";
+    std::cout << "Per-state feature annotations:\n  storage: "
+              << model.reads().storage.describe() << "\n  memory:  "
+              << model.reads().memory.describe() << "\n  cpu:     "
+              << model.reads().cpu.describe() << "\n\n";
+
+    const std::vector<std::string> fig1{"net.rx",  "cpu.verify",    "mem.buffer",
+                                        "disk.io", "cpu.aggregate", "net.tx"};
+    const bool ok = model.reads().structure.dominant() == fig1 &&
+                    model.writes().structure.dominant() == fig1;
+    std::cout << "Learned dominant phase order matches Figure 1 path: "
+              << (ok ? "YES" : "NO") << "\n"
+              << "Total model parameters: ~" << model.parameter_count() << "\n\n";
+}
+
+void BM_TrainFig2Model(benchmark::State& state) {
+    sim::Rng rng(kSeed);
+    workloads::MicroProfile profile({.count = 400, .arrival_rate = 25.0});
+    const auto ts = kooza::bench::simulate(profile.generate(rng));
+    for (auto _ : state) {
+        auto model = core::Trainer().train(ts);
+        benchmark::DoNotOptimize(model.parameter_count());
+    }
+}
+BENCHMARK(BM_TrainFig2Model);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_fig2();
+    return kooza::bench::run_benchmarks(argc, argv);
+}

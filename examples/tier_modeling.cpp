@@ -1,0 +1,97 @@
+// In-depth modeling family tour: the three queueing formalisms the
+// paper's survey covers, on the same 3-tier web service.
+//
+//  1. Plain queueing network (Liu '05): tandem multi-station queues.
+//  2. Layered queueing network (Franks '09): same tiers, but callers HOLD
+//     their threads during nested calls — thread pools saturate long
+//     before processors, which the plain network cannot see.
+//  3. SQS (Meisner '10): empirical characterization + statistically
+//     sampled fleet simulation, scaling the answer to 10,000 servers.
+//
+// Usage: tier_modeling [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "queueing/analytic.hpp"
+#include "queueing/lqn.hpp"
+#include "queueing/network.hpp"
+#include "queueing/sqs.hpp"
+#include "sim/engine.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace kooza;
+using namespace kooza::queueing;
+
+constexpr double kArrivalRate = 60.0;
+constexpr std::size_t kRequests = 20000;
+
+void plain_network(std::uint64_t seed) {
+    sim::Engine eng;
+    std::size_t cls = 0;
+    ThreeTierConfig cfg;  // web 2x2ms, app 2x4ms, db 1x8ms
+    auto net = make_three_tier(eng, cfg, cls, seed);
+    PoissonArrivals arr(kArrivalRate);
+    net->drive(cls, arr, kRequests);
+    eng.run();
+    std::cout << "1) plain queueing network (Liu-style):\n"
+              << "   mean response " << stats::mean(net->response_times(cls)) * 1e3
+              << " ms;  utilization web/app/db = "
+              << net->station_report(0).utilization << " / "
+              << net->station_report(1).utilization << " / "
+              << net->station_report(2).utilization << "\n\n";
+}
+
+void layered_network(std::uint64_t seed) {
+    sim::Engine eng;
+    LqnModel lqn(eng, seed);
+    // Same service demands, but web threads block on app, app on db.
+    const auto web = lqn.add_task("web", 2, std::make_shared<stats::Exponential>(500.0));
+    const auto app = lqn.add_task("app", 2, std::make_shared<stats::Exponential>(250.0));
+    const auto db = lqn.add_task("db", 1, std::make_shared<stats::Exponential>(125.0));
+    lqn.add_call(web, app, 1.0);
+    lqn.add_call(app, db, 1.0);
+    PoissonArrivals arr(kArrivalRate);
+    sim::Rng rng(seed + 1);
+    lqn.drive(web, arr, kRequests, rng);
+    eng.run();
+    std::cout << "2) layered queueing network (nested possession):\n"
+              << "   mean response " << stats::mean(lqn.response_times()) * 1e3
+              << " ms;  POOL utilization web/app/db = " << lqn.pool_utilization(web)
+              << " / " << lqn.pool_utilization(app) << " / "
+              << lqn.pool_utilization(db) << "\n"
+              << "   (web's 2 threads are busy ~the whole request path — the\n"
+              << "    saturation the plain network hides)\n\n";
+}
+
+void sqs_fleet(std::uint64_t seed) {
+    // Characterize one server's request stream, then answer at DC scale.
+    sim::Rng rng(seed + 2);
+    std::vector<double> gaps(8000), services(8000);
+    for (auto& g : gaps) g = rng.exponential(kArrivalRate);
+    for (auto& s : services)
+        s = rng.exponential(500.0) + rng.exponential(250.0) + rng.exponential(125.0);
+    const auto model = SqsWorkloadModel::characterize(gaps, services);
+    SqsSimulator sim({.tasks_per_server = 3000, .target_rel_ci = 0.03, .seed = seed});
+    const auto res = sim.run(model, 10000);
+    std::cout << "3) SQS at fleet scale:\n"
+              << "   10000 servers answered by simulating " << res.servers_simulated
+              << " (" << res.sampling_savings() * 100.0 << "% sampling savings);\n"
+              << "   fleet mean response " << res.mean_response * 1e3 << " ms (95% CI ±"
+              << res.ci_halfwidth * 1e3 << " ms), utilization " << res.utilization
+              << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 19;
+    std::cout << "Three in-depth formalisms on one 3-tier web service (seed=" << seed
+              << ", " << kArrivalRate << " req/s)\n\n";
+    plain_network(seed);
+    layered_network(seed);
+    sqs_fleet(seed);
+    return 0;
+}

@@ -1,0 +1,43 @@
+// In-breadth baseline: the four per-subsystem models *without* the
+// structure queue (paper Section 3.1). It reproduces request features
+// faithfully — each subsystem model is exactly KOOZA's — but carries no
+// time dependencies, so replay can only stress the subsystems
+// independently ("invalid stressing of the system, which renders the
+// model inaccurate").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/generator.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "sim/rng.hpp"
+
+namespace kooza::baselines {
+
+class InBreadthModel {
+public:
+    /// Train on a trace set. Span records are deliberately ignored — an
+    /// in-breadth pipeline has no request-tracing infrastructure.
+    static InBreadthModel train(const trace::TraceSet& ts,
+                                core::TrainerConfig cfg = {});
+
+    /// Generate synthetic requests. Phase lists are left empty: the model
+    /// has no ordering information (the replayer then runs subsystems
+    /// concurrently).
+    [[nodiscard]] core::SyntheticWorkload generate(std::size_t count,
+                                                   sim::Rng& rng) const;
+
+    [[nodiscard]] const core::ServerModel& server_model() const noexcept {
+        return model_;
+    }
+    [[nodiscard]] std::size_t parameter_count() const;
+    [[nodiscard]] std::string describe() const;
+
+private:
+    explicit InBreadthModel(core::ServerModel model) : model_(std::move(model)) {}
+    core::ServerModel model_;
+};
+
+}  // namespace kooza::baselines

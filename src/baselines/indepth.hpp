@@ -1,0 +1,81 @@
+// In-depth baseline: a queueing-network-style model built purely from
+// request tracing (paper Section 2.2/3.2) — arrival process, request mix,
+// phase order and per-phase service-time distributions from span trees.
+// It captures time dependencies and user behavior but no per-request
+// subsystem features: generation can only emit *mean* feature values
+// ("oversimplified, only emulating the arrival-rate of user-requests, but
+// not the requests' access features").
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/structure.hpp"
+#include "core/synthetic.hpp"
+#include "queueing/arrival.hpp"
+#include "sim/rng.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::baselines {
+
+class InDepthModel {
+public:
+    /// Train from request records + spans only (the per-subsystem record
+    /// streams are reduced to scalar means, which is all the in-depth
+    /// pipeline would collect). Throws if the trace has no spans at all.
+    static InDepthModel train(const trace::TraceSet& ts, double ks_threshold = 0.08);
+
+    /// Predicted end-to-end latencies for `count` requests: per request,
+    /// sample a phase sequence and sum sampled phase durations — the
+    /// queueing-model emulation (no device models involved).
+    [[nodiscard]] std::vector<double> predict_latencies(std::size_t count,
+                                                        sim::Rng& rng) const;
+
+    /// Generate synthetic requests for device replay. Phase order is real;
+    /// features are the per-type means (no distributions, no locality).
+    [[nodiscard]] core::SyntheticWorkload generate(std::size_t count,
+                                                   sim::Rng& rng) const;
+
+    [[nodiscard]] const queueing::ArrivalProcess& arrivals() const noexcept {
+        return *arrivals_;
+    }
+    [[nodiscard]] double read_fraction() const noexcept { return read_fraction_; }
+    [[nodiscard]] bool has_reads() const noexcept { return read_.has_value(); }
+    [[nodiscard]] bool has_writes() const noexcept { return write_.has_value(); }
+    [[nodiscard]] const core::StructureQueue& read_structure() const;
+    [[nodiscard]] const core::StructureQueue& write_structure() const;
+
+    [[nodiscard]] std::size_t parameter_count() const;
+    [[nodiscard]] std::string describe() const;
+
+private:
+    /// Scalar feature means for one request type.
+    struct Means {
+        double network_bytes = 0.0;
+        double cpu_busy = 0.0;
+        double memory_bytes = 0.0;
+        trace::IoType memory_type = trace::IoType::kRead;
+        double storage_bytes = 0.0;
+        double lbn = 0.0;
+        double bank = 0.0;
+    };
+    struct TypeData {
+        core::StructureQueue structure;
+        Means means;
+    };
+
+    InDepthModel(std::unique_ptr<queueing::ArrivalProcess> arrivals,
+                 double read_fraction, std::optional<TypeData> read,
+                 std::optional<TypeData> write);
+
+    const TypeData& type_data(trace::IoType t) const;
+
+    std::unique_ptr<queueing::ArrivalProcess> arrivals_;
+    double read_fraction_;
+    std::optional<TypeData> read_;
+    std::optional<TypeData> write_;
+};
+
+}  // namespace kooza::baselines

@@ -1,0 +1,195 @@
+#include "core/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/fitting.hpp"
+#include "stats/matrix.hpp"
+#include "stats/pca.hpp"
+#include "stats/regression.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/features.hpp"
+
+namespace kooza::core {
+
+CharacterizationReport characterize(const trace::TraceSet& ts, double window) {
+    if (!(window > 0.0)) throw std::invalid_argument("characterize: window must be > 0");
+    const auto features = trace::extract_features(ts);
+    if (features.size() < 4)
+        throw std::invalid_argument("characterize: need >= 4 completed requests");
+
+    CharacterizationReport r;
+    r.requests = features.size();
+
+    const auto arrivals = trace::column_arrival(features);
+    r.duration = arrivals.back() - arrivals.front();
+    r.arrival_rate =
+        r.duration > 0.0 ? double(features.size() - 1) / r.duration : 0.0;
+
+    std::size_t reads = 0;
+    for (const auto& f : features)
+        if (f.storage_type == trace::IoType::kRead) ++reads;
+    r.read_fraction = double(reads) / double(features.size());
+
+    const auto sizes = trace::column_network_bytes(features);
+    const auto latencies = trace::column_latency(features);
+    r.size_summary = stats::summarize(sizes);
+    r.latency_summary = stats::summarize(latencies);
+
+    // Inter-arrival family (KS-selected, Feitelson-style).
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+        gaps.push_back(std::max(arrivals[i] - arrivals[i - 1], 1e-12));
+    try {
+        auto fit = stats::fit_best(gaps);
+        r.arrival_family = fit.dist->name();
+        r.arrival_ks = fit.ks;
+    } catch (const std::exception&) {
+        r.arrival_family = "degenerate";
+    }
+
+    // Count-series structure.
+    r.burstiness_idc = stats::index_of_dispersion(arrivals, window);
+    r.peak_to_mean = stats::peak_to_mean(arrivals, window);
+    {
+        // Bin into windows for Hurst / stationarity / periodicity.
+        const std::size_t n_win =
+            std::max<std::size_t>(4, std::size_t(r.duration / window) + 1);
+        std::vector<double> counts(n_win, 0.0);
+        for (double t : arrivals) {
+            auto w = std::size_t((t - arrivals.front()) / window);
+            counts[std::min(w, n_win - 1)] += 1.0;
+        }
+        if (counts.size() >= 32) r.hurst = stats::hurst_exponent(counts);
+        if (counts.size() >= 8)
+            r.stationarity_drift = stats::stationarity_drift(counts, 4);
+        if (counts.size() >= 16)
+            r.dominant_period =
+                stats::dominant_period(counts, 2, counts.size() / 2, 0.3);
+    }
+
+    // Size shape.
+    try {
+        auto fit = stats::fit_best(sizes);
+        r.size_family = fit.dist->name();
+    } catch (const std::exception&) {
+        r.size_family = "degenerate";
+    }
+    const double med = std::max(r.size_summary.median, 1.0);
+    r.heavy_tailed = r.size_summary.p99 / med > 20.0;
+    if (r.size_family == "pareto") {
+        try {
+            auto pareto = stats::fit_pareto(sizes);
+            if (pareto->alpha() <= 2.0) r.heavy_tailed = true;
+        } catch (const std::exception&) {
+        }
+    }
+
+    // PCA over the per-request feature matrix (standardized).
+    {
+        std::vector<std::vector<double>> rows;
+        rows.reserve(features.size());
+        for (const auto& f : features)
+            rows.push_back({double(f.network_bytes), f.cpu_utilization,
+                            double(f.memory_bytes), double(f.storage_bytes),
+                            f.latency});
+        r.feature_dims = rows.front().size();
+        stats::Pca pca(stats::Matrix::from_rows(rows), /*standardize=*/true);
+        r.pca_dims_90 = pca.components_for(0.9);
+    }
+    return r;
+}
+
+CorrelationReport correlation_report(const trace::TraceSet& ts) {
+    const auto features = trace::extract_features(ts);
+    if (features.size() < 8)
+        throw std::invalid_argument("correlation_report: need >= 8 requests");
+    CorrelationReport r;
+    r.names = {"net_bytes", "cpu_busy_s", "mem_bytes", "sto_bytes", "latency"};
+    const std::vector<std::vector<double>> cols{
+        trace::column_network_bytes(features),
+        [&] {
+            std::vector<double> out;
+            for (const auto& f : features) out.push_back(f.cpu_busy_seconds);
+            return out;
+        }(),
+        trace::column_memory_bytes(features),
+        trace::column_storage_bytes(features),
+        trace::column_latency(features)};
+    r.matrix.assign(cols.size(), std::vector<double>(cols.size(), 1.0));
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        for (std::size_t j = i + 1; j < cols.size(); ++j) {
+            const double c = stats::correlation(cols[i], cols[j]);
+            r.matrix[i][j] = c;
+            r.matrix[j][i] = c;
+        }
+    // Performance model: latency from the four subsystem features.
+    std::vector<std::vector<double>> rows;
+    rows.reserve(features.size());
+    for (const auto& f : features)
+        rows.push_back({double(f.network_bytes), f.cpu_busy_seconds,
+                        double(f.memory_bytes), double(f.storage_bytes)});
+    // GFS features can be exactly collinear (payload == storage bytes for
+    // simple requests), so regularize lightly.
+    stats::LinearModel lm(stats::Matrix::from_rows(rows), cols.back(), 1e-6);
+    r.perf_coefficients = lm.coefficients();
+    r.perf_r_squared = lm.r_squared();
+    return r;
+}
+
+double CorrelationReport::predict_latency(const trace::RequestFeatures& f) const {
+    if (perf_coefficients.size() != 5)
+        throw std::logic_error("CorrelationReport: model not fitted");
+    return perf_coefficients[0] + perf_coefficients[1] * double(f.network_bytes) +
+           perf_coefficients[2] * f.cpu_busy_seconds +
+           perf_coefficients[3] * double(f.memory_bytes) +
+           perf_coefficients[4] * double(f.storage_bytes);
+}
+
+std::string CorrelationReport::to_string() const {
+    std::ostringstream os;
+    os << "feature correlation matrix:\n           ";
+    for (const auto& n : names) os << " " << n.substr(0, 9);
+    os << "\n";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto label = names[i].substr(0, 9);
+        os << "  " << label << std::string(9 - label.size(), ' ');
+        for (std::size_t j = 0; j < names.size(); ++j) {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, " %9.3f", matrix[i][j]);
+            os << buf;
+        }
+        os << "\n";
+    }
+    os << "performance model: latency ~ features, R^2 = " << perf_r_squared << "\n";
+    return os.str();
+}
+
+std::string CharacterizationReport::to_string() const {
+    std::ostringstream os;
+    os << "requests:        " << requests << " over " << duration << " s ("
+       << arrival_rate << "/s, " << read_fraction * 100.0 << "% reads)\n"
+       << "sizes:           " << size_summary.to_string() << "\n"
+       << "latency:         " << latency_summary.to_string() << "\n"
+       << "arrivals:        best fit " << arrival_family << " (KS " << arrival_ks
+       << ")\n"
+       << "burstiness:      IDC " << burstiness_idc << ", peak/mean " << peak_to_mean
+       << "\n"
+       << "self-similarity: Hurst " << hurst << "\n"
+       << "stationarity:    drift " << stationarity_drift
+       << (stationarity_drift < 0.1 ? " (stationary)" : " (non-stationary)") << "\n"
+       << "periodicity:     "
+       << (dominant_period == 0 ? std::string("none")
+                                : std::to_string(dominant_period) + " windows")
+       << "\n"
+       << "size family:     " << size_family
+       << (heavy_tailed ? " (heavy-tailed)" : "") << "\n"
+       << "feature space:   " << pca_dims_90 << "/" << feature_dims
+       << " PCA components explain 90% variance\n";
+    return os.str();
+}
+
+}  // namespace kooza::core

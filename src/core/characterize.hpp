@@ -1,0 +1,85 @@
+// Workload characterization report.
+//
+// The survey half of the paper catalogs what a workload model must
+// capture: arrival-rate distribution family (Feitelson's KS-based
+// fitting), stationarity, self-similarity, burstiness and heavy tails
+// (Feitelson '02), pseudoperiodicity and long-range dependence (Li '10),
+// and a reduced feature space (PCA, Abrahao '04 / paper Section 4).
+// characterize() computes all of them from a TraceSet in one pass — the
+// pre-modeling reconnaissance a practitioner runs before choosing model
+// knobs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "stats/descriptive.hpp"
+#include "trace/features.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::core {
+
+struct CharacterizationReport {
+    // Volume.
+    std::size_t requests = 0;
+    double duration = 0.0;       ///< seconds covered by the trace
+    double arrival_rate = 0.0;   ///< requests per second
+    double read_fraction = 0.0;
+
+    // Marginals.
+    stats::Summary size_summary;     ///< request payload bytes
+    stats::Summary latency_summary;  ///< end-to-end seconds
+
+    // Arrival-stream structure (window-binned counts).
+    std::string arrival_family;      ///< best-fit family of inter-arrivals
+    double arrival_ks = 1.0;         ///< its KS distance
+    double burstiness_idc = 0.0;     ///< index of dispersion for counts
+    double peak_to_mean = 0.0;
+    double hurst = 0.5;              ///< self-similarity of the count series
+    double stationarity_drift = 0.0; ///< max window-mean deviation
+    std::size_t dominant_period = 0; ///< in windows; 0 = none found
+
+    // Size distribution shape.
+    std::string size_family;
+    bool heavy_tailed = false;  ///< p99/median > 20 or Pareto alpha <= 2
+
+    // Feature-space dimensionality (paper Section 4's PCA reduction).
+    std::size_t feature_dims = 0;     ///< raw feature count
+    std::size_t pca_dims_90 = 0;      ///< components for 90% variance
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Characterize a trace set. `window` is the bin width (seconds) for the
+/// count-series statistics. Throws std::invalid_argument when the trace
+/// has fewer than 4 completed requests.
+[[nodiscard]] CharacterizationReport characterize(const trace::TraceSet& ts,
+                                                  double window = 0.5);
+
+/// Cross-subsystem correlation study (paper Section 5: "Even more
+/// interesting are the correlations that emerge between individual
+/// models. Studying these correlations can facilitate the development of
+/// a performance ... model for the datacenter.") — the Pearson matrix of
+/// the per-request feature columns plus a fitted linear performance model
+/// predicting latency from the subsystem features.
+struct CorrelationReport {
+    /// Feature order: net bytes, cpu busy s, mem bytes, storage bytes,
+    /// latency.
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> matrix;  ///< Pearson correlations
+
+    /// Linear performance model latency ~ b0 + b.features (no latency
+    /// column among the predictors).
+    std::vector<double> perf_coefficients;
+    double perf_r_squared = 0.0;
+
+    /// Predict a request's latency from its subsystem features.
+    [[nodiscard]] double predict_latency(const trace::RequestFeatures& f) const;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Throws std::invalid_argument with fewer than 8 completed requests.
+[[nodiscard]] CorrelationReport correlation_report(const trace::TraceSet& ts);
+
+}  // namespace kooza::core

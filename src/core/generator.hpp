@@ -1,0 +1,30 @@
+// KOOZA generator: walks the trained sub-models to synthesize a request
+// stream with per-subsystem features and per-request phase structure —
+// the "synthetic request generated based on the model" of the paper's
+// Table 2 validation.
+#pragma once
+
+#include <cstddef>
+
+#include "core/model.hpp"
+#include "core/synthetic.hpp"
+#include "sim/rng.hpp"
+
+namespace kooza::core {
+
+class Generator {
+public:
+    explicit Generator(const ServerModel& model) : model_(model) {}
+
+    /// Generate `count` requests starting at time `start`. Arrival times
+    /// come from the network sub-model; request type from the learned
+    /// read/write mix; features from the per-type annotated chains; phase
+    /// order from the structure queue.
+    [[nodiscard]] SyntheticWorkload generate(std::size_t count, sim::Rng& rng,
+                                             double start = 0.0) const;
+
+private:
+    const ServerModel& model_;
+};
+
+}  // namespace kooza::core

@@ -1,0 +1,68 @@
+#include "core/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::core {
+
+ServerModel::ServerModel(std::string workload_name,
+                         std::unique_ptr<queueing::ArrivalProcess> arrivals,
+                         double read_fraction, std::optional<TypeModel> read_model,
+                         std::optional<TypeModel> write_model,
+                         std::unique_ptr<markov::Discretizer> lbn_states,
+                         std::unique_ptr<markov::Discretizer> bank_states,
+                         std::unique_ptr<markov::Discretizer> util_states,
+                         double cpu_verify_fraction)
+    : name_(std::move(workload_name)),
+      arrivals_(std::move(arrivals)),
+      read_fraction_(read_fraction),
+      read_(std::move(read_model)),
+      write_(std::move(write_model)),
+      lbn_states_(std::move(lbn_states)),
+      bank_states_(std::move(bank_states)),
+      util_states_(std::move(util_states)),
+      cpu_verify_fraction_(cpu_verify_fraction) {
+    if (!arrivals_) throw std::invalid_argument("ServerModel: missing arrival process");
+    if (!read_ && !write_)
+        throw std::invalid_argument("ServerModel: need at least one request type");
+    if (!(read_fraction_ >= 0.0 && read_fraction_ <= 1.0))
+        throw std::invalid_argument("ServerModel: read_fraction outside [0,1]");
+    if (!lbn_states_ || !bank_states_ || !util_states_)
+        throw std::invalid_argument("ServerModel: missing discretizers");
+    if (!(cpu_verify_fraction_ > 0.0 && cpu_verify_fraction_ < 1.0))
+        throw std::invalid_argument("ServerModel: cpu_verify_fraction outside (0,1)");
+}
+
+const TypeModel& ServerModel::reads() const {
+    if (!read_) throw std::logic_error("ServerModel: no read model trained");
+    return *read_;
+}
+
+const TypeModel& ServerModel::writes() const {
+    if (!write_) throw std::logic_error("ServerModel: no write model trained");
+    return *write_;
+}
+
+std::size_t ServerModel::parameter_count() const {
+    std::size_t n = 2;  // arrival process + read fraction
+    if (read_) n += read_->parameter_count();
+    if (write_) n += write_->parameter_count();
+    return n;
+}
+
+std::string ServerModel::describe() const {
+    std::ostringstream os;
+    os << "ServerModel[" << name_ << "]\n"
+       << "  arrivals: " << arrivals_->describe() << "\n"
+       << "  read fraction: " << read_fraction_ << "\n"
+       << "  states: storage=" << lbn_states_->describe()
+       << ", memory=" << bank_states_->describe()
+       << ", cpu=" << util_states_->describe() << "\n"
+       << "  cpu verify fraction: " << cpu_verify_fraction_ << "\n"
+       << "  parameters: ~" << parameter_count() << "\n";
+    if (read_) os << "  read structure:\n" << read_->structure.describe();
+    if (write_) os << "  write structure:\n" << write_->structure.describe();
+    return os.str();
+}
+
+}  // namespace kooza::core

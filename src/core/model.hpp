@@ -1,0 +1,98 @@
+// The KOOZA per-server workload model (paper Fig. 2): four simple
+// sub-models — a network queueing model (arrival process), and Markov
+// chains for storage (LBN-range states), memory (bank states) and CPU
+// (utilization-level states), each state annotated with request-feature
+// distributions — wired together by a per-request-type structure queue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/structure.hpp"
+#include "markov/annotated.hpp"
+#include "markov/discretizer.hpp"
+#include "queueing/arrival.hpp"
+
+namespace kooza::core {
+
+/// Feature names used on the chains (shared trainer/generator vocabulary).
+namespace feature {
+inline constexpr const char* kSize = "size";       ///< subsystem bytes
+inline constexpr const char* kNet = "net";         ///< request payload bytes
+inline constexpr const char* kType = "type";       ///< 0 = read, 1 = write
+inline constexpr const char* kBusy = "busy";       ///< CPU busy seconds
+}  // namespace feature
+
+/// The three annotated chains plus the structure queue for one request
+/// type (read or write). Move-only (chains own distributions).
+struct TypeModel {
+    markov::AnnotatedMarkovChain storage;  ///< states: LBN ranges
+    markov::AnnotatedMarkovChain memory;   ///< states: banks
+    markov::AnnotatedMarkovChain cpu;      ///< states: utilization levels
+    StructureQueue structure;
+
+    [[nodiscard]] std::size_t parameter_count() const {
+        return storage.parameter_count() + memory.parameter_count() +
+               cpu.parameter_count() + structure.parameter_count();
+    }
+};
+
+class ServerModel {
+public:
+    ServerModel(std::string workload_name,
+                std::unique_ptr<queueing::ArrivalProcess> arrivals,
+                double read_fraction, std::optional<TypeModel> read_model,
+                std::optional<TypeModel> write_model,
+                std::unique_ptr<markov::Discretizer> lbn_states,
+                std::unique_ptr<markov::Discretizer> bank_states,
+                std::unique_ptr<markov::Discretizer> util_states,
+                double cpu_verify_fraction);
+
+    [[nodiscard]] const std::string& workload_name() const noexcept { return name_; }
+    [[nodiscard]] const queueing::ArrivalProcess& arrivals() const noexcept {
+        return *arrivals_;
+    }
+    [[nodiscard]] queueing::ArrivalProcess& arrivals() noexcept { return *arrivals_; }
+    [[nodiscard]] double read_fraction() const noexcept { return read_fraction_; }
+
+    [[nodiscard]] bool has_reads() const noexcept { return read_.has_value(); }
+    [[nodiscard]] bool has_writes() const noexcept { return write_.has_value(); }
+    /// Throws std::logic_error if the type was not present in training.
+    [[nodiscard]] const TypeModel& reads() const;
+    [[nodiscard]] const TypeModel& writes() const;
+
+    [[nodiscard]] const markov::Discretizer& lbn_states() const noexcept {
+        return *lbn_states_;
+    }
+    [[nodiscard]] const markov::Discretizer& bank_states() const noexcept {
+        return *bank_states_;
+    }
+    [[nodiscard]] const markov::Discretizer& util_states() const noexcept {
+        return *util_states_;
+    }
+
+    /// Learned split of CPU work before/after the I/O phase.
+    [[nodiscard]] double cpu_verify_fraction() const noexcept {
+        return cpu_verify_fraction_;
+    }
+
+    /// Total model size across all sub-models — Table 1's complexity axis.
+    [[nodiscard]] std::size_t parameter_count() const;
+
+    [[nodiscard]] std::string describe() const;
+
+private:
+    std::string name_;
+    std::unique_ptr<queueing::ArrivalProcess> arrivals_;
+    double read_fraction_;
+    std::optional<TypeModel> read_;
+    std::optional<TypeModel> write_;
+    std::unique_ptr<markov::Discretizer> lbn_states_;
+    std::unique_ptr<markov::Discretizer> bank_states_;
+    std::unique_ptr<markov::Discretizer> util_states_;
+    double cpu_verify_fraction_;
+};
+
+}  // namespace kooza::core

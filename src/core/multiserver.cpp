@@ -1,0 +1,80 @@
+#include "core/multiserver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::core {
+
+ClusterModel ClusterModel::train(std::span<const trace::TraceSet> per_server,
+                                 TrainerConfig cfg) {
+    if (per_server.empty())
+        throw std::invalid_argument("ClusterModel::train: no server traces");
+    std::vector<ServerModel> servers;
+    servers.reserve(per_server.size());
+    for (std::size_t i = 0; i < per_server.size(); ++i) {
+        TrainerConfig server_cfg = cfg;
+        server_cfg.workload_name =
+            cfg.workload_name + "/server" + std::to_string(i);
+        try {
+            servers.push_back(Trainer(server_cfg).train(per_server[i]));
+        } catch (const std::invalid_argument& e) {
+            throw std::invalid_argument(
+                "ClusterModel::train: server " + std::to_string(i) + ": " + e.what());
+        }
+    }
+    return ClusterModel(std::move(servers));
+}
+
+SyntheticWorkload ClusterModel::generate(double duration, sim::Rng& rng) const {
+    if (!(duration > 0.0))
+        throw std::invalid_argument("ClusterModel::generate: duration must be > 0");
+    SyntheticWorkload out;
+    out.model_name = "kooza-cluster(" + std::to_string(servers_.size()) + ")";
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+        // Generate enough requests to cover the horizon, then trim.
+        const double rate = std::max(servers_[s].arrivals().mean_rate(), 1e-9);
+        const std::size_t budget =
+            std::size_t(std::ceil(rate * duration * 1.3)) + 16;
+        Generator gen(servers_[s]);
+        auto stream = gen.generate(budget, rng);
+        for (auto& r : stream.requests) {
+            if (r.time > duration) break;
+            r.server = std::uint32_t(s);
+            out.requests.push_back(std::move(r));
+        }
+    }
+    std::sort(out.requests.begin(), out.requests.end(),
+              [](const SyntheticRequest& a, const SyntheticRequest& b) {
+                  return a.time < b.time;
+              });
+    if (out.requests.empty())
+        throw std::runtime_error(
+            "ClusterModel::generate: horizon too short for the learned rates");
+    return out;
+}
+
+std::size_t ClusterModel::parameter_count() const {
+    std::size_t n = 0;
+    for (const auto& s : servers_) n += s.parameter_count();
+    return n;
+}
+
+std::vector<double> ClusterModel::arrival_rates() const {
+    std::vector<double> out;
+    out.reserve(servers_.size());
+    for (const auto& s : servers_) out.push_back(s.arrivals().mean_rate());
+    return out;
+}
+
+std::string ClusterModel::describe() const {
+    std::ostringstream os;
+    os << "ClusterModel(" << servers_.size() << " server instances, ~"
+       << parameter_count() << " params; rates:";
+    for (double r : arrival_rates()) os << ' ' << r;
+    os << "/s)";
+    return os.str();
+}
+
+}  // namespace kooza::core

@@ -1,0 +1,57 @@
+// Multi-server model composition.
+//
+// Paper, Section 4: "Scaling to multiple servers in order to simulate
+// real-application scenarios requires multiple instances of the model."
+// A ClusterModel is exactly that: one trained ServerModel per monitored
+// server (fed by Cluster::traces_for_server). Generation runs every
+// instance over a common horizon and merges the streams, tagging each
+// request with its server so the multi-server replayer reproduces the
+// per-server load skew (hot shards, incast fan-in) a single averaged
+// model would wash out.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::core {
+
+class ClusterModel {
+public:
+    /// Train one ServerModel per entry of `per_server` (the i-th trace set
+    /// must be server i's view). Throws if any server's trace has no
+    /// completed requests — monitor long enough that every server saw
+    /// traffic, or exclude idle servers.
+    static ClusterModel train(std::span<const trace::TraceSet> per_server,
+                              TrainerConfig cfg = {});
+
+    [[nodiscard]] std::size_t n_servers() const noexcept { return servers_.size(); }
+    [[nodiscard]] const ServerModel& server(std::size_t i) const {
+        return servers_.at(i);
+    }
+
+    /// Generate `duration` seconds of load: each server instance produces
+    /// its own arrival-timed stream (at its learned rate), streams are
+    /// merged by time, and every request carries its server id.
+    [[nodiscard]] SyntheticWorkload generate(double duration, sim::Rng& rng) const;
+
+    /// Sum of the per-instance model sizes.
+    [[nodiscard]] std::size_t parameter_count() const;
+
+    /// Learned per-server arrival rates (the load-skew signature).
+    [[nodiscard]] std::vector<double> arrival_rates() const;
+
+    [[nodiscard]] std::string describe() const;
+
+private:
+    explicit ClusterModel(std::vector<ServerModel> servers)
+        : servers_(std::move(servers)) {}
+    std::vector<ServerModel> servers_;
+};
+
+}  // namespace kooza::core

@@ -1,0 +1,33 @@
+// Model persistence: save a trained ServerModel to a text file and load
+// it back. A trained model is the product the paper's methodology hands
+// to downstream studies ("evaluating various system design challenges
+// without the need for access to real applications"), so it must outlive
+// the process that trained it. The format is a line/token-oriented text
+// encoding (version-tagged, human-inspectable, no external deps).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/model.hpp"
+#include "stats/distributions.hpp"
+
+namespace kooza::core {
+
+/// Write `model` to a stream / file. Throws std::runtime_error on I/O
+/// failure and std::invalid_argument on unserializable content (e.g. a
+/// distribution family the format does not know).
+void save_model(const ServerModel& model, std::ostream& os);
+void save_model(const ServerModel& model, const std::filesystem::path& file);
+
+/// Read a model previously written by save_model. Throws
+/// std::runtime_error with a token-level message on malformed input.
+[[nodiscard]] ServerModel load_model(std::istream& is);
+[[nodiscard]] ServerModel load_model(const std::filesystem::path& file);
+
+/// One-line encodings for the distribution vocabulary (exposed for tests
+/// and for other persistence code).
+void save_distribution(const stats::Distribution& d, std::ostream& os);
+[[nodiscard]] std::unique_ptr<stats::Distribution> load_distribution(std::istream& is);
+
+}  // namespace kooza::core

@@ -1,0 +1,88 @@
+// The structure queue — KOOZA's time-dependencies model.
+//
+// "a queue, configurable for each workload, that demonstrates the
+// structure of the application, i.e. the order in which each model becomes
+// active" (paper, Section 4). It is trained from Dapper-style span trees:
+// each sampled request contributes its phase sequence; the queue stores
+// the observed sequence variants with probabilities plus a duration
+// distribution per phase name.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/distributions.hpp"
+#include "trace/span.hpp"
+
+namespace kooza::core {
+
+class StructureQueue {
+public:
+    /// One observed phase ordering and how often it occurred.
+    struct Variant {
+        std::vector<std::string> phases;
+        double probability = 0.0;
+        std::size_t count = 0;
+    };
+
+    /// Fit from span records, using only traces whose ids are in
+    /// `trace_ids` (callers partition by request type). Root spans
+    /// ("request") are excluded; phases are ordered by span start time.
+    /// Throws if no usable trace is found.
+    static StructureQueue fit(const std::vector<trace::Span>& spans,
+                              std::span<const trace::TraceId> trace_ids,
+                              double ks_threshold = 0.08);
+
+    /// Build a single-variant queue from a known phase order (used as a
+    /// fallback when span sampling recorded no trace of a request type).
+    /// Phase durations are point masses at 0 — structure only.
+    static StructureQueue canonical(std::vector<std::string> phases);
+
+    /// Reassemble from previously-fitted parts (deserialization). Variant
+    /// probabilities are renormalized from counts.
+    static StructureQueue from_parts(
+        std::vector<Variant> variants,
+        std::map<std::string, std::unique_ptr<stats::Distribution>> durations,
+        std::size_t trained_on);
+
+    /// Variants sorted most-frequent first.
+    [[nodiscard]] const std::vector<Variant>& variants() const noexcept {
+        return variants_;
+    }
+
+    /// Most frequent phase ordering.
+    [[nodiscard]] const std::vector<std::string>& dominant() const;
+
+    /// Sample a phase ordering.
+    [[nodiscard]] const std::vector<std::string>& sample(sim::Rng& rng) const;
+
+    /// Duration distribution of a phase (over all variants). Throws on an
+    /// unknown phase name.
+    [[nodiscard]] const stats::Distribution& phase_duration(
+        const std::string& phase) const;
+
+    [[nodiscard]] bool has_phase(const std::string& phase) const noexcept;
+    [[nodiscard]] std::vector<std::string> phase_names() const;
+
+    /// Number of traces the queue was trained on.
+    [[nodiscard]] std::size_t training_traces() const noexcept { return trained_on_; }
+
+    /// Model size: variant entries + 2 params per phase-duration fit.
+    [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+    [[nodiscard]] std::string describe() const;
+
+private:
+    StructureQueue() = default;
+
+    std::vector<Variant> variants_;
+    std::vector<double> weights_;  ///< aligned with variants_, for sampling
+    std::map<std::string, std::unique_ptr<stats::Distribution>> durations_;
+    std::size_t trained_on_ = 0;
+};
+
+}  // namespace kooza::core

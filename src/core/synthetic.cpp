@@ -1,0 +1,28 @@
+#include "core/synthetic.hpp"
+
+namespace kooza::core {
+
+std::vector<trace::RequestFeatures> to_features(const SyntheticWorkload& w) {
+    std::vector<trace::RequestFeatures> out;
+    out.reserve(w.requests.size());
+    std::uint64_t id = 0;
+    for (const auto& r : w.requests) {
+        trace::RequestFeatures f;
+        f.request_id = id++;
+        f.arrival = r.time;
+        f.network_bytes = r.network_bytes;
+        f.cpu_busy_seconds = r.cpu_busy_seconds;
+        f.memory_bytes = r.memory_bytes;
+        f.memory_type = r.memory_type;
+        f.first_bank = r.bank;
+        f.storage_bytes = r.storage_bytes;
+        f.storage_type = r.storage_type;
+        f.first_lbn = r.lbn;
+        f.latency = 0.0;
+        f.cpu_utilization = 0.0;
+        out.push_back(f);
+    }
+    return out;
+}
+
+}  // namespace kooza::core

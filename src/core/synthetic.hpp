@@ -1,0 +1,53 @@
+// Synthetic requests — the output of every model's generator and the
+// input of the replayer. One SyntheticRequest carries the per-subsystem
+// features the paper's Table 2 compares, plus the phase order (structure)
+// that only structure-aware models fill in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/features.hpp"
+#include "trace/records.hpp"
+
+namespace kooza::core {
+
+struct SyntheticRequest {
+    double time = 0.0;  ///< absolute arrival time
+    trace::IoType type = trace::IoType::kRead;
+
+    // Subsystem features (Table 2 columns).
+    std::uint64_t network_bytes = 0;
+    double cpu_busy_seconds = 0.0;  ///< replayed as CPU work
+    std::uint64_t memory_bytes = 0;
+    trace::IoType memory_type = trace::IoType::kRead;
+    std::uint32_t bank = 0;
+    std::uint64_t storage_bytes = 0;
+    trace::IoType storage_type = trace::IoType::kRead;
+    std::uint64_t lbn = 0;
+
+    /// Phase order for structured replay (empty for models without time
+    /// dependencies — the replayer then stresses subsystems in parallel).
+    std::vector<std::string> phases;
+
+    /// Which server executes the request in a multi-server replay
+    /// (taken modulo the replayer's server count).
+    std::uint32_t server = 0;
+};
+
+/// A generated workload plus provenance.
+struct SyntheticWorkload {
+    std::string model_name;
+    std::vector<SyntheticRequest> requests;
+
+    [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+};
+
+/// Project synthetic requests onto the same feature rows real traces
+/// produce, so the validator compares like with like. (Latency is zero
+/// until the workload has been replayed.)
+[[nodiscard]] std::vector<trace::RequestFeatures> to_features(
+    const SyntheticWorkload& w);
+
+}  // namespace kooza::core

@@ -1,0 +1,153 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "stats/fitting.hpp"
+#include "stats/hypothesis.hpp"
+#include "trace/features.hpp"
+
+namespace kooza::core {
+
+namespace {
+
+/// Canonical GFS phase orders (paper Fig. 1), used only as a fallback when
+/// sampling recorded no span tree for a request type.
+std::vector<std::string> canonical_phases(trace::IoType t) {
+    if (t == trace::IoType::kRead)
+        return {"net.rx", "cpu.verify", "mem.buffer", "disk.io", "cpu.aggregate",
+                "net.tx"};
+    return {"net.rx", "cpu.verify", "mem.buffer", "disk.io", "cpu.aggregate", "net.tx"};
+}
+
+std::uint64_t next_pow2(std::uint64_t x) {
+    std::uint64_t p = 1;
+    while (p < x && p < (1ull << 62)) p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainerConfig cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.lbn_ranges == 0 || cfg_.util_levels == 0)
+        throw std::invalid_argument("Trainer: state-space sizes must be >= 1");
+}
+
+ServerModel Trainer::train(const trace::TraceSet& ts) const {
+    const auto features = trace::extract_features(ts);
+    if (features.empty())
+        throw std::invalid_argument("Trainer::train: no completed requests in trace");
+
+    // ---- Network sub-model: the arrival process. -------------------------
+    std::vector<double> arrivals = trace::column_arrival(features);
+    std::sort(arrivals.begin(), arrivals.end());
+    std::unique_ptr<queueing::ArrivalProcess> arrival_model;
+    if (arrivals.size() < 3) {
+        arrival_model = std::make_unique<queueing::PoissonArrivals>(1.0);
+    } else {
+        std::vector<double> gaps(arrivals.size() - 1);
+        for (std::size_t i = 1; i < arrivals.size(); ++i)
+            gaps[i - 1] = std::max(arrivals[i] - arrivals[i - 1], 1e-12);
+        auto exp_fit = stats::fit_exponential(gaps);
+        const double ks = stats::ks_statistic(gaps, *exp_fit);
+        if (ks <= cfg_.arrival_ks_threshold) {
+            arrival_model =
+                std::make_unique<queueing::PoissonArrivals>(exp_fit->lambda());
+        } else {
+            // Divergent-from-Poisson stream: keep the empirical gaps.
+            arrival_model = std::make_unique<queueing::TraceArrivals>(gaps);
+        }
+    }
+
+    // ---- State spaces. ---------------------------------------------------
+    std::uint64_t lbn_space = cfg_.lbn_space;
+    if (lbn_space == 0) {
+        std::uint64_t max_lbn = 0;
+        for (const auto& r : ts.storage) max_lbn = std::max(max_lbn, r.lbn);
+        lbn_space = next_pow2(max_lbn + 1);
+    }
+    std::size_t banks = cfg_.banks;
+    if (banks == 0) {
+        std::uint32_t max_bank = 0;
+        for (const auto& r : ts.memory) max_bank = std::max(max_bank, r.bank);
+        banks = std::size_t(max_bank) + 1;
+    }
+    auto lbn_disc = std::make_unique<markov::LbnRangeDiscretizer>(
+        lbn_space, std::min<std::size_t>(cfg_.lbn_ranges, std::size_t(lbn_space)));
+    auto bank_disc = std::make_unique<markov::BankDiscretizer>(banks);
+    auto util_disc = std::make_unique<markov::UtilizationDiscretizer>(cfg_.util_levels);
+
+    // ---- Split requests by type, in arrival order. -----------------------
+    std::size_t n_reads = 0;
+    for (const auto& f : features)
+        if (f.storage_type == trace::IoType::kRead) ++n_reads;
+    const double read_fraction = double(n_reads) / double(features.size());
+
+    // ---- Learn the CPU verify/aggregate split from span durations. -------
+    double verify_fraction = 0.4;
+    {
+        double verify_sum = 0.0, total_sum = 0.0;
+        for (const auto& s : ts.spans) {
+            if (s.name == "cpu.verify") verify_sum += s.duration();
+            if (s.name == "cpu.verify" || s.name == "cpu.aggregate")
+                total_sum += s.duration();
+        }
+        if (total_sum > 0.0 && verify_sum > 0.0 && verify_sum < total_sum)
+            verify_fraction = verify_sum / total_sum;
+    }
+
+    auto build_type_model = [&](trace::IoType type) -> std::optional<TypeModel> {
+        std::vector<const trace::RequestFeatures*> fs;
+        for (const auto& f : features)
+            if (f.storage_type == type) fs.push_back(&f);
+        if (fs.empty()) return std::nullopt;
+
+        markov::AnnotatedSequence storage_seq, memory_seq, cpu_seq;
+        for (const auto* f : fs) {
+            storage_seq.states.push_back(lbn_disc->state_of(double(f->first_lbn)));
+            storage_seq.features[feature::kSize].push_back(double(f->storage_bytes));
+            storage_seq.features[feature::kNet].push_back(double(f->network_bytes));
+            memory_seq.states.push_back(bank_disc->state_of(double(f->first_bank)));
+            memory_seq.features[feature::kSize].push_back(double(f->memory_bytes));
+            memory_seq.features[feature::kType].push_back(
+                f->memory_type == trace::IoType::kWrite ? 1.0 : 0.0);
+            cpu_seq.states.push_back(util_disc->state_of(f->cpu_utilization));
+            cpu_seq.features[feature::kBusy].push_back(f->cpu_busy_seconds);
+        }
+        const markov::AnnotatedSequence storage_arr[] = {std::move(storage_seq)};
+        const markov::AnnotatedSequence memory_arr[] = {std::move(memory_seq)};
+        const markov::AnnotatedSequence cpu_arr[] = {std::move(cpu_seq)};
+        auto storage = markov::AnnotatedMarkovChain::fit(
+            storage_arr, lbn_disc->n_states(), cfg_.laplace_alpha, cfg_.ks_threshold);
+        auto memory = markov::AnnotatedMarkovChain::fit(
+            memory_arr, bank_disc->n_states(), cfg_.laplace_alpha, cfg_.ks_threshold);
+        auto cpu = markov::AnnotatedMarkovChain::fit(
+            cpu_arr, util_disc->n_states(), cfg_.laplace_alpha, cfg_.ks_threshold);
+
+        // Structure from span trees of this type's requests.
+        std::vector<trace::TraceId> ids;
+        for (const auto* f : fs) ids.push_back(f->request_id);
+        std::optional<StructureQueue> structure;
+        try {
+            structure = StructureQueue::fit(ts.spans, ids, cfg_.ks_threshold);
+        } catch (const std::invalid_argument&) {
+            if (!cfg_.fallback_structure) throw;
+            structure = StructureQueue::canonical(canonical_phases(type));
+        }
+        return TypeModel{std::move(storage), std::move(memory), std::move(cpu),
+                         std::move(*structure)};
+    };
+
+    auto read_model = build_type_model(trace::IoType::kRead);
+    auto write_model = build_type_model(trace::IoType::kWrite);
+
+    return ServerModel(cfg_.workload_name, std::move(arrival_model), read_fraction,
+                       std::move(read_model), std::move(write_model),
+                       std::move(lbn_disc), std::move(bank_disc), std::move(util_disc),
+                       verify_fraction);
+}
+
+}  // namespace kooza::core

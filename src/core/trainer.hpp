@@ -1,0 +1,57 @@
+// KOOZA trainer: fits a ServerModel from a TraceSet.
+//
+// "Each one of the four models is trained using traces from the
+// corresponding subsystem" (paper, Section 4); the structure queue is
+// trained from the Dapper-style span trees ("tracing the complete round
+// trip of a request through the system"). The trainer never sees the
+// simulator — only trace records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/model.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::core {
+
+struct TrainerConfig {
+    std::string workload_name = "workload";
+
+    /// Markov state-space sizes (paper Fig. 2 draws 4 of each).
+    std::size_t lbn_ranges = 4;
+    std::size_t util_levels = 4;
+    /// 0 = infer from the memory records (max bank + 1).
+    std::size_t banks = 0;
+    /// LBN address-space size; 0 = infer (next power of two above max LBN).
+    std::uint64_t lbn_space = 0;
+
+    /// Laplace smoothing for chain fitting.
+    double laplace_alpha = 0.5;
+    /// Per-state feature fits fall back to empirical above this KS distance.
+    double ks_threshold = 0.08;
+    /// Arrival process falls back to trace-driven above this KS distance
+    /// (Sengupta: traffic often diverges from Poisson).
+    double arrival_ks_threshold = 0.1;
+
+    /// If a request type has no sampled span trees (aggressive Dapper
+    /// sampling), substitute the canonical GFS phase order instead of
+    /// failing. Disable to require observed structure.
+    bool fallback_structure = true;
+};
+
+class Trainer {
+public:
+    explicit Trainer(TrainerConfig cfg = {});
+
+    /// Fit a full KOOZA server model. Throws std::invalid_argument when
+    /// the trace set has no completed requests.
+    [[nodiscard]] ServerModel train(const trace::TraceSet& ts) const;
+
+    [[nodiscard]] const TrainerConfig& config() const noexcept { return cfg_; }
+
+private:
+    TrainerConfig cfg_;
+};
+
+}  // namespace kooza::core

@@ -1,0 +1,53 @@
+// Validator: compares original and synthetic workloads on the paper's
+// axes — per-subsystem request features and end-to-end performance — and
+// renders Table 2-style rows ("Variation" = relative deviation in %).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/features.hpp"
+
+namespace kooza::core {
+
+struct MetricRow {
+    std::string subsystem;  ///< Network / Processor / Memory / Storage / Performance
+    std::string metric;     ///< e.g. "Request Size"
+    double original = 0.0;
+    double synthetic = 0.0;
+    double variation_pct = 0.0;
+    std::string unit;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct ValidationReport {
+    std::string model_name;
+    std::vector<MetricRow> rows;
+
+    /// Largest variation among feature rows (excludes Performance rows).
+    [[nodiscard]] double max_feature_variation() const;
+    /// Variation of the Performance/Latency row (0 if absent).
+    [[nodiscard]] double latency_variation() const;
+
+    /// Fixed-width text table (the Table 2 reproduction format).
+    [[nodiscard]] std::string to_table() const;
+};
+
+/// Aggregate comparison: means of each feature column plus mean latency
+/// and distribution distances. Throws if either side is empty.
+[[nodiscard]] ValidationReport compare_features(
+    const std::vector<trace::RequestFeatures>& original,
+    const std::vector<trace::RequestFeatures>& synthetic, std::string model_name);
+
+/// Single-request comparison — one Table 2 block (one "User Request").
+[[nodiscard]] ValidationReport compare_single(const trace::RequestFeatures& original,
+                                              const trace::RequestFeatures& synthetic,
+                                              std::string label);
+
+/// Two-sample KS distance between the latency distributions (shape check
+/// beyond the mean).
+[[nodiscard]] double latency_ks(const std::vector<trace::RequestFeatures>& original,
+                                const std::vector<trace::RequestFeatures>& synthetic);
+
+}  // namespace kooza::core

@@ -1,0 +1,106 @@
+// GFS chunkserver: executes read and write requests against its local
+// device models, following the subsystem path of the paper's Figure 1:
+//
+//   read:  net.rx -> cpu.verify -> mem.buffer -> disk.io -> cpu.aggregate
+//          -> net.tx
+//   write: net.rx -> cpu.verify -> mem.buffer -> disk.io -> repl.forward*
+//          -> cpu.aggregate -> net.tx(ack)
+//
+// Every phase is wrapped in a Dapper-style span so in-depth tracing can
+// recover the structure, and every device emits subsystem records so
+// in-breadth models can be trained — both from the same run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gfs/config.hpp"
+#include "gfs/master.hpp"
+#include "hw/cpu.hpp"
+#include "hw/disk.hpp"
+#include "hw/memory.hpp"
+#include "hw/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "trace/span.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::gfs {
+
+/// Canonical phase names (shared with the KOOZA structure queue).
+namespace phase {
+inline constexpr const char* kNetRx = "net.rx";
+inline constexpr const char* kCpuVerify = "cpu.verify";
+inline constexpr const char* kMemBuffer = "mem.buffer";
+inline constexpr const char* kDiskIo = "disk.io";
+inline constexpr const char* kReplForward = "repl.forward";
+inline constexpr const char* kCpuAggregate = "cpu.aggregate";
+inline constexpr const char* kNetTx = "net.tx";
+inline constexpr const char* kMasterLookup = "master.lookup";
+inline constexpr const char* kFailover = "failover";
+inline constexpr const char* kRequest = "request";
+}  // namespace phase
+
+class ChunkServer {
+public:
+    ChunkServer(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg,
+                trace::TraceSet* sink, trace::SpanTracer* tracer, sim::Rng rng);
+
+    /// Handle a read of `size` bytes at `lbn`. `parent` is the client's
+    /// root span. `on_done` fires when the response payload has reached
+    /// the client's port (the caller transfers it; see `respond_via`).
+    void handle_read(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size,
+                     trace::SpanId parent, hw::SwitchPort& client_port,
+                     std::function<void()> on_done);
+
+    /// Handle a write of `size` bytes at `lbn`. `replicas` are the
+    /// secondary servers to forward to (chain order). Completion fires
+    /// once the local write, all forwards, and the client ack are done.
+    void handle_write(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size,
+                      trace::SpanId parent, hw::SwitchPort& client_port,
+                      std::vector<ChunkServer*> replicas,
+                      std::function<void()> on_done);
+
+    /// Ingress port (client->server and server->server traffic lands here).
+    [[nodiscard]] hw::SwitchPort& ingress() noexcept { return *ingress_; }
+
+    [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+    [[nodiscard]] hw::Disk& disk() noexcept { return *disk_; }
+    [[nodiscard]] hw::Cpu& cpu() noexcept { return *cpu_; }
+    [[nodiscard]] hw::Memory& memory() noexcept { return *memory_; }
+
+    /// Failure injection: a failed server never answers; clients time out
+    /// and fail over to the next replica. Recover with set_failed(false).
+    void set_failed(bool failed) noexcept { failed_ = failed; }
+    [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+private:
+    /// Replica-side write: disk + devices only, no client ack.
+    void handle_replica_write(std::uint64_t request_id, std::uint64_t lbn,
+                              std::uint64_t size, trace::SpanId parent,
+                              std::function<void()> on_done);
+
+    /// Common pre-I/O path: cpu.verify then mem.buffer. Calls `next`.
+    void verify_and_buffer(std::uint64_t request_id, std::uint64_t size,
+                           trace::IoType mem_type, trace::SpanId parent,
+                           std::function<void()> next);
+
+    [[nodiscard]] std::uint64_t mem_bytes(std::uint64_t size, trace::IoType t) const;
+    [[nodiscard]] std::uint32_t pick_bank(std::uint64_t request_id) const;
+
+    std::uint32_t id_;
+    sim::Engine& engine_;
+    const GfsConfig& cfg_;
+    trace::TraceSet* sink_;
+    trace::SpanTracer* tracer_;
+    sim::Rng rng_;
+    std::unique_ptr<hw::Disk> disk_;
+    std::unique_ptr<hw::Cpu> cpu_;
+    std::unique_ptr<hw::Memory> memory_;
+    std::unique_ptr<hw::SwitchPort> ingress_;
+    bool failed_ = false;
+};
+
+}  // namespace kooza::gfs

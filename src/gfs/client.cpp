@@ -1,0 +1,205 @@
+#include "gfs/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kooza::gfs {
+
+namespace {
+trace::SpanId begin_span(trace::SpanTracer* t, std::uint64_t trace_id,
+                         trace::SpanId parent, const char* name, double now) {
+    return t != nullptr ? t->start_span(trace_id, parent, name, now) : 0;
+}
+void finish_span(trace::SpanTracer* t, trace::SpanId s, double now) {
+    if (t != nullptr) t->end_span(s, now);
+}
+}  // namespace
+
+MasterNode::MasterNode(sim::Engine& engine, const GfsConfig& cfg) {
+    hw::CpuParams mp = cfg.cpu;
+    mp.cores = 1;
+    cpu = std::make_unique<hw::Cpu>(engine, mp, nullptr);
+    ingress = std::make_unique<hw::SwitchPort>(
+        engine, cfg.net, trace::NetworkRecord::Direction::kRx, nullptr);
+}
+
+Client::Client(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg,
+               Master& master, MasterNode& master_node,
+               std::vector<std::unique_ptr<ChunkServer>>& servers,
+               trace::TraceSet* sink, trace::SpanTracer* tracer)
+    : id_(id),
+      engine_(engine),
+      cfg_(cfg),
+      master_(master),
+      master_node_(master_node),
+      servers_(servers),
+      sink_(sink),
+      tracer_(tracer) {
+    ingress_ = std::make_unique<hw::SwitchPort>(
+        engine_, cfg_.net, trace::NetworkRecord::Direction::kTx, sink_);
+}
+
+std::uint64_t Client::lbn_of(ChunkHandle handle, std::uint64_t offset_in_chunk) const {
+    const std::uint64_t blocks_per_chunk =
+        std::max<std::uint64_t>(1, cfg_.chunk_size / cfg_.disk.block_size);
+    if (cfg_.disk.lbn_count <= blocks_per_chunk)
+        throw std::invalid_argument("Client: disk smaller than one chunk");
+    const std::uint64_t base =
+        (handle * blocks_per_chunk) % (cfg_.disk.lbn_count - blocks_per_chunk);
+    return base + offset_in_chunk / cfg_.disk.block_size;
+}
+
+void Client::lookup(std::uint64_t request_id, const std::string& file,
+                    std::uint64_t offset, trace::SpanId root,
+                    std::function<void(const ChunkLocation&)> next) {
+    const std::uint64_t chunk_index = offset / master_.chunk_size();
+    const auto key = std::make_pair(file, chunk_index);
+    if (cfg_.client_caches_locations) {
+        auto it = location_cache_.find(key);
+        if (it != location_cache_.end()) {
+            next(it->second);
+            return;
+        }
+    }
+    // Pay the master round trip: control to master, CPU work, control back.
+    const auto sl =
+        begin_span(tracer_, request_id, root, phase::kMasterLookup, engine_.now());
+    master_node_.ingress->transfer(
+        request_id, cfg_.control_bytes,
+        [this, request_id, file, offset, key, sl, next = std::move(next)](double) mutable {
+            master_node_.cpu->execute(
+                request_id, master_node_.cpu->params().per_request_overhead,
+                [this, request_id, file, offset, key, sl,
+                 next = std::move(next)]() mutable {
+                    ingress_->transfer(
+                        request_id, cfg_.control_bytes,
+                        [this, file, offset, key, sl, next = std::move(next)](double) {
+                            finish_span(tracer_, sl, engine_.now());
+                            const ChunkLocation& loc = master_.lookup(file, offset);
+                            if (cfg_.client_caches_locations)
+                                location_cache_.emplace(key, loc);
+                            next(loc);
+                        },
+                        /*record=*/false);
+                });
+        },
+        /*record=*/false);
+}
+
+void Client::dispatch(std::uint64_t request_id, const ChunkLocation& loc,
+                      std::uint64_t offset_in_chunk, std::uint64_t size,
+                      trace::IoType type, trace::SpanId root,
+                      std::shared_ptr<bool> request_failed,
+                      std::function<void()> done) {
+    if (loc.servers.empty()) throw std::logic_error("Client::dispatch: no replicas");
+    try_replica(request_id, loc, offset_in_chunk, size, type, root, 0,
+                std::move(request_failed), std::move(done));
+}
+
+void Client::try_replica(std::uint64_t request_id, ChunkLocation loc,
+                         std::uint64_t offset_in_chunk, std::uint64_t size,
+                         trace::IoType type, trace::SpanId root, std::size_t attempt,
+                         std::shared_ptr<bool> request_failed,
+                         std::function<void()> done) {
+    if (attempt >= loc.servers.size()) {
+        // Every replica is down: the piece (and hence the request) fails.
+        *request_failed = true;
+        engine_.schedule_after(0.0, std::move(done));
+        return;
+    }
+    ChunkServer* target = servers_.at(loc.servers[attempt]).get();
+    if (target->failed()) {
+        // Wait out the RPC timeout, then fail over to the next replica.
+        const auto sf =
+            begin_span(tracer_, request_id, root, phase::kFailover, engine_.now());
+        engine_.schedule_after(
+            cfg_.failover_timeout,
+            [this, request_id, loc = std::move(loc), offset_in_chunk, size, type, root,
+             attempt, sf, request_failed = std::move(request_failed),
+             done = std::move(done)]() mutable {
+                finish_span(tracer_, sf, engine_.now());
+                try_replica(request_id, std::move(loc), offset_in_chunk, size, type,
+                            root, attempt + 1, std::move(request_failed),
+                            std::move(done));
+            });
+        return;
+    }
+    const std::uint64_t lbn = lbn_of(loc.handle, offset_in_chunk);
+    if (type == trace::IoType::kRead) {
+        target->handle_read(request_id, lbn, size, root, *ingress_, std::move(done));
+    } else {
+        // The chosen server acts as primary; remaining healthy replicas
+        // form the forwarding chain.
+        std::vector<ChunkServer*> replicas;
+        for (std::size_t r = 0; r < loc.servers.size(); ++r) {
+            if (r == attempt) continue;
+            ChunkServer* rep = servers_.at(loc.servers[r]).get();
+            if (!rep->failed()) replicas.push_back(rep);
+        }
+        target->handle_write(request_id, lbn, size, root, *ingress_,
+                             std::move(replicas), std::move(done));
+    }
+}
+
+void Client::issue(std::uint64_t request_id, const std::string& file,
+                   std::uint64_t offset, std::uint64_t size, trace::IoType type,
+                   std::function<void(double)> on_done) {
+    if (size == 0) throw std::invalid_argument("Client::issue: size 0");
+    if (offset + size > master_.file_size(file))
+        throw std::invalid_argument("Client::issue: beyond end of file " + file);
+    const double arrival = engine_.now();
+    const auto root =
+        begin_span(tracer_, request_id, 0, phase::kRequest, arrival);
+
+    // Split into per-chunk pieces.
+    struct Piece {
+        std::uint64_t offset;
+        std::uint64_t size;
+    };
+    auto pieces = std::make_shared<std::vector<Piece>>();
+    std::uint64_t cur = offset, remaining = size;
+    while (remaining > 0) {
+        const std::uint64_t in_chunk = cur % master_.chunk_size();
+        const std::uint64_t take =
+            std::min(remaining, master_.chunk_size() - in_chunk);
+        pieces->push_back(Piece{cur, take});
+        cur += take;
+        remaining -= take;
+    }
+
+    auto outstanding = std::make_shared<std::size_t>(pieces->size());
+    auto request_failed = std::make_shared<bool>(false);
+    auto finish = [this, request_id, type, arrival, size, root, outstanding,
+                   request_failed, on_done = std::move(on_done)]() {
+        if (--*outstanding != 0) return;
+        const double now = engine_.now();
+        if (*request_failed) {
+            ++failed_requests_;
+            finish_span(tracer_, root, now);
+            if (on_done) on_done(-1.0);
+            return;
+        }
+        if (sink_ != nullptr) {
+            trace::RequestRecord rec;
+            rec.request_id = request_id;
+            rec.type = type;
+            rec.arrival = arrival;
+            rec.completion = now;
+            rec.bytes = size;
+            sink_->requests.push_back(rec);
+        }
+        finish_span(tracer_, root, now);
+        if (on_done) on_done(now - arrival);
+    };
+
+    for (const auto& piece : *pieces) {
+        lookup(request_id, file, piece.offset, root,
+               [this, request_id, piece, type, root, request_failed,
+                finish](const ChunkLocation& loc) {
+                   dispatch(request_id, loc, piece.offset % master_.chunk_size(),
+                            piece.size, type, root, request_failed, finish);
+               });
+    }
+}
+
+}  // namespace kooza::gfs

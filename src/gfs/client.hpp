@@ -1,0 +1,88 @@
+// GFS client: splits user requests into per-chunk operations, resolves
+// chunk locations at the master (with client-side caching, as GFS clients
+// do), issues them to the primary chunkservers, and records the
+// end-to-end RequestRecord plus the root "request" span.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gfs/chunkserver.hpp"
+#include "gfs/config.hpp"
+#include "gfs/master.hpp"
+#include "hw/cpu.hpp"
+#include "hw/network.hpp"
+#include "sim/engine.hpp"
+#include "trace/span.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::gfs {
+
+/// The master's executable half: a CPU for lookup work and an ingress
+/// port. (Namespace state lives in gfs::Master.)
+struct MasterNode {
+    MasterNode(sim::Engine& engine, const GfsConfig& cfg);
+    std::unique_ptr<hw::Cpu> cpu;
+    std::unique_ptr<hw::SwitchPort> ingress;
+};
+
+class Client {
+public:
+    Client(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg, Master& master,
+           MasterNode& master_node, std::vector<std::unique_ptr<ChunkServer>>& servers,
+           trace::TraceSet* sink, trace::SpanTracer* tracer);
+
+    /// Issue one user request (read or write of `size` bytes at `offset`
+    /// of `file`). Multi-chunk requests fan out to all owning servers in
+    /// parallel; completion (and `on_done`) fires when every piece is
+    /// done. Emits the RequestRecord and closes the root span. If every
+    /// replica of some piece is failed, the request fails: no
+    /// RequestRecord, and `on_done` receives a negative latency.
+    void issue(std::uint64_t request_id, const std::string& file, std::uint64_t offset,
+               std::uint64_t size, trace::IoType type,
+               std::function<void(double latency)> on_done);
+
+    /// Responses from chunkservers land here.
+    [[nodiscard]] hw::SwitchPort& ingress() noexcept { return *ingress_; }
+
+    [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+    /// Requests that exhausted every replica without an answer. Failed
+    /// requests produce no RequestRecord and report a negative latency to
+    /// the completion callback.
+    [[nodiscard]] std::uint64_t failed_requests() const noexcept {
+        return failed_requests_;
+    }
+
+private:
+    void lookup(std::uint64_t request_id, const std::string& file, std::uint64_t offset,
+                trace::SpanId root, std::function<void(const ChunkLocation&)> next);
+    void dispatch(std::uint64_t request_id, const ChunkLocation& loc,
+                  std::uint64_t offset_in_chunk, std::uint64_t size, trace::IoType type,
+                  trace::SpanId root, std::shared_ptr<bool> request_failed,
+                  std::function<void()> done);
+    void try_replica(std::uint64_t request_id, ChunkLocation loc,
+                     std::uint64_t offset_in_chunk, std::uint64_t size,
+                     trace::IoType type, trace::SpanId root, std::size_t attempt,
+                     std::shared_ptr<bool> request_failed, std::function<void()> done);
+    [[nodiscard]] std::uint64_t lbn_of(ChunkHandle handle,
+                                       std::uint64_t offset_in_chunk) const;
+
+    std::uint32_t id_;
+    sim::Engine& engine_;
+    const GfsConfig& cfg_;
+    Master& master_;
+    MasterNode& master_node_;
+    std::vector<std::unique_ptr<ChunkServer>>& servers_;
+    trace::TraceSet* sink_;
+    trace::SpanTracer* tracer_;
+    std::unique_ptr<hw::SwitchPort> ingress_;
+    std::map<std::pair<std::string, std::uint64_t>, ChunkLocation> location_cache_;
+    std::uint64_t failed_requests_ = 0;
+};
+
+}  // namespace kooza::gfs

@@ -1,0 +1,106 @@
+#include "gfs/cluster.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace kooza::gfs {
+
+Cluster::Cluster(GfsConfig cfg, std::size_t n_clients) : cfg_(cfg) {
+    if (cfg_.n_chunkservers == 0)
+        throw std::invalid_argument("Cluster: need >= 1 chunkserver");
+    if (n_clients == 0) throw std::invalid_argument("Cluster: need >= 1 client");
+    engine_ = std::make_unique<sim::Engine>();
+    sink_ = std::make_unique<trace::TraceSet>();
+    tracer_ = std::make_unique<trace::SpanTracer>(cfg_.span_sample_every);
+    master_ = std::make_unique<Master>(cfg_.n_chunkservers, cfg_.replication,
+                                       cfg_.chunk_size);
+    master_node_ = std::make_unique<MasterNode>(*engine_, cfg_);
+    sim::Rng seeder(cfg_.seed);
+    for (std::size_t s = 0; s < cfg_.n_chunkservers; ++s) {
+        server_sinks_.push_back(std::make_unique<trace::TraceSet>());
+        servers_.push_back(std::make_unique<ChunkServer>(
+            std::uint32_t(s), *engine_, cfg_, server_sinks_.back().get(),
+            tracer_.get(), seeder.fork()));
+    }
+    for (std::size_t c = 0; c < n_clients; ++c)
+        clients_.push_back(std::make_unique<Client>(std::uint32_t(c), *engine_, cfg_,
+                                                    *master_, *master_node_, servers_,
+                                                    sink_.get(), tracer_.get()));
+}
+
+void Cluster::create_file(const std::string& name, std::uint64_t size) {
+    master_->create_file(name, size);
+}
+
+std::uint64_t Cluster::submit(const RequestSpec& spec) {
+    if (spec.client >= clients_.size())
+        throw std::invalid_argument("Cluster::submit: unknown client");
+    const std::uint64_t id = next_request_++;
+    engine_->schedule_at(spec.time, [this, id, spec] {
+        // Record appends resolve their offset at issue time, serializing
+        // on the master's append cursor.
+        const std::uint64_t offset =
+            spec.append ? master_->allocate_append(spec.file, spec.size)
+                        : spec.offset;
+        const auto type = spec.append ? trace::IoType::kWrite : spec.type;
+        clients_[spec.client]->issue(id, spec.file, offset, spec.size, type,
+                                     [this](double latency) {
+                                         if (latency >= 0.0) {
+                                             latencies_.push_back(latency);
+                                             ++completed_;
+                                         }
+                                     });
+    });
+    return id;
+}
+
+void Cluster::submit_all(const std::vector<RequestSpec>& specs) {
+    for (const auto& s : specs) submit(s);
+}
+
+void Cluster::run() { engine_->run(); }
+
+MachineProfiler& Cluster::attach_profiler(double interval, double horizon) {
+    if (profiler_) throw std::logic_error("Cluster: profiler already attached");
+    profiler_ = std::make_unique<MachineProfiler>(*engine_, servers_, interval,
+                                                  horizon);
+    return *profiler_;
+}
+
+std::uint64_t Cluster::failed_requests() const {
+    std::uint64_t n = 0;
+    for (const auto& c : clients_) n += c->failed_requests();
+    return n;
+}
+
+trace::TraceSet Cluster::traces() const {
+    trace::TraceSet out = *sink_;
+    for (const auto& s : server_sinks_) out.merge(*s);
+    out.spans = tracer_->spans();
+    out.sort_by_time();
+    return out;
+}
+
+trace::TraceSet Cluster::traces_for_server(std::size_t i) const {
+    if (i >= server_sinks_.size())
+        throw std::out_of_range("Cluster::traces_for_server");
+    trace::TraceSet out = *server_sinks_[i];
+    // Request ids this server touched.
+    std::set<std::uint64_t> ids;
+    for (const auto& r : out.storage) ids.insert(r.request_id);
+    for (const auto& r : out.cpu) ids.insert(r.request_id);
+    for (const auto& r : out.memory) ids.insert(r.request_id);
+    for (const auto& r : out.network) ids.insert(r.request_id);
+    // Attach the matching end-to-end records, client-side network records
+    // and spans from the shared sink.
+    for (const auto& r : sink_->requests)
+        if (ids.count(r.request_id) != 0) out.requests.push_back(r);
+    for (const auto& r : sink_->network)
+        if (ids.count(r.request_id) != 0) out.network.push_back(r);
+    for (const auto& s : tracer_->spans())
+        if (ids.count(s.trace_id) != 0) out.spans.push_back(s);
+    out.sort_by_time();
+    return out;
+}
+
+}  // namespace kooza::gfs

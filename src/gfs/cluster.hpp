@@ -1,0 +1,102 @@
+// Cluster harness: wires engine, master, chunkservers and clients, runs a
+// request schedule, and hands back the TraceSet (including spans) that the
+// modeling layers train on. This plays the role of the monitored
+// production GFS deployment in the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gfs/client.hpp"
+#include "gfs/config.hpp"
+#include "gfs/profiler.hpp"
+#include "sim/engine.hpp"
+#include "trace/records.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::gfs {
+
+/// One scheduled user request.
+struct RequestSpec {
+    double time = 0.0;  ///< absolute issue time (seconds)
+    std::string file;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    trace::IoType type = trace::IoType::kRead;
+    std::uint32_t client = 0;  ///< issuing client index
+    /// GFS record append: the offset is chosen by the master at issue
+    /// time (file append cursor, chunk-padded); `offset` is ignored and
+    /// `type` is forced to write.
+    bool append = false;
+};
+
+class Cluster {
+public:
+    explicit Cluster(GfsConfig cfg, std::size_t n_clients = 1);
+
+    /// Create a file before submitting requests against it.
+    void create_file(const std::string& name, std::uint64_t size);
+
+    /// Schedule one request (time must not precede the current sim time).
+    /// Returns the request id it will run under.
+    std::uint64_t submit(const RequestSpec& spec);
+
+    /// Schedule many requests.
+    void submit_all(const std::vector<RequestSpec>& specs);
+
+    /// Run the engine until all scheduled work completes.
+    void run();
+
+    /// Traces captured so far; span records are copied in from the tracer.
+    /// The cluster keeps accumulating (call traces() again after more
+    /// submits+run).
+    [[nodiscard]] trace::TraceSet traces() const;
+
+    /// Per-server view: the device records chunkserver `i` emitted, plus
+    /// the request/span/client-side records of the requests it served.
+    /// This is the training input for one instance of a multi-server
+    /// model composition (paper Section 4: "Scaling to multiple servers
+    /// ... requires multiple instances of the model").
+    [[nodiscard]] trace::TraceSet traces_for_server(std::size_t i) const;
+
+    /// End-to-end latencies in completion order.
+    [[nodiscard]] const std::vector<double>& latencies() const noexcept {
+        return latencies_;
+    }
+
+    [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+    [[nodiscard]] Master& master() noexcept { return *master_; }
+    [[nodiscard]] ChunkServer& server(std::size_t i) { return *servers_.at(i); }
+    [[nodiscard]] std::size_t n_servers() const noexcept { return servers_.size(); }
+    [[nodiscard]] Client& client(std::size_t i) { return *clients_.at(i); }
+    [[nodiscard]] const GfsConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] const trace::SpanTracer& tracer() const noexcept { return *tracer_; }
+    [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+    /// Requests that exhausted every replica (failure injection).
+    [[nodiscard]] std::uint64_t failed_requests() const;
+
+    /// Attach a GWP-style machine profiler sampling every `interval`
+    /// seconds until `horizon`. Call before run(); the cluster owns the
+    /// profiler. Only one may be attached.
+    MachineProfiler& attach_profiler(double interval, double horizon);
+
+private:
+    GfsConfig cfg_;
+    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<trace::TraceSet> sink_;  ///< client-side + request records
+    std::vector<std::unique_ptr<trace::TraceSet>> server_sinks_;
+    std::unique_ptr<trace::SpanTracer> tracer_;
+    std::unique_ptr<Master> master_;
+    std::unique_ptr<MasterNode> master_node_;
+    std::vector<std::unique_ptr<ChunkServer>> servers_;
+    std::vector<std::unique_ptr<Client>> clients_;
+    std::unique_ptr<MachineProfiler> profiler_;
+    std::vector<double> latencies_;
+    std::uint64_t next_request_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace kooza::gfs

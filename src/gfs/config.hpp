@@ -1,0 +1,59 @@
+// Configuration for the GFS-like cluster simulator.
+//
+// Defaults are tuned so that the paper's two validation requests (a 64 KB
+// read and a 4 MB write, Table 2) land in the same qualitative regime the
+// paper reports: millisecond-scale latencies, single-digit-percent CPU
+// utilization with writes costlier than reads, and memory traffic a
+// fixed fraction of the payload (16 KB for the 64 KB read, 256 KB for the
+// 4 MB write).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hw/cpu.hpp"
+#include "hw/disk.hpp"
+#include "hw/memory.hpp"
+#include "hw/network.hpp"
+
+namespace kooza::gfs {
+
+struct GfsConfig {
+    std::size_t n_chunkservers = 1;
+    std::size_t replication = 1;   ///< replicas per chunk (1 = no replication)
+    std::uint64_t chunk_size = 64ull << 20;  ///< bytes per chunk (GFS: 64 MB)
+
+    hw::DiskParams disk{};
+    hw::CpuParams cpu{.cores = 2, .per_byte_cost = 1.0 / 1e9,
+                      .per_request_overhead = 20e-6};
+    hw::MemoryParams memory{};
+    hw::SwitchParams net{};
+
+    /// Dapper-style head sampling: record 1 of every N request traces.
+    std::uint64_t span_sample_every = 1;
+
+    /// Control-message size (request headers, write acks, master RPCs).
+    /// Control transfers cost time but are not recorded as payload traffic.
+    std::uint64_t control_bytes = 512;
+
+    /// Memory traffic per request = payload >> shift (buffer headers,
+    /// chunk metadata): 64 KB read -> 16 KB (shift 2), 4 MB write ->
+    /// 256 KB (shift 4), matching Table 2's memory column.
+    std::uint32_t mem_shift_read = 2;
+    std::uint32_t mem_shift_write = 4;
+
+    /// Split of a request's CPU work between the verify (pre-I/O) and
+    /// aggregate (post-I/O) phases of Fig. 1.
+    double cpu_verify_fraction = 0.4;
+
+    /// Clients cache chunk locations after the first lookup (GFS clients do).
+    bool client_caches_locations = true;
+
+    /// How long a client waits on an unresponsive chunkserver before
+    /// failing over to the next replica.
+    double failover_timeout = 0.5;
+
+    std::uint64_t seed = 123;
+};
+
+}  // namespace kooza::gfs

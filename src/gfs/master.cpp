@@ -1,0 +1,87 @@
+#include "gfs/master.hpp"
+
+#include <stdexcept>
+
+namespace kooza::gfs {
+
+Master::Master(std::size_t n_servers, std::size_t replication, std::uint64_t chunk_size)
+    : n_servers_(n_servers),
+      replication_(std::min(replication, n_servers)),
+      chunk_size_(chunk_size) {
+    if (n_servers == 0) throw std::invalid_argument("Master: need >= 1 chunkserver");
+    if (replication == 0) throw std::invalid_argument("Master: replication must be >= 1");
+    if (chunk_size == 0) throw std::invalid_argument("Master: chunk_size must be > 0");
+}
+
+void Master::create_file(const std::string& name, std::uint64_t size) {
+    if (size == 0) throw std::invalid_argument("Master::create_file: empty file");
+    if (files_.count(name) != 0)
+        throw std::invalid_argument("Master::create_file: file exists: " + name);
+    const std::uint64_t n_chunks = (size + chunk_size_ - 1) / chunk_size_;
+    std::vector<ChunkLocation> locs;
+    locs.reserve(n_chunks);
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+        ChunkLocation loc;
+        loc.handle = next_handle_++;
+        for (std::size_t r = 0; r < replication_; ++r) {
+            loc.servers.push_back(std::uint32_t((next_server_ + r) % n_servers_));
+        }
+        next_server_ = (next_server_ + 1) % n_servers_;
+        locs.push_back(std::move(loc));
+    }
+    files_.emplace(name, std::move(locs));
+    sizes_.emplace(name, size);
+}
+
+std::uint64_t Master::allocate_append(const std::string& name, std::uint64_t size) {
+    if (size == 0) throw std::invalid_argument("Master::allocate_append: size 0");
+    if (size > chunk_size_)
+        throw std::invalid_argument(
+            "Master::allocate_append: record larger than a chunk");
+    auto fit = files_.find(name);
+    if (fit == files_.end())
+        throw std::invalid_argument("Master::allocate_append: unknown file: " + name);
+    std::uint64_t offset = sizes_.at(name);
+    // Pad to the next chunk if the record would straddle a boundary.
+    const std::uint64_t in_chunk = offset % chunk_size_;
+    if (in_chunk + size > chunk_size_) offset += chunk_size_ - in_chunk;
+    // Allocate chunks to cover [offset, offset + size).
+    const std::uint64_t last_chunk = (offset + size - 1) / chunk_size_;
+    auto& locs = fit->second;
+    while (locs.size() <= last_chunk) {
+        ChunkLocation loc;
+        loc.handle = next_handle_++;
+        for (std::size_t r = 0; r < replication_; ++r)
+            loc.servers.push_back(std::uint32_t((next_server_ + r) % n_servers_));
+        next_server_ = (next_server_ + 1) % n_servers_;
+        locs.push_back(std::move(loc));
+    }
+    sizes_[name] = offset + size;
+    return offset;
+}
+
+bool Master::has_file(const std::string& name) const { return files_.count(name) != 0; }
+
+std::uint64_t Master::file_size(const std::string& name) const {
+    auto it = sizes_.find(name);
+    if (it == sizes_.end())
+        throw std::invalid_argument("Master::file_size: unknown file: " + name);
+    return it->second;
+}
+
+const ChunkLocation& Master::lookup(const std::string& name, std::uint64_t offset) const {
+    const auto& locs = chunks(name);
+    const std::uint64_t idx = offset / chunk_size_;
+    if (idx >= locs.size())
+        throw std::out_of_range("Master::lookup: offset beyond file: " + name);
+    return locs[idx];
+}
+
+const std::vector<ChunkLocation>& Master::chunks(const std::string& name) const {
+    auto it = files_.find(name);
+    if (it == files_.end())
+        throw std::invalid_argument("Master::chunks: unknown file: " + name);
+    return it->second;
+}
+
+}  // namespace kooza::gfs

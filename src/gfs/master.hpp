@@ -1,0 +1,69 @@
+// GFS master: file namespace, chunk table and placement.
+//
+// The master maps (file, offset) to a chunk handle and the chunk servers
+// holding its replicas (Ghemawat '03). Placement is round-robin with a
+// configurable replication factor. Lookup work costs a small CPU burst on
+// the master, which clients avoid on repeat accesses by caching locations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kooza::gfs {
+
+using ChunkHandle = std::uint64_t;
+
+/// Where one chunk lives.
+struct ChunkLocation {
+    ChunkHandle handle = 0;
+    std::vector<std::uint32_t> servers;  ///< replica chunkserver ids; [0] is primary
+};
+
+class Master {
+public:
+    /// @param n_servers    chunkservers available for placement
+    /// @param replication  replicas per chunk (clamped to n_servers)
+    /// @param chunk_size   bytes per chunk
+    Master(std::size_t n_servers, std::size_t replication, std::uint64_t chunk_size);
+
+    /// Create a file of `size` bytes; allocates and places its chunks.
+    /// Throws if the file already exists or size is 0.
+    void create_file(const std::string& name, std::uint64_t size);
+
+    /// Record-append allocation (the signature GFS mutation): reserve
+    /// `size` bytes at the file's append cursor and return the offset.
+    /// If the record would straddle a chunk boundary, the cursor pads to
+    /// the next chunk (GFS semantics); new chunks are allocated and
+    /// placed on demand. Throws if size exceeds one chunk.
+    [[nodiscard]] std::uint64_t allocate_append(const std::string& name,
+                                                std::uint64_t size);
+
+    [[nodiscard]] bool has_file(const std::string& name) const;
+    [[nodiscard]] std::uint64_t file_size(const std::string& name) const;
+
+    /// Chunk covering byte `offset` of `name`. Throws on unknown file or
+    /// out-of-range offset.
+    [[nodiscard]] const ChunkLocation& lookup(const std::string& name,
+                                              std::uint64_t offset) const;
+
+    /// All chunks of a file, in order.
+    [[nodiscard]] const std::vector<ChunkLocation>& chunks(const std::string& name) const;
+
+    [[nodiscard]] std::uint64_t chunk_size() const noexcept { return chunk_size_; }
+    [[nodiscard]] std::size_t n_servers() const noexcept { return n_servers_; }
+    [[nodiscard]] std::size_t replication() const noexcept { return replication_; }
+    [[nodiscard]] std::uint64_t total_chunks() const noexcept { return next_handle_; }
+
+private:
+    std::size_t n_servers_;
+    std::size_t replication_;
+    std::uint64_t chunk_size_;
+    ChunkHandle next_handle_ = 0;
+    std::size_t next_server_ = 0;  ///< round-robin cursor
+    std::map<std::string, std::uint64_t> sizes_;
+    std::map<std::string, std::vector<ChunkLocation>> files_;
+};
+
+}  // namespace kooza::gfs

@@ -1,0 +1,59 @@
+#include "gfs/profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gfs/chunkserver.hpp"
+
+namespace kooza::gfs {
+
+MachineProfiler::MachineProfiler(
+    sim::Engine& engine, const std::vector<std::unique_ptr<ChunkServer>>& servers,
+    double interval, double horizon)
+    : engine_(engine), servers_(servers), interval_(interval), horizon_(horizon) {
+    if (!(interval > 0.0))
+        throw std::invalid_argument("MachineProfiler: interval must be > 0");
+    if (!(horizon > 0.0))
+        throw std::invalid_argument("MachineProfiler: horizon must be > 0");
+    engine_.schedule_after(interval_, [this] { tick(); });
+}
+
+void MachineProfiler::tick() {
+    const double now = engine_.now();
+    for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+        auto& srv = *servers_[s];
+        MachineSample m;
+        m.time = now;
+        m.server = s;
+        m.cpu_utilization = srv.cpu().utilization();
+        m.disk_utilization = srv.disk().utilization();
+        m.disk_ios = srv.disk().completed();
+        m.cpu_bursts = srv.cpu().completed();
+        samples_.push_back(m);
+    }
+    if (now + interval_ <= horizon_)
+        engine_.schedule_after(interval_, [this] { tick(); });
+}
+
+std::vector<double> MachineProfiler::cpu_series(std::uint32_t server) const {
+    std::vector<double> out;
+    for (const auto& m : samples_)
+        if (m.server == server) out.push_back(m.cpu_utilization);
+    return out;
+}
+
+std::vector<double> MachineProfiler::disk_series(std::uint32_t server) const {
+    std::vector<double> out;
+    for (const auto& m : samples_)
+        if (m.server == server) out.push_back(m.disk_utilization);
+    return out;
+}
+
+std::uint32_t MachineProfiler::hottest_server() const {
+    if (samples_.empty()) throw std::logic_error("MachineProfiler: no samples");
+    std::vector<double> last(servers_.size(), 0.0);
+    for (const auto& m : samples_) last[m.server] = m.disk_utilization;
+    return std::uint32_t(std::max_element(last.begin(), last.end()) - last.begin());
+}
+
+}  // namespace kooza::gfs

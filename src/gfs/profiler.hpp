@@ -1,0 +1,64 @@
+// GWP-style continuous machine profiler.
+//
+// The paper (Section 2.2) describes GWP: unlike Dapper's per-request
+// traces, GWP samples "across machines ... whole-machine and per-process
+// collection of profiles", gathering low-level utilization counters on a
+// fixed cadence with adaptive sampling to bound overhead. This profiler
+// samples every chunkserver's device utilizations at a fixed simulated
+// interval, producing the machine-level time series that feed fleet
+// studies (hot-machine detection, utilization histograms).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace kooza::gfs {
+
+class ChunkServer;
+
+/// One whole-machine sample.
+struct MachineSample {
+    double time = 0.0;
+    std::uint32_t server = 0;
+    double cpu_utilization = 0.0;   ///< cumulative busy fraction
+    double disk_utilization = 0.0;
+    std::uint64_t disk_ios = 0;      ///< completed so far
+    std::uint64_t cpu_bursts = 0;
+};
+
+class MachineProfiler {
+public:
+    /// Sample every `interval` seconds while the engine runs. Attach
+    /// before Cluster::run(); sampling stops when `horizon` is reached
+    /// (the profiler does not keep an idle engine alive forever).
+    MachineProfiler(sim::Engine& engine,
+                    const std::vector<std::unique_ptr<ChunkServer>>& servers,
+                    double interval, double horizon);
+
+    [[nodiscard]] const std::vector<MachineSample>& samples() const noexcept {
+        return samples_;
+    }
+
+    /// Per-server CPU-utilization series (sample order).
+    [[nodiscard]] std::vector<double> cpu_series(std::uint32_t server) const;
+    [[nodiscard]] std::vector<double> disk_series(std::uint32_t server) const;
+
+    /// Index of the server with the highest final disk utilization — the
+    /// hot machine a GWP-style fleet study would flag.
+    [[nodiscard]] std::uint32_t hottest_server() const;
+
+private:
+    void tick();
+
+    sim::Engine& engine_;
+    const std::vector<std::unique_ptr<ChunkServer>>& servers_;
+    double interval_;
+    double horizon_;
+    std::vector<MachineSample> samples_;
+};
+
+}  // namespace kooza::gfs

@@ -1,0 +1,43 @@
+#include "hw/cpu.hpp"
+
+#include <stdexcept>
+
+namespace kooza::hw {
+
+Cpu::Cpu(sim::Engine& engine, CpuParams params, trace::TraceSet* sink)
+    : engine_(engine), params_(params), sink_(sink) {
+    if (params_.cores == 0) throw std::invalid_argument("Cpu: cores must be >= 1");
+    if (!(params_.per_byte_cost >= 0.0))
+        throw std::invalid_argument("Cpu: per_byte_cost must be >= 0");
+    cores_ = std::make_unique<sim::Resource>(engine_, params_.cores);
+}
+
+double Cpu::work_for_bytes(std::uint64_t bytes) const noexcept {
+    return params_.per_request_overhead + double(bytes) * params_.per_byte_cost;
+}
+
+void Cpu::execute(std::uint64_t request_id, double busy_seconds,
+                  std::function<void()> on_done) {
+    if (!(busy_seconds >= 0.0)) throw std::invalid_argument("Cpu::execute: negative work");
+    const double issued = engine_.now();
+    cores_->acquire([this, request_id, busy_seconds, issued,
+                     on_done = std::move(on_done)]() mutable {
+        engine_.schedule_after(busy_seconds, [this, request_id, busy_seconds, issued,
+                                              on_done = std::move(on_done)] {
+            cores_->release();
+            ++completed_;
+            if (sink_ != nullptr) {
+                trace::CpuRecord rec;
+                rec.time = issued;
+                rec.request_id = request_id;
+                rec.busy_seconds = busy_seconds;
+                const double window = engine_.now() - issued;
+                rec.utilization = window > 0.0 ? busy_seconds / window : 1.0;
+                sink_->cpu.push_back(rec);
+            }
+            if (on_done) on_done();
+        });
+    });
+}
+
+}  // namespace kooza::hw

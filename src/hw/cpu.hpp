@@ -1,0 +1,52 @@
+// CPU model: a pool of cores executing bursts of work.
+//
+// Work is expressed in core-seconds (the GFS layer derives it from bytes
+// processed). Each completed burst emits a CpuRecord whose `utilization`
+// is the burst's busy share of its own wall-clock window (busy / (queue +
+// busy)); per-request utilization over the full request window is
+// computed downstream by trace::extract_features.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::hw {
+
+struct CpuParams {
+    std::uint32_t cores = 2;
+    /// Core-seconds per byte touched for data-processing work
+    /// (checksum/copy-bound, ~ a few GB/s per core).
+    double per_byte_cost = 1.0 / 3e9;
+    /// Fixed core-seconds per RPC for protocol handling.
+    double per_request_overhead = 20e-6;
+};
+
+class Cpu {
+public:
+    Cpu(sim::Engine& engine, CpuParams params, trace::TraceSet* sink = nullptr);
+
+    /// Run a burst of `busy_seconds` of single-core work for a request.
+    void execute(std::uint64_t request_id, double busy_seconds,
+                 std::function<void()> on_done);
+
+    /// Convenience: burst sized from bytes processed + per-request overhead.
+    [[nodiscard]] double work_for_bytes(std::uint64_t bytes) const noexcept;
+
+    [[nodiscard]] const CpuParams& params() const noexcept { return params_; }
+    [[nodiscard]] double utilization() const noexcept { return cores_->utilization(); }
+    [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+private:
+    sim::Engine& engine_;
+    CpuParams params_;
+    trace::TraceSet* sink_;
+    std::unique_ptr<sim::Resource> cores_;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace kooza::hw

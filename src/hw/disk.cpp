@@ -1,0 +1,59 @@
+#include "hw/disk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kooza::hw {
+
+double disk_service_time(const DiskParams& p, std::uint64_t prev_lbn, std::uint64_t lbn,
+                         std::uint64_t size_bytes) {
+    if (lbn >= p.lbn_count) throw std::invalid_argument("disk_service_time: lbn range");
+    const double dist =
+        std::fabs(double(lbn) - double(prev_lbn)) / double(p.lbn_count);
+    double t = double(size_bytes) / p.transfer_rate;
+    if (dist > p.sequential_threshold) {
+        // Square-root seek curve between min and max seek.
+        t += p.min_seek + (p.max_seek - p.min_seek) * std::sqrt(dist);
+        t += 0.5 * 60.0 / p.rpm;  // average rotational latency
+    }
+    return t;
+}
+
+Disk::Disk(sim::Engine& engine, DiskParams params, trace::TraceSet* sink)
+    : engine_(engine), params_(params), sink_(sink) {
+    if (params_.lbn_count == 0) throw std::invalid_argument("Disk: lbn_count 0");
+    if (!(params_.transfer_rate > 0.0))
+        throw std::invalid_argument("Disk: transfer_rate must be > 0");
+    queue_ = std::make_unique<sim::Resource>(engine_, 1);
+}
+
+void Disk::io(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size_bytes,
+              trace::IoType type, std::function<void(double)> on_done) {
+    if (lbn >= params_.lbn_count) throw std::invalid_argument("Disk::io: lbn range");
+    const double issued = engine_.now();
+    queue_->acquire([this, request_id, lbn, size_bytes, type, issued,
+                     on_done = std::move(on_done)]() mutable {
+        const double service = disk_service_time(params_, head_, lbn, size_bytes);
+        head_ = lbn + size_bytes / params_.block_size;
+        if (head_ >= params_.lbn_count) head_ = params_.lbn_count - 1;
+        engine_.schedule_after(service, [this, request_id, lbn, size_bytes, type, issued,
+                                         on_done = std::move(on_done)] {
+            queue_->release();
+            ++completed_;
+            const double latency = engine_.now() - issued;
+            if (sink_ != nullptr) {
+                trace::StorageRecord rec;
+                rec.time = issued;
+                rec.request_id = request_id;
+                rec.lbn = lbn;
+                rec.size_bytes = size_bytes;
+                rec.type = type;
+                rec.latency = latency;
+                sink_->storage.push_back(rec);
+            }
+            if (on_done) on_done(latency);
+        });
+    });
+}
+
+}  // namespace kooza::hw

@@ -1,0 +1,55 @@
+#include "hw/memory.hpp"
+
+#include <stdexcept>
+
+namespace kooza::hw {
+
+Memory::Memory(sim::Engine& engine, MemoryParams params, trace::TraceSet* sink)
+    : engine_(engine), params_(params), sink_(sink) {
+    if (params_.banks == 0) throw std::invalid_argument("Memory: banks must be >= 1");
+    if (!(params_.bank_bandwidth > 0.0))
+        throw std::invalid_argument("Memory: bandwidth must be > 0");
+    banks_.reserve(params_.banks);
+    for (std::uint32_t b = 0; b < params_.banks; ++b)
+        banks_.push_back(std::make_unique<sim::Resource>(engine_, 1));
+}
+
+std::uint32_t Memory::bank_of(std::uint64_t address) const noexcept {
+    return std::uint32_t((address / 4096) % params_.banks);
+}
+
+void Memory::access(std::uint64_t request_id, std::uint32_t bank,
+                    std::uint64_t size_bytes, trace::IoType type,
+                    std::function<void(double)> on_done) {
+    if (bank >= params_.banks) throw std::invalid_argument("Memory::access: bank range");
+    const double issued = engine_.now();
+    auto& res = *banks_[bank];
+    res.acquire([this, &res, request_id, bank, size_bytes, type, issued,
+                 on_done = std::move(on_done)]() mutable {
+        const double service =
+            params_.access_latency + double(size_bytes) / params_.bank_bandwidth;
+        engine_.schedule_after(service, [this, &res, request_id, bank, size_bytes, type,
+                                         issued, on_done = std::move(on_done)] {
+            res.release();
+            ++completed_;
+            if (sink_ != nullptr) {
+                trace::MemoryRecord rec;
+                rec.time = issued;
+                rec.request_id = request_id;
+                rec.bank = bank;
+                rec.size_bytes = size_bytes;
+                rec.type = type;
+                sink_->memory.push_back(rec);
+            }
+            if (on_done) on_done(engine_.now() - issued);
+        });
+    });
+}
+
+double Memory::bank_utilization(std::uint32_t bank) const {
+    if (bank >= params_.banks)
+        throw std::invalid_argument("Memory::bank_utilization: bank range");
+    return banks_[bank]->utilization();
+}
+
+}  // namespace kooza::hw

@@ -1,0 +1,52 @@
+// Banked DRAM model.
+//
+// Accesses name a bank (the paper's memory-model states, Fig. 2); each
+// bank is an independent FCFS queue, so bank conflicts cost time while
+// accesses to different banks proceed in parallel. Latency = fixed access
+// cost + bytes / per-bank bandwidth. Completed accesses emit
+// MemoryRecords.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "trace/records.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::hw {
+
+struct MemoryParams {
+    std::uint32_t banks = 4;
+    double access_latency = 60e-9;   ///< row activation + CAS, seconds
+    double bank_bandwidth = 4e9;     ///< bytes/second per bank
+};
+
+class Memory {
+public:
+    Memory(sim::Engine& engine, MemoryParams params, trace::TraceSet* sink = nullptr);
+
+    /// Access `size_bytes` in `bank`. `on_done` fires at completion with
+    /// total latency (bank queueing + service).
+    void access(std::uint64_t request_id, std::uint32_t bank, std::uint64_t size_bytes,
+                trace::IoType type, std::function<void(double latency)> on_done);
+
+    /// Bank an address maps to (simple interleave on 4 KB frames).
+    [[nodiscard]] std::uint32_t bank_of(std::uint64_t address) const noexcept;
+
+    [[nodiscard]] const MemoryParams& params() const noexcept { return params_; }
+    [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+    [[nodiscard]] double bank_utilization(std::uint32_t bank) const;
+
+private:
+    sim::Engine& engine_;
+    MemoryParams params_;
+    trace::TraceSet* sink_;
+    std::vector<std::unique_ptr<sim::Resource>> banks_;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace kooza::hw

@@ -1,0 +1,101 @@
+// Network devices: point-to-point links and a shared-buffer switch port.
+//
+// A Link is a serialized pipe (bandwidth + propagation). A SwitchPort
+// models the congestion point where TCP/IP incast happens: many senders
+// converge on one output with a finite packet buffer; overflowing frames
+// are dropped and retried after a timeout, which is exactly the latency
+// collapse the paper says a multi-server KOOZA composition can replicate
+// (Section 4). Completed transfers emit NetworkRecords at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "trace/records.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::hw {
+
+struct LinkParams {
+    double bandwidth = 1.25e8;   ///< bytes/second (1 Gb/s)
+    double propagation = 50e-6;  ///< seconds
+    std::uint32_t mtu = 1500;    ///< frame payload, bytes
+};
+
+/// Serialized point-to-point link.
+class Link {
+public:
+    /// @param direction recorded on emitted NetworkRecords (rx at the GFS
+    ///        server for client->server, tx for server->client)
+    Link(sim::Engine& engine, LinkParams params,
+         trace::NetworkRecord::Direction direction, trace::TraceSet* sink = nullptr);
+
+    /// Move `size_bytes` across the link; `on_done` fires at the receiver
+    /// with the total latency (queueing + serialization + propagation).
+    void transfer(std::uint64_t request_id, std::uint64_t size_bytes,
+                  std::function<void(double latency)> on_done);
+
+    [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+    [[nodiscard]] double utilization() const noexcept { return pipe_->utilization(); }
+    [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+private:
+    sim::Engine& engine_;
+    LinkParams params_;
+    trace::NetworkRecord::Direction direction_;
+    trace::TraceSet* sink_;
+    std::unique_ptr<sim::Resource> pipe_;
+    std::uint64_t completed_ = 0;
+};
+
+struct SwitchParams {
+    double bandwidth = 1.25e8;     ///< output port rate, bytes/second
+    double propagation = 50e-6;    ///< seconds
+    std::uint32_t mtu = 1500;      ///< frame payload, bytes
+    std::uint32_t buffer_frames = 64;  ///< shared output buffer
+    double retry_timeout = 0.2;    ///< TCP-like retransmission timeout, s
+    std::uint32_t max_retries = 16;
+};
+
+/// One congested switch output port with a finite frame buffer.
+/// Transfers are chopped into MTU frames; frames arriving to a full buffer
+/// are dropped and the *whole remaining tail* is retried after
+/// retry_timeout (a coarse model of a TCP timeout, sufficient to reproduce
+/// incast goodput collapse).
+class SwitchPort {
+public:
+    /// @param direction recorded on emitted NetworkRecords
+    SwitchPort(sim::Engine& engine, SwitchParams params,
+               trace::NetworkRecord::Direction direction =
+                   trace::NetworkRecord::Direction::kRx,
+               trace::TraceSet* sink = nullptr);
+
+    /// @param record  false for control messages (headers, acks): they
+    ///        cost time on the port but are not payload traffic
+    void transfer(std::uint64_t request_id, std::uint64_t size_bytes,
+                  std::function<void(double latency)> on_done, bool record = true);
+
+    [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+    [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+    [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+    [[nodiscard]] const SwitchParams& params() const noexcept { return params_; }
+
+private:
+    void send_tail(std::uint64_t request_id, std::uint64_t remaining, double started,
+                   std::uint64_t total, std::uint32_t retries, bool record,
+                   std::shared_ptr<std::function<void(double)>> on_done);
+
+    sim::Engine& engine_;
+    SwitchParams params_;
+    trace::NetworkRecord::Direction direction_;
+    trace::TraceSet* sink_;
+    std::unique_ptr<sim::Resource> port_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace kooza::hw

@@ -1,0 +1,41 @@
+#include "hw/power.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kooza::hw {
+
+PowerModel::PowerModel(PowerParams params) : params_(params) {
+    if (params_.idle_watts < 0.0 || params_.cpu_dynamic_watts < 0.0 ||
+        params_.disk_active_watts < 0.0 || params_.memory_active_watts < 0.0)
+        throw std::invalid_argument("PowerModel: negative power parameter");
+}
+
+double PowerModel::power(double cpu_util, double disk_util, double memory_util) const {
+    auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+    return params_.idle_watts + clamp01(cpu_util) * params_.cpu_dynamic_watts +
+           clamp01(disk_util) * params_.disk_active_watts +
+           clamp01(memory_util) * params_.memory_active_watts;
+}
+
+double PowerModel::energy(std::span<const UtilizationSample> samples) const {
+    if (samples.empty()) return 0.0;
+    double joules = 0.0;
+    double prev_time = 0.0;
+    for (const auto& s : samples) {
+        if (s.time < prev_time)
+            throw std::invalid_argument("PowerModel::energy: samples out of order");
+        joules += (s.time - prev_time) * power(s.cpu, s.disk, s.memory);
+        prev_time = s.time;
+    }
+    return joules;
+}
+
+double PowerModel::energy(double duration, double cpu_util, double disk_util,
+                          double memory_util) const {
+    if (duration < 0.0)
+        throw std::invalid_argument("PowerModel::energy: negative duration");
+    return duration * power(cpu_util, disk_util, memory_util);
+}
+
+}  // namespace kooza::hw

@@ -1,0 +1,262 @@
+#include "markov/echmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::markov {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;
+constexpr double kSigmaFloor = 1e-6;
+}  // namespace
+
+double Echmm::log_emission(std::size_t state, double x) const {
+    const double d = (x - mu_[state]) / sigma_[state];
+    return -0.5 * (kLog2Pi + d * d) - std::log(sigma_[state]);
+}
+
+Echmm Echmm::fit(std::span<const std::vector<double>> sequences, std::size_t n_states,
+                 std::size_t max_iter, double tol, std::uint64_t seed) {
+    if (n_states == 0) throw std::invalid_argument("Echmm::fit: n_states 0");
+    std::vector<double> pooled;
+    for (const auto& s : sequences) pooled.insert(pooled.end(), s.begin(), s.end());
+    if (pooled.size() < 2 * n_states)
+        throw std::invalid_argument("Echmm::fit: too little data for state count");
+    (void)seed;  // reserved for randomized restarts
+
+    Echmm m(n_states);
+    // Quantile initialization of the emissions.
+    std::sort(pooled.begin(), pooled.end());
+    m.mu_.resize(n_states);
+    m.sigma_.resize(n_states);
+    const std::size_t per = pooled.size() / n_states;
+    for (std::size_t k = 0; k < n_states; ++k) {
+        const std::size_t lo = k * per;
+        const std::size_t hi = (k + 1 == n_states) ? pooled.size() : (k + 1) * per;
+        double mean = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) mean += pooled[i];
+        mean /= double(hi - lo);
+        double var = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            var += (pooled[i] - mean) * (pooled[i] - mean);
+        var /= double(hi - lo);
+        m.mu_[k] = mean;
+        m.sigma_[k] = std::max(std::sqrt(var), kSigmaFloor);
+    }
+    // Fall back to a global spread when a quantile bucket is degenerate.
+    {
+        double gmean = 0.0;
+        for (double x : pooled) gmean += x;
+        gmean /= double(pooled.size());
+        double gvar = 0.0;
+        for (double x : pooled) gvar += (x - gmean) * (x - gmean);
+        gvar /= double(pooled.size());
+        const double gsd = std::max(std::sqrt(gvar), kSigmaFloor);
+        for (auto& s : m.sigma_)
+            if (s < gsd * 1e-6) s = gsd * 0.1;
+    }
+    m.pi_.assign(n_states, 1.0 / double(n_states));
+    m.a_.assign(n_states, std::vector<double>(n_states,
+                                              n_states > 1 ? 0.2 / double(n_states - 1)
+                                                           : 1.0));
+    if (n_states > 1)
+        for (std::size_t i = 0; i < n_states; ++i) m.a_[i][i] = 0.8;
+
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        // Accumulators.
+        std::vector<double> pi_acc(n_states, 1e-10);
+        std::vector<std::vector<double>> a_acc(n_states,
+                                               std::vector<double>(n_states, 1e-10));
+        std::vector<double> gamma_sum(n_states, 1e-10);       // over t < T-1
+        std::vector<double> gamma_sum_all(n_states, 1e-10);   // over all t
+        std::vector<double> mu_acc(n_states, 0.0);
+        std::vector<double> var_acc(n_states, 0.0);
+        double total_ll = 0.0;
+
+        for (const auto& seq : sequences) {
+            const std::size_t T = seq.size();
+            if (T == 0) continue;
+            // Scaled forward.
+            std::vector<std::vector<double>> alpha(T, std::vector<double>(n_states));
+            std::vector<std::vector<double>> beta(T, std::vector<double>(n_states));
+            std::vector<double> scale(T, 0.0);
+            for (std::size_t i = 0; i < n_states; ++i)
+                alpha[0][i] = m.pi_[i] * std::exp(m.log_emission(i, seq[0]));
+            for (std::size_t i = 0; i < n_states; ++i) scale[0] += alpha[0][i];
+            scale[0] = std::max(scale[0], 1e-300);
+            for (std::size_t i = 0; i < n_states; ++i) alpha[0][i] /= scale[0];
+            for (std::size_t t = 1; t < T; ++t) {
+                for (std::size_t j = 0; j < n_states; ++j) {
+                    double s = 0.0;
+                    for (std::size_t i = 0; i < n_states; ++i)
+                        s += alpha[t - 1][i] * m.a_[i][j];
+                    alpha[t][j] = s * std::exp(m.log_emission(j, seq[t]));
+                }
+                for (std::size_t j = 0; j < n_states; ++j) scale[t] += alpha[t][j];
+                scale[t] = std::max(scale[t], 1e-300);
+                for (std::size_t j = 0; j < n_states; ++j) alpha[t][j] /= scale[t];
+            }
+            for (std::size_t t = 0; t < T; ++t) total_ll += std::log(scale[t]);
+            // Scaled backward.
+            for (std::size_t i = 0; i < n_states; ++i) beta[T - 1][i] = 1.0;
+            for (std::size_t t = T - 1; t-- > 0;) {
+                for (std::size_t i = 0; i < n_states; ++i) {
+                    double s = 0.0;
+                    for (std::size_t j = 0; j < n_states; ++j)
+                        s += m.a_[i][j] * std::exp(m.log_emission(j, seq[t + 1])) *
+                             beta[t + 1][j];
+                    beta[t][i] = s / scale[t + 1];
+                }
+            }
+            // Gamma / xi accumulation.
+            for (std::size_t t = 0; t < T; ++t) {
+                double norm = 0.0;
+                for (std::size_t i = 0; i < n_states; ++i)
+                    norm += alpha[t][i] * beta[t][i];
+                norm = std::max(norm, 1e-300);
+                for (std::size_t i = 0; i < n_states; ++i) {
+                    const double g = alpha[t][i] * beta[t][i] / norm;
+                    gamma_sum_all[i] += g;
+                    mu_acc[i] += g * seq[t];
+                    var_acc[i] += g * (seq[t] - m.mu_[i]) * (seq[t] - m.mu_[i]);
+                    if (t == 0) pi_acc[i] += g;
+                    if (t + 1 < T) gamma_sum[i] += g;
+                }
+            }
+            for (std::size_t t = 0; t + 1 < T; ++t) {
+                double norm = 0.0;
+                std::vector<std::vector<double>> xi(n_states,
+                                                    std::vector<double>(n_states));
+                for (std::size_t i = 0; i < n_states; ++i)
+                    for (std::size_t j = 0; j < n_states; ++j) {
+                        xi[i][j] = alpha[t][i] * m.a_[i][j] *
+                                   std::exp(m.log_emission(j, seq[t + 1])) *
+                                   beta[t + 1][j];
+                        norm += xi[i][j];
+                    }
+                norm = std::max(norm, 1e-300);
+                for (std::size_t i = 0; i < n_states; ++i)
+                    for (std::size_t j = 0; j < n_states; ++j)
+                        a_acc[i][j] += xi[i][j] / norm;
+            }
+        }
+
+        // M-step.
+        double pi_norm = 0.0;
+        for (double p : pi_acc) pi_norm += p;
+        for (std::size_t i = 0; i < n_states; ++i) m.pi_[i] = pi_acc[i] / pi_norm;
+        for (std::size_t i = 0; i < n_states; ++i) {
+            double row = 0.0;
+            for (std::size_t j = 0; j < n_states; ++j) row += a_acc[i][j];
+            for (std::size_t j = 0; j < n_states; ++j) m.a_[i][j] = a_acc[i][j] / row;
+        }
+        for (std::size_t i = 0; i < n_states; ++i) {
+            m.mu_[i] = mu_acc[i] / gamma_sum_all[i];
+            m.sigma_[i] =
+                std::max(std::sqrt(var_acc[i] / gamma_sum_all[i]), kSigmaFloor);
+        }
+        m.train_ll_ = total_ll;
+        m.iters_ = iter + 1;
+        if (total_ll - prev_ll < tol && iter > 0) break;
+        prev_ll = total_ll;
+    }
+    return m;
+}
+
+double Echmm::transition(std::size_t i, std::size_t j) const {
+    if (i >= n_ || j >= n_) throw std::out_of_range("Echmm::transition");
+    return a_[i][j];
+}
+
+double Echmm::emission_mean(std::size_t i) const {
+    if (i >= n_) throw std::out_of_range("Echmm::emission_mean");
+    return mu_[i];
+}
+
+double Echmm::emission_stddev(std::size_t i) const {
+    if (i >= n_) throw std::out_of_range("Echmm::emission_stddev");
+    return sigma_[i];
+}
+
+double Echmm::log_likelihood(std::span<const double> xs) const {
+    if (xs.empty()) return 0.0;
+    std::vector<double> alpha(n_);
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+        alpha[i] = pi_[i] * std::exp(log_emission(i, xs[0]));
+    double scale = 0.0;
+    for (double a : alpha) scale += a;
+    scale = std::max(scale, 1e-300);
+    for (auto& a : alpha) a /= scale;
+    ll += std::log(scale);
+    std::vector<double> next(n_);
+    for (std::size_t t = 1; t < xs.size(); ++t) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < n_; ++i) s += alpha[i] * a_[i][j];
+            next[j] = s * std::exp(log_emission(j, xs[t]));
+        }
+        scale = 0.0;
+        for (double a : next) scale += a;
+        scale = std::max(scale, 1e-300);
+        for (std::size_t j = 0; j < n_; ++j) alpha[j] = next[j] / scale;
+        ll += std::log(scale);
+    }
+    return ll;
+}
+
+std::vector<std::size_t> Echmm::viterbi(std::span<const double> xs) const {
+    if (xs.empty()) return {};
+    const std::size_t T = xs.size();
+    std::vector<std::vector<double>> delta(T, std::vector<double>(n_));
+    std::vector<std::vector<std::size_t>> psi(T, std::vector<std::size_t>(n_, 0));
+    for (std::size_t i = 0; i < n_; ++i)
+        delta[0][i] = std::log(std::max(pi_[i], 1e-300)) + log_emission(i, xs[0]);
+    for (std::size_t t = 1; t < T; ++t)
+        for (std::size_t j = 0; j < n_; ++j) {
+            double best = -std::numeric_limits<double>::infinity();
+            std::size_t arg = 0;
+            for (std::size_t i = 0; i < n_; ++i) {
+                const double v =
+                    delta[t - 1][i] + std::log(std::max(a_[i][j], 1e-300));
+                if (v > best) {
+                    best = v;
+                    arg = i;
+                }
+            }
+            delta[t][j] = best + log_emission(j, xs[t]);
+            psi[t][j] = arg;
+        }
+    std::vector<std::size_t> path(T);
+    path[T - 1] = std::size_t(
+        std::max_element(delta[T - 1].begin(), delta[T - 1].end()) -
+        delta[T - 1].begin());
+    for (std::size_t t = T - 1; t-- > 0;) path[t] = psi[t + 1][path[t + 1]];
+    return path;
+}
+
+std::vector<double> Echmm::generate(std::size_t length, sim::Rng& rng) const {
+    if (length == 0) throw std::invalid_argument("Echmm::generate: length 0");
+    std::vector<double> out;
+    out.reserve(length);
+    std::size_t state = rng.weighted_index(pi_);
+    out.push_back(rng.normal(mu_[state], sigma_[state]));
+    for (std::size_t t = 1; t < length; ++t) {
+        state = rng.weighted_index(a_[state]);
+        out.push_back(rng.normal(mu_[state], sigma_[state]));
+    }
+    return out;
+}
+
+std::string Echmm::describe() const {
+    std::ostringstream os;
+    os << "Echmm(" << n_ << " states, " << parameter_count() << " params, trained "
+       << iters_ << " iters, ll=" << train_ll_ << ")";
+    return os.str();
+}
+
+}  // namespace kooza::markov

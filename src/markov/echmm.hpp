@@ -1,0 +1,74 @@
+// Ergodic Continuous Hidden Markov Model (ECHMM).
+//
+// Moro, Mumolo & Nolich '09 (surveyed by the paper, Section 2.1.4) model
+// "the sequence of memory references (i.e. virtual page numbers) as a
+// series of floating point numbers used to train an Ergodic Continuous
+// HMM", then categorize workloads and generate synthetic traces from it.
+// This is a fully-connected (ergodic) HMM with one Gaussian emission per
+// state, trained by Baum-Welch, with Viterbi decoding and generative
+// sampling. It serves as the alternative, finer-grained memory model the
+// A6 ablation compares against KOOZA's bank chain.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace kooza::markov {
+
+class Echmm {
+public:
+    /// Train on one or more observation sequences (e.g. memory reference
+    /// addresses as doubles) with `n_states` hidden states.
+    /// Initialization: k-means-style quantile split of the pooled data;
+    /// then `max_iter` Baum-Welch iterations (stops early when the total
+    /// log-likelihood improves by less than `tol`).
+    static Echmm fit(std::span<const std::vector<double>> sequences,
+                     std::size_t n_states, std::size_t max_iter = 50,
+                     double tol = 1e-4, std::uint64_t seed = 1);
+
+    [[nodiscard]] std::size_t n_states() const noexcept { return n_; }
+    [[nodiscard]] double transition(std::size_t i, std::size_t j) const;
+    [[nodiscard]] double emission_mean(std::size_t i) const;
+    [[nodiscard]] double emission_stddev(std::size_t i) const;
+    [[nodiscard]] const std::vector<double>& initial() const noexcept { return pi_; }
+
+    /// Total log-likelihood of a sequence under the model (forward pass).
+    [[nodiscard]] double log_likelihood(std::span<const double> xs) const;
+
+    /// Most likely hidden-state path (Viterbi).
+    [[nodiscard]] std::vector<std::size_t> viterbi(std::span<const double> xs) const;
+
+    /// Generate a synthetic observation sequence.
+    [[nodiscard]] std::vector<double> generate(std::size_t length,
+                                               sim::Rng& rng) const;
+
+    /// Training log-likelihood after the final Baum-Welch iteration.
+    [[nodiscard]] double training_log_likelihood() const noexcept { return train_ll_; }
+    [[nodiscard]] std::size_t iterations_run() const noexcept { return iters_; }
+
+    /// Free parameters: pi (n-1) + transitions n(n-1) + 2n emissions.
+    [[nodiscard]] std::size_t parameter_count() const noexcept {
+        return (n_ - 1) + n_ * (n_ - 1) + 2 * n_;
+    }
+
+    [[nodiscard]] std::string describe() const;
+
+private:
+    Echmm(std::size_t n) : n_(n) {}
+
+    [[nodiscard]] double log_emission(std::size_t state, double x) const;
+
+    std::size_t n_;
+    std::vector<double> pi_;                  ///< initial distribution
+    std::vector<std::vector<double>> a_;      ///< transitions
+    std::vector<double> mu_;                  ///< emission means
+    std::vector<double> sigma_;               ///< emission stddevs
+    double train_ll_ = 0.0;
+    std::size_t iters_ = 0;
+};
+
+}  // namespace kooza::markov

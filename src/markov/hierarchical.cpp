@@ -1,0 +1,153 @@
+#include "markov/hierarchical.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::markov {
+
+HierarchicalMarkovChain::HierarchicalMarkovChain(
+    MarkovChain top, std::vector<std::size_t> group_map,
+    std::vector<std::vector<std::size_t>> members, std::vector<MarkovChain> intra,
+    std::vector<std::vector<double>> entries)
+    : top_(std::move(top)),
+      group_of_(std::move(group_map)),
+      members_(std::move(members)),
+      intra_(std::move(intra)),
+      entries_(std::move(entries)) {}
+
+HierarchicalMarkovChain HierarchicalMarkovChain::fit(
+    std::span<const std::vector<std::size_t>> sequences, std::size_t n_states,
+    std::span<const std::size_t> group_of, double alpha) {
+    if (group_of.size() != n_states)
+        throw std::invalid_argument("HierarchicalMarkovChain::fit: group map size");
+    if (n_states == 0)
+        throw std::invalid_argument("HierarchicalMarkovChain::fit: no states");
+    const std::size_t n_groups =
+        1 + *std::max_element(group_of.begin(), group_of.end());
+    // Group membership and local indices.
+    std::vector<std::vector<std::size_t>> members(n_groups);
+    std::vector<std::size_t> local_index(n_states, 0);
+    for (std::size_t s = 0; s < n_states; ++s) {
+        local_index[s] = members[group_of[s]].size();
+        members[group_of[s]].push_back(s);
+    }
+    for (std::size_t g = 0; g < n_groups; ++g)
+        if (members[g].empty())
+            throw std::invalid_argument(
+                "HierarchicalMarkovChain::fit: group ids must be contiguous");
+
+    // Top-level sequences: group of each visited state.
+    std::vector<std::vector<std::size_t>> group_seqs;
+    // Per-group intra sequences (runs within one group) and entry counts.
+    std::vector<std::vector<std::vector<std::size_t>>> intra_seqs(n_groups);
+    std::vector<std::vector<double>> entry_counts(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g)
+        entry_counts[g].assign(members[g].size(), alpha > 0.0 ? alpha : 1e-9);
+
+    for (const auto& seq : sequences) {
+        if (seq.empty()) continue;
+        std::vector<std::size_t> gseq;
+        gseq.reserve(seq.size());
+        std::vector<std::size_t> run;
+        std::size_t prev_group = n_groups;  // sentinel
+        for (std::size_t s : seq) {
+            if (s >= n_states)
+                throw std::invalid_argument(
+                    "HierarchicalMarkovChain::fit: state out of range");
+            const std::size_t g = group_of[s];
+            gseq.push_back(g);
+            if (g != prev_group) {
+                if (!run.empty()) intra_seqs[prev_group].push_back(std::move(run));
+                run.clear();
+                entry_counts[g][local_index[s]] += 1.0;
+                prev_group = g;
+            }
+            run.push_back(local_index[s]);
+        }
+        if (!run.empty()) intra_seqs[prev_group].push_back(std::move(run));
+        group_seqs.push_back(std::move(gseq));
+    }
+    if (group_seqs.empty())
+        throw std::invalid_argument("HierarchicalMarkovChain::fit: no data");
+
+    MarkovChain top = MarkovChain::fit(group_seqs, n_groups, alpha);
+    std::vector<MarkovChain> intra;
+    intra.reserve(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        if (intra_seqs[g].empty()) {
+            intra.emplace_back(members[g].size());  // uniform fallback
+        } else {
+            intra.push_back(MarkovChain::fit(intra_seqs[g], members[g].size(), alpha));
+        }
+    }
+    std::vector<std::vector<double>> entries(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        double total = 0.0;
+        for (double c : entry_counts[g]) total += c;
+        entries[g].resize(members[g].size());
+        for (std::size_t i = 0; i < members[g].size(); ++i)
+            entries[g][i] = entry_counts[g][i] / total;
+    }
+    return HierarchicalMarkovChain(std::move(top),
+                                   std::vector<std::size_t>(group_of.begin(),
+                                                            group_of.end()),
+                                   std::move(members), std::move(intra),
+                                   std::move(entries));
+}
+
+std::size_t HierarchicalMarkovChain::group_of(std::size_t state) const {
+    if (state >= group_of_.size())
+        throw std::out_of_range("HierarchicalMarkovChain::group_of");
+    return group_of_[state];
+}
+
+std::size_t HierarchicalMarkovChain::sample_initial(sim::Rng& rng) const {
+    const std::size_t g = top_.sample_initial(rng);
+    const std::size_t local = rng.weighted_index(entries_[g]);
+    return members_[g][local];
+}
+
+std::size_t HierarchicalMarkovChain::next_state(std::size_t state, sim::Rng& rng) const {
+    if (state >= group_of_.size())
+        throw std::out_of_range("HierarchicalMarkovChain::next_state");
+    const std::size_t g = group_of_[state];
+    const std::size_t g_next = top_.next_state(g, rng);
+    if (g_next == g) {
+        // Local index of `state` inside its group.
+        const auto& mem = members_[g];
+        const std::size_t local =
+            std::size_t(std::find(mem.begin(), mem.end(), state) - mem.begin());
+        return mem[intra_[g].next_state(local, rng)];
+    }
+    return members_[g_next][rng.weighted_index(entries_[g_next])];
+}
+
+std::vector<std::size_t> HierarchicalMarkovChain::sample_path(std::size_t length,
+                                                              sim::Rng& rng) const {
+    if (length == 0)
+        throw std::invalid_argument("HierarchicalMarkovChain::sample_path: length 0");
+    std::vector<std::size_t> path(length);
+    path[0] = sample_initial(rng);
+    for (std::size_t i = 1; i < length; ++i) path[i] = next_state(path[i - 1], rng);
+    return path;
+}
+
+std::size_t HierarchicalMarkovChain::parameter_count() const noexcept {
+    std::size_t params = n_groups() * n_groups() + n_groups();  // top chain
+    for (std::size_t g = 0; g < n_groups(); ++g) {
+        const std::size_t m = members_[g].size();
+        params += m * m + m;  // intra chain + entry distribution
+    }
+    return params;
+}
+
+std::string HierarchicalMarkovChain::describe() const {
+    std::ostringstream os;
+    os << "HierarchicalMarkovChain: " << n_states() << " states in " << n_groups()
+       << " groups, ~" << parameter_count() << " params (flat would be "
+       << n_states() * n_states() + n_states() << ")";
+    return os.str();
+}
+
+}  // namespace kooza::markov

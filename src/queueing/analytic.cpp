@@ -1,0 +1,62 @@
+#include "queueing/analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kooza::queueing {
+
+StationMetrics mm1(double lambda, double mu) {
+    if (!(lambda > 0.0) || !(mu > 0.0))
+        throw std::invalid_argument("mm1: rates must be > 0");
+    const double rho = lambda / mu;
+    if (rho >= 1.0) throw std::invalid_argument("mm1: unstable (lambda >= mu)");
+    StationMetrics m;
+    m.utilization = rho;
+    m.mean_jobs = rho / (1.0 - rho);
+    m.mean_queue_length = rho * rho / (1.0 - rho);
+    m.mean_response = 1.0 / (mu - lambda);
+    m.mean_wait = m.mean_response - 1.0 / mu;
+    return m;
+}
+
+double erlang_c(double lambda, double mu, std::uint32_t c) {
+    if (!(lambda > 0.0) || !(mu > 0.0))
+        throw std::invalid_argument("erlang_c: rates must be > 0");
+    if (c == 0) throw std::invalid_argument("erlang_c: c must be >= 1");
+    const double a = lambda / mu;  // offered load in Erlangs
+    if (a >= double(c)) throw std::invalid_argument("erlang_c: unstable");
+    // Iterative Erlang-B then convert to Erlang-C (numerically stable).
+    double b = 1.0;
+    for (std::uint32_t k = 1; k <= c; ++k) b = a * b / (double(k) + a * b);
+    const double rho = a / double(c);
+    return b / (1.0 - rho + rho * b);
+}
+
+StationMetrics mmc(double lambda, double mu, std::uint32_t c) {
+    const double pw = erlang_c(lambda, mu, c);
+    const double rho = lambda / (mu * double(c));
+    StationMetrics m;
+    m.utilization = rho;
+    m.mean_wait = pw / (double(c) * mu - lambda);
+    m.mean_response = m.mean_wait + 1.0 / mu;
+    m.mean_queue_length = lambda * m.mean_wait;
+    m.mean_jobs = lambda * m.mean_response;
+    return m;
+}
+
+StationMetrics mg1(double lambda, double mean_service, double service_scv) {
+    if (!(lambda > 0.0) || !(mean_service > 0.0))
+        throw std::invalid_argument("mg1: lambda and mean service must be > 0");
+    if (service_scv < 0.0) throw std::invalid_argument("mg1: scv must be >= 0");
+    const double rho = lambda * mean_service;
+    if (rho >= 1.0) throw std::invalid_argument("mg1: unstable (rho >= 1)");
+    StationMetrics m;
+    m.utilization = rho;
+    m.mean_wait = rho * mean_service * (1.0 + service_scv) / (2.0 * (1.0 - rho));
+    m.mean_response = m.mean_wait + mean_service;
+    m.mean_queue_length = lambda * m.mean_wait;
+    m.mean_jobs = lambda * m.mean_response;
+    return m;
+}
+
+}  // namespace kooza::queueing

@@ -1,0 +1,105 @@
+#include "queueing/arrival.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::queueing {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+    if (!(rate > 0.0)) throw std::invalid_argument("PoissonArrivals: rate must be > 0");
+}
+double PoissonArrivals::next_interarrival(sim::Rng& rng) {
+    return rng.exponential(rate_);
+}
+std::string PoissonArrivals::describe() const {
+    std::ostringstream os;
+    os << "poisson(rate=" << rate_ << "/s)";
+    return os.str();
+}
+
+MmppArrivals::MmppArrivals(double rate0, double rate1, double switch0, double switch1) {
+    if (!(rate0 > 0.0) || !(rate1 > 0.0))
+        throw std::invalid_argument("MmppArrivals: rates must be > 0");
+    if (!(switch0 > 0.0) || !(switch1 > 0.0))
+        throw std::invalid_argument("MmppArrivals: switch rates must be > 0");
+    rate_[0] = rate0;
+    rate_[1] = rate1;
+    switch_[0] = switch0;
+    switch_[1] = switch1;
+}
+
+double MmppArrivals::next_interarrival(sim::Rng& rng) {
+    // Competing exponentials: in the current phase, either an arrival fires
+    // first or the phase switches and the race restarts.
+    double elapsed = 0.0;
+    for (int guard = 0; guard < 100000; ++guard) {
+        const double t_arrival = rng.exponential(rate_[phase_]);
+        const double t_switch = rng.exponential(switch_[phase_]);
+        if (t_arrival <= t_switch) return elapsed + t_arrival;
+        elapsed += t_switch;
+        phase_ ^= 1;
+    }
+    return elapsed;  // pathological parameters; bound the loop
+}
+
+double MmppArrivals::mean_rate() const {
+    // Stationary phase probabilities: pi0 = s1/(s0+s1).
+    const double pi0 = switch_[1] / (switch_[0] + switch_[1]);
+    return pi0 * rate_[0] + (1.0 - pi0) * rate_[1];
+}
+
+std::string MmppArrivals::describe() const {
+    std::ostringstream os;
+    os << "mmpp2(rates=" << rate_[0] << "," << rate_[1] << "/s, switch=" << switch_[0]
+       << "," << switch_[1] << "/s)";
+    return os.str();
+}
+
+DeterministicArrivals::DeterministicArrivals(double rate) : rate_(rate) {
+    if (!(rate > 0.0))
+        throw std::invalid_argument("DeterministicArrivals: rate must be > 0");
+}
+std::string DeterministicArrivals::describe() const {
+    std::ostringstream os;
+    os << "deterministic(rate=" << rate_ << "/s)";
+    return os.str();
+}
+
+TraceArrivals::TraceArrivals(std::vector<double> interarrivals)
+    : gaps_(std::move(interarrivals)) {
+    if (gaps_.empty()) throw std::invalid_argument("TraceArrivals: empty trace");
+    for (double g : gaps_)
+        if (g < 0.0) throw std::invalid_argument("TraceArrivals: negative gap");
+}
+
+TraceArrivals TraceArrivals::from_timestamps(std::span<const double> arrivals) {
+    if (arrivals.size() < 2)
+        throw std::invalid_argument("TraceArrivals::from_timestamps: need >= 2 events");
+    std::vector<double> ts(arrivals.begin(), arrivals.end());
+    std::sort(ts.begin(), ts.end());
+    std::vector<double> gaps(ts.size() - 1);
+    for (std::size_t i = 1; i < ts.size(); ++i) gaps[i - 1] = ts[i] - ts[i - 1];
+    return TraceArrivals(std::move(gaps));
+}
+
+double TraceArrivals::next_interarrival(sim::Rng&) {
+    const double g = gaps_[cursor_];
+    cursor_ = (cursor_ + 1) % gaps_.size();
+    return g;
+}
+
+double TraceArrivals::mean_rate() const {
+    const double total = std::accumulate(gaps_.begin(), gaps_.end(), 0.0);
+    if (total <= 0.0) return 0.0;
+    return double(gaps_.size()) / total;
+}
+
+std::string TraceArrivals::describe() const {
+    std::ostringstream os;
+    os << "trace(n=" << gaps_.size() << ", rate=" << mean_rate() << "/s)";
+    return os.str();
+}
+
+}  // namespace kooza::queueing

@@ -1,0 +1,109 @@
+// Arrival processes.
+//
+// KOOZA's network sub-model is "a simple queueing model to represent the
+// arrival-rate of user-requests" (paper, Section 4); Sengupta '03 (in the
+// survey) stresses that real DC traffic often diverges from Poisson, so we
+// also provide a 2-state MMPP (bursty) and a trace-driven process, which
+// ablation A4 compares.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace kooza::queueing {
+
+/// A stationary stream of arrival events, described by successive
+/// inter-arrival times.
+class ArrivalProcess {
+public:
+    virtual ~ArrivalProcess() = default;
+    /// Time until the next arrival (> 0 except for degenerate traces).
+    [[nodiscard]] virtual double next_interarrival(sim::Rng& rng) = 0;
+    /// Long-run arrival rate (events per second).
+    [[nodiscard]] virtual double mean_rate() const = 0;
+    [[nodiscard]] virtual std::string describe() const = 0;
+    [[nodiscard]] virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
+    /// Reset any internal state (MMPP phase, trace cursor).
+    virtual void reset() {}
+};
+
+/// Poisson arrivals at `rate` per second.
+class PoissonArrivals final : public ArrivalProcess {
+public:
+    explicit PoissonArrivals(double rate);
+    [[nodiscard]] double next_interarrival(sim::Rng& rng) override;
+    [[nodiscard]] double mean_rate() const override { return rate_; }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+        return std::make_unique<PoissonArrivals>(*this);
+    }
+
+private:
+    double rate_;
+};
+
+/// Two-state Markov-modulated Poisson process: a hidden phase alternates
+/// between rates r0 (quiet) and r1 (burst); the phase flips after an
+/// exponential sojourn with rate s0 / s1. Produces the bursty,
+/// autocorrelated arrival streams real DC front-ends see.
+class MmppArrivals final : public ArrivalProcess {
+public:
+    MmppArrivals(double rate0, double rate1, double switch0, double switch1);
+    [[nodiscard]] double next_interarrival(sim::Rng& rng) override;
+    [[nodiscard]] double mean_rate() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+        return std::make_unique<MmppArrivals>(*this);
+    }
+    void reset() override { phase_ = 0; }
+
+    [[nodiscard]] double rate(int phase) const { return rate_[phase & 1]; }
+    [[nodiscard]] double switch_rate(int phase) const { return switch_[phase & 1]; }
+
+private:
+    double rate_[2];
+    double switch_[2];
+    int phase_ = 0;
+};
+
+/// Deterministic arrivals every 1/rate seconds.
+class DeterministicArrivals final : public ArrivalProcess {
+public:
+    explicit DeterministicArrivals(double rate);
+    [[nodiscard]] double next_interarrival(sim::Rng&) override { return 1.0 / rate_; }
+    [[nodiscard]] double mean_rate() const override { return rate_; }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+        return std::make_unique<DeterministicArrivals>(*this);
+    }
+
+private:
+    double rate_;
+};
+
+/// Replays a recorded inter-arrival sequence, cycling when exhausted.
+class TraceArrivals final : public ArrivalProcess {
+public:
+    explicit TraceArrivals(std::vector<double> interarrivals);
+    /// Build from absolute arrival timestamps (sorted internally).
+    static TraceArrivals from_timestamps(std::span<const double> arrivals);
+    [[nodiscard]] double next_interarrival(sim::Rng&) override;
+    [[nodiscard]] double mean_rate() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+        return std::make_unique<TraceArrivals>(*this);
+    }
+    void reset() override { cursor_ = 0; }
+
+    [[nodiscard]] const std::vector<double>& gaps() const noexcept { return gaps_; }
+
+private:
+    std::vector<double> gaps_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace kooza::queueing

@@ -1,0 +1,118 @@
+#include "queueing/lqn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kooza::queueing {
+
+LqnModel::LqnModel(sim::Engine& engine, std::uint64_t seed)
+    : engine_(engine), rng_(seed) {}
+
+std::size_t LqnModel::add_task(std::string name, std::uint32_t threads,
+                               std::shared_ptr<const stats::Distribution> service) {
+    if (!service) throw std::invalid_argument("LqnModel::add_task: null service");
+    Task t;
+    t.name = std::move(name);
+    t.threads = std::make_unique<sim::Resource>(engine_, threads);
+    t.service = std::move(service);
+    tasks_.push_back(std::move(t));
+    return tasks_.size() - 1;
+}
+
+bool LqnModel::reachable(std::size_t from, std::size_t target) const {
+    if (from == target) return true;
+    for (const auto& c : tasks_[from].calls)
+        if (reachable(c.callee, target)) return true;
+    return false;
+}
+
+void LqnModel::add_call(std::size_t caller, std::size_t callee, double mean_calls) {
+    if (caller >= tasks_.size() || callee >= tasks_.size())
+        throw std::invalid_argument("LqnModel::add_call: unknown task");
+    if (!(mean_calls > 0.0))
+        throw std::invalid_argument("LqnModel::add_call: mean_calls must be > 0");
+    if (reachable(callee, caller))
+        throw std::invalid_argument("LqnModel::add_call: would create a cycle");
+    tasks_[caller].calls.push_back(Call{callee, mean_calls});
+}
+
+void LqnModel::invoke(std::size_t task, std::function<void()> on_done) {
+    auto& t = tasks_[task];
+    t.threads->acquire([this, task, on_done = std::move(on_done)]() mutable {
+        auto& t2 = tasks_[task];
+        const double service = std::max(t2.service->sample(rng_), 0.0);
+        engine_.schedule_after(service, [this, task,
+                                         on_done = std::move(on_done)]() mutable {
+            // Own processing done; now the nested synchronous calls, with
+            // this task's thread still held.
+            run_calls(task, 0, [this, task, on_done = std::move(on_done)] {
+                auto& t3 = tasks_[task];
+                t3.threads->release();
+                ++t3.completions;
+                on_done();
+            });
+        });
+    });
+}
+
+void LqnModel::run_calls(std::size_t task, std::size_t call_index,
+                         std::function<void()> on_done) {
+    auto& t = tasks_[task];
+    if (call_index >= t.calls.size()) {
+        on_done();
+        return;
+    }
+    const Call& call = t.calls[call_index];
+    // Sample the number of invocations: floor(mean) plus a Bernoulli for
+    // the fractional part.
+    std::size_t n = std::size_t(call.mean_calls);
+    if (rng_.bernoulli(call.mean_calls - double(n))) ++n;
+    auto next_call = [this, task, call_index, on_done = std::move(on_done)]() mutable {
+        run_calls(task, call_index + 1, std::move(on_done));
+    };
+    if (n == 0) {
+        next_call();
+        return;
+    }
+    // Run the n invocations sequentially (synchronous RPCs).
+    auto remaining = std::make_shared<std::size_t>(n);
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [this, callee = call.callee, remaining, loop,
+             next_call = std::move(next_call)]() mutable {
+        if (*remaining == 0) {
+            engine_.schedule_after(0.0, [loop] { *loop = nullptr; });
+            next_call();
+            return;
+        }
+        --*remaining;
+        invoke(callee, [loop] { (*loop)(); });
+    };
+    (*loop)();
+}
+
+void LqnModel::drive(std::size_t task, ArrivalProcess& arrivals, std::size_t count,
+                     sim::Rng& rng) {
+    if (task >= tasks_.size()) throw std::invalid_argument("LqnModel::drive: task");
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        t += arrivals.next_interarrival(rng);
+        engine_.schedule_after(t, [this, task] {
+            const double start = engine_.now();
+            invoke(task, [this, start] { responses_.push_back(engine_.now() - start); });
+        });
+    }
+}
+
+double LqnModel::pool_utilization(std::size_t task) const {
+    if (task >= tasks_.size())
+        throw std::invalid_argument("LqnModel::pool_utilization: task");
+    return tasks_[task].threads->utilization();
+}
+
+std::uint64_t LqnModel::completions(std::size_t task) const {
+    if (task >= tasks_.size())
+        throw std::invalid_argument("LqnModel::completions: task");
+    return tasks_[task].completions;
+}
+
+}  // namespace kooza::queueing

@@ -1,0 +1,87 @@
+// Layered queueing network (LQN) simulation.
+//
+// Franks '09 and Imieowski '09 (paper Section 2.2) model multi-tier web
+// applications with LQNs "in order to demonstrate the nested possession
+// of multiple resources": a software task holds its own thread *while*
+// synchronously calling lower-layer tasks, so upper layers saturate on
+// thread pools long before their processors do — an effect plain
+// queueing networks cannot express. The paper's caveat is complexity:
+// "the multiple concurrent queues often makes it prohibitive for large
+// scale experiments". This module implements LQN semantics directly on
+// the event engine: tasks with finite thread pools, per-entry service
+// demands, and synchronous call graphs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queueing/arrival.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "stats/distributions.hpp"
+
+namespace kooza::queueing {
+
+class LqnModel {
+public:
+    /// @param engine shared event engine
+    /// @param seed   private RNG for service sampling
+    LqnModel(sim::Engine& engine, std::uint64_t seed = 23);
+
+    /// Add a software task: a pool of `threads` and a local service-time
+    /// distribution (its own processing per invocation). Returns task id.
+    std::size_t add_task(std::string name, std::uint32_t threads,
+                         std::shared_ptr<const stats::Distribution> service);
+
+    /// `caller` synchronously invokes `callee` `mean_calls` times per
+    /// invocation (sampled; fractional means allowed). The caller's thread
+    /// is HELD for the duration of every nested call — the LQN semantics.
+    /// Call graphs must be acyclic (checked at add time).
+    void add_call(std::size_t caller, std::size_t callee, double mean_calls);
+
+    /// Drive `count` external requests into `task` (the reference task).
+    void drive(std::size_t task, ArrivalProcess& arrivals, std::size_t count,
+               sim::Rng& rng);
+
+    /// End-to-end response times of completed external requests.
+    [[nodiscard]] const std::vector<double>& response_times() const noexcept {
+        return responses_;
+    }
+
+    /// Thread-pool utilization of a task (fraction of pool-time held —
+    /// includes time blocked on callees, which is the LQN point).
+    [[nodiscard]] double pool_utilization(std::size_t task) const;
+
+    [[nodiscard]] std::uint64_t completions(std::size_t task) const;
+    [[nodiscard]] std::size_t n_tasks() const noexcept { return tasks_.size(); }
+
+private:
+    struct Call {
+        std::size_t callee;
+        double mean_calls;
+    };
+    struct Task {
+        std::string name;
+        std::unique_ptr<sim::Resource> threads;
+        std::shared_ptr<const stats::Distribution> service;
+        std::vector<Call> calls;
+        std::uint64_t completions = 0;
+    };
+
+    /// Invoke a task; `on_done` runs after its service and all nested
+    /// calls complete and its thread is released.
+    void invoke(std::size_t task, std::function<void()> on_done);
+    void run_calls(std::size_t task, std::size_t call_index,
+                   std::function<void()> on_done);
+    [[nodiscard]] bool reachable(std::size_t from, std::size_t target) const;
+
+    sim::Engine& engine_;
+    sim::Rng rng_;
+    std::vector<Task> tasks_;
+    std::vector<double> responses_;
+};
+
+}  // namespace kooza::queueing

@@ -1,0 +1,115 @@
+#include "queueing/network.hpp"
+
+#include <stdexcept>
+
+namespace kooza::queueing {
+
+Network::Network(sim::Engine& engine, std::uint64_t seed)
+    : engine_(engine), rng_(seed) {}
+
+std::size_t Network::add_station(std::string name, std::uint32_t servers) {
+    Station s;
+    s.name = std::move(name);
+    s.servers = std::make_unique<sim::Resource>(engine_, servers);
+    stations_.push_back(std::move(s));
+    return stations_.size() - 1;
+}
+
+std::size_t Network::add_class(std::string name, std::vector<Hop> path) {
+    if (path.empty()) throw std::invalid_argument("Network::add_class: empty path");
+    for (const auto& hop : path) {
+        if (hop.station >= stations_.size())
+            throw std::invalid_argument("Network::add_class: unknown station");
+        if (!hop.service)
+            throw std::invalid_argument("Network::add_class: missing service dist");
+    }
+    JobClass jc;
+    jc.name = std::move(name);
+    jc.path = std::move(path);
+    jc.sojourns.resize(stations_.size());
+    classes_.push_back(std::move(jc));
+    return classes_.size() - 1;
+}
+
+void Network::submit(std::size_t cls) {
+    if (cls >= classes_.size()) throw std::out_of_range("Network::submit: class");
+    start_hop(cls, 0, engine_.now());
+}
+
+void Network::start_hop(std::size_t cls, std::size_t hop, double job_start) {
+    auto& jc = classes_[cls];
+    const auto& h = jc.path[hop];
+    auto& st = stations_[h.station];
+    ++st.arrivals_seen;
+    st.queue_seen_sum += st.servers->queue_length();
+    const double hop_start = engine_.now();
+    st.servers->acquire([this, cls, hop, job_start, hop_start] {
+        auto& jc2 = classes_[cls];
+        const auto& h2 = jc2.path[hop];
+        const double service = h2.service->sample(rng_);
+        engine_.schedule_after(service, [this, cls, hop, job_start, hop_start] {
+            auto& jc3 = classes_[cls];
+            const auto& h3 = jc3.path[hop];
+            auto& st3 = stations_[h3.station];
+            st3.servers->release();
+            ++st3.completions;
+            jc3.sojourns[h3.station].push_back(engine_.now() - hop_start);
+            if (hop + 1 < jc3.path.size()) {
+                start_hop(cls, hop + 1, job_start);
+            } else {
+                jc3.responses.push_back(engine_.now() - job_start);
+            }
+        });
+    });
+}
+
+void Network::drive(std::size_t cls, ArrivalProcess& arrivals, std::size_t count) {
+    if (cls >= classes_.size()) throw std::out_of_range("Network::drive: class");
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        t += arrivals.next_interarrival(rng_);
+        engine_.schedule_after(t, [this, cls] { submit(cls); });
+    }
+}
+
+const std::vector<double>& Network::response_times(std::size_t cls) const {
+    if (cls >= classes_.size()) throw std::out_of_range("Network::response_times");
+    return classes_[cls].responses;
+}
+
+const std::vector<double>& Network::station_sojourns(std::size_t cls,
+                                                     std::size_t station) const {
+    if (cls >= classes_.size()) throw std::out_of_range("Network::station_sojourns: class");
+    if (station >= stations_.size())
+        throw std::out_of_range("Network::station_sojourns: station");
+    return classes_[cls].sojourns[station];
+}
+
+StationReport Network::station_report(std::size_t station) const {
+    if (station >= stations_.size()) throw std::out_of_range("Network::station_report");
+    const auto& st = stations_[station];
+    StationReport r;
+    r.name = st.name;
+    r.completions = st.completions;
+    r.utilization = st.servers->utilization();
+    r.mean_queue_seen = st.arrivals_seen == 0
+                            ? 0.0
+                            : double(st.queue_seen_sum) / double(st.arrivals_seen);
+    return r;
+}
+
+std::unique_ptr<Network> make_three_tier(sim::Engine& engine, const ThreeTierConfig& cfg,
+                                         std::size_t& class_out, std::uint64_t seed) {
+    auto net = std::make_unique<Network>(engine, seed);
+    const std::size_t web = net->add_station("web", cfg.web_servers);
+    const std::size_t app = net->add_station("app", cfg.app_servers);
+    const std::size_t db = net->add_station("db", cfg.db_servers);
+    std::vector<Hop> path;
+    path.push_back(Hop{web, std::make_shared<stats::Exponential>(1.0 / cfg.web_mean_service)});
+    path.push_back(Hop{app, std::make_shared<stats::Exponential>(1.0 / cfg.app_mean_service)});
+    path.push_back(Hop{db, std::make_shared<stats::Exponential>(1.0 / cfg.db_mean_service)});
+    class_out = net->add_class("request", std::move(path));
+    return net;
+}
+
+}  // namespace kooza::queueing

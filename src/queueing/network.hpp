@@ -1,0 +1,109 @@
+// Open multi-class queueing-network simulator.
+//
+// This is the substrate of the in-depth baseline: "their model consists of
+// three multi-station queueing models, which emulate the Web, Application
+// and Database tier" (Liu '05 in the paper's survey). Stations are
+// multi-server FCFS queues; a job class defines the path a request takes
+// through the stations and its per-hop service-time distributions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queueing/arrival.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "stats/distributions.hpp"
+
+namespace kooza::queueing {
+
+/// One hop of a job-class path: which station, and the service demand there.
+struct Hop {
+    std::size_t station = 0;
+    std::shared_ptr<const stats::Distribution> service;
+};
+
+/// Observed per-station counters.
+struct StationReport {
+    std::string name;
+    std::uint64_t completions = 0;
+    double utilization = 0.0;   ///< time-averaged busy fraction per server
+    double mean_queue_seen = 0.0;  ///< mean waiters seen by arriving jobs
+};
+
+class Network {
+public:
+    /// @param engine shared event engine (not owned)
+    /// @param seed   seed for the network's private service/arrival RNG
+    Network(sim::Engine& engine, std::uint64_t seed = 7);
+
+    /// Add a multi-server FCFS station; returns its index.
+    std::size_t add_station(std::string name, std::uint32_t servers);
+
+    /// Add a job class with its path; returns its index. Paths must be
+    /// non-empty and reference existing stations.
+    std::size_t add_class(std::string name, std::vector<Hop> path);
+
+    /// Submit one job of class `cls` at the current simulated time.
+    void submit(std::size_t cls);
+
+    /// Drive `count` arrivals of class `cls` from an arrival process,
+    /// starting at the current simulated time. The caller runs the engine.
+    void drive(std::size_t cls, ArrivalProcess& arrivals, std::size_t count);
+
+    /// End-to-end response times of completed jobs of a class.
+    [[nodiscard]] const std::vector<double>& response_times(std::size_t cls) const;
+
+    /// Per-hop sojourn (wait+service) samples at a station for a class.
+    [[nodiscard]] const std::vector<double>& station_sojourns(std::size_t cls,
+                                                              std::size_t station) const;
+
+    [[nodiscard]] StationReport station_report(std::size_t station) const;
+    [[nodiscard]] std::size_t n_stations() const noexcept { return stations_.size(); }
+    [[nodiscard]] std::size_t n_classes() const noexcept { return classes_.size(); }
+
+private:
+    struct Station {
+        std::string name;
+        std::unique_ptr<sim::Resource> servers;
+        std::uint64_t completions = 0;
+        std::uint64_t arrivals_seen = 0;
+        std::uint64_t queue_seen_sum = 0;
+    };
+    struct JobClass {
+        std::string name;
+        std::vector<Hop> path;
+        std::vector<double> responses;
+        // sojourn samples indexed by station id
+        std::vector<std::vector<double>> sojourns;
+    };
+
+    void start_hop(std::size_t cls, std::size_t hop, double job_start);
+
+    sim::Engine& engine_;
+    sim::Rng rng_;
+    std::vector<Station> stations_;
+    std::vector<JobClass> classes_;
+};
+
+/// Build the Liu-style 3-tier web service model: Web, App and DB stations
+/// in tandem with exponential service demands. Returns the network and the
+/// single class index via out-parameter.
+struct ThreeTierConfig {
+    std::uint32_t web_servers = 2;
+    std::uint32_t app_servers = 2;
+    std::uint32_t db_servers = 1;
+    double web_mean_service = 0.002;  ///< seconds
+    double app_mean_service = 0.004;
+    double db_mean_service = 0.008;
+};
+
+[[nodiscard]] std::unique_ptr<Network> make_three_tier(sim::Engine& engine,
+                                                       const ThreeTierConfig& cfg,
+                                                       std::size_t& class_out,
+                                                       std::uint64_t seed = 7);
+
+}  // namespace kooza::queueing

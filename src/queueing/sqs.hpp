@@ -1,0 +1,92 @@
+// SQS — Stochastic Queueing Simulation (Meisner '10, surveyed in the
+// paper's Section 2.2).
+//
+// SQS scales datacenter evaluation "to thousands of machines" in two
+// phases: (1) a characterization phase builds *empirical* workload models
+// (task arrival and service distributions) from observation, and (2) a
+// simulation phase runs queueing models drawn from those distributions,
+// using statistical sampling to stop as soon as the metric of interest
+// has converged instead of simulating every server. This module
+// implements both phases on top of the library's empirical distributions
+// and event engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "stats/distributions.hpp"
+#include "trace/records.hpp"
+
+namespace kooza::queueing {
+
+/// Phase 1 output: empirical per-server workload model.
+struct SqsWorkloadModel {
+    std::unique_ptr<stats::Distribution> interarrival;  ///< seconds between tasks
+    std::unique_ptr<stats::Distribution> service;       ///< task service demand
+
+    /// Build from raw samples (e.g. recorded arrival gaps and busy times).
+    /// Falls back to empirical distributions when no parametric family
+    /// passes the KS threshold — "empirical workload models ...
+    /// constructed in an online manner" (the SQS characterization step).
+    static SqsWorkloadModel characterize(std::span<const double> arrival_gaps,
+                                         std::span<const double> service_times,
+                                         double ks_threshold = 0.08);
+
+    /// Convenience: characterize from end-to-end request records, using
+    /// inter-arrival gaps and a service estimate (latency of uncontended
+    /// requests approximated by the minimum-latency quantile band).
+    static SqsWorkloadModel characterize(std::span<const trace::RequestRecord> recs,
+                                         double ks_threshold = 0.08);
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Result of a sampled simulation run.
+struct SqsResult {
+    double mean_response = 0.0;       ///< across sampled servers
+    double ci_halfwidth = 0.0;        ///< 95% CI on the mean
+    double utilization = 0.0;         ///< mean server utilization
+    std::size_t servers_requested = 0;
+    std::size_t servers_simulated = 0;  ///< how many the sampler needed
+    std::uint64_t tasks_simulated = 0;
+
+    /// The SQS selling point: fraction of the fleet that never had to be
+    /// simulated.
+    [[nodiscard]] double sampling_savings() const noexcept {
+        return servers_requested == 0
+                   ? 0.0
+                   : 1.0 - double(servers_simulated) / double(servers_requested);
+    }
+};
+
+/// Phase 2: simulate a fleet of homogeneous single-server queues fed by
+/// the workload model, simulating servers one at a time until the 95%
+/// confidence interval of the fleet-mean response time is within
+/// `target_rel_ci` of the mean (or the whole fleet has been simulated).
+class SqsSimulator {
+public:
+    struct Options {
+        std::size_t tasks_per_server = 2000;  ///< horizon per sampled server
+        /// Initial tasks excluded from the response average (the queue
+        /// starts empty, which biases the mean low).
+        std::size_t warmup_tasks = 200;
+        double target_rel_ci = 0.05;          ///< CI half-width / mean
+        std::size_t min_servers = 4;          ///< before testing convergence
+        std::uint64_t seed = 17;
+    };
+
+    explicit SqsSimulator(Options opts);
+    SqsSimulator() : SqsSimulator(Options{}) {}
+
+    /// Throws std::invalid_argument if the model is unstable (offered
+    /// load >= 1) or n_servers == 0.
+    [[nodiscard]] SqsResult run(const SqsWorkloadModel& model,
+                                std::size_t n_servers) const;
+
+private:
+    Options opts_;
+};
+
+}  // namespace kooza::queueing

@@ -1,0 +1,49 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace kooza::sim {
+
+void Engine::schedule_at(Time at, std::function<void()> action) {
+    if (at < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+    if (!action) throw std::invalid_argument("Engine::schedule_at: empty action");
+    queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Engine::schedule_after(Time delay, std::function<void()> action) {
+    if (delay < 0.0) throw std::invalid_argument("Engine::schedule_after: negative delay");
+    schedule_at(now_ + delay, std::move(action));
+}
+
+bool Engine::step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() returns const&; move out via const_cast is the
+    // standard idiom but UB-adjacent — copy the callable instead. Actions
+    // are cheap to copy (small lambdas) or shared_ptr-captured.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+    return true;
+}
+
+std::uint64_t Engine::run() {
+    stopped_ = false;
+    std::uint64_t n = 0;
+    while (!stopped_ && step()) ++n;
+    return n;
+}
+
+std::uint64_t Engine::run_until(Time deadline) {
+    stopped_ = false;
+    std::uint64_t n = 0;
+    while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
+        step();
+        ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+}  // namespace kooza::sim

@@ -1,0 +1,92 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of timestamped callbacks and a simulated
+// clock. All simulator components (device models, GFS servers, queueing
+// stations) schedule work against one shared Engine. Events scheduled for
+// the same timestamp fire in FIFO order of scheduling, which keeps runs
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace kooza::sim {
+
+/// Simulated time in seconds. Double precision gives ~microsecond
+/// resolution over multi-hour simulated horizons, which is ample for
+/// millisecond-scale datacenter requests.
+using Time = double;
+
+/// One scheduled occurrence inside the engine.
+struct Event {
+    Time at = 0.0;
+    std::uint64_t seq = 0;  ///< tie-breaker: FIFO among equal timestamps
+    std::function<void()> action;
+};
+
+/// Discrete-event engine: a simulated clock plus an event queue.
+///
+/// Usage:
+///   Engine eng;
+///   eng.schedule_after(0.5, []{ ... });
+///   eng.run();
+class Engine {
+public:
+    Engine() = default;
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Current simulated time. Starts at 0.
+    [[nodiscard]] Time now() const noexcept { return now_; }
+
+    /// Schedule `action` at absolute simulated time `at`.
+    /// Throws std::invalid_argument if `at` precedes the current time.
+    void schedule_at(Time at, std::function<void()> action);
+
+    /// Schedule `action` `delay` seconds after the current time.
+    /// Negative delays are rejected.
+    void schedule_after(Time delay, std::function<void()> action);
+
+    /// Run until the event queue drains or stop() is called.
+    /// Returns the number of events executed.
+    std::uint64_t run();
+
+    /// Run until simulated time would exceed `deadline` (events at exactly
+    /// `deadline` still execute). Returns the number of events executed.
+    /// The clock is advanced to `deadline` on return.
+    std::uint64_t run_until(Time deadline);
+
+    /// Execute exactly one event if any is pending. Returns true if one ran.
+    bool step();
+
+    /// Request that run()/run_until() return after the current event.
+    void stop() noexcept { stopped_ = true; }
+
+    /// True if no events are pending.
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+    /// Number of pending events.
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+    /// Total events executed since construction.
+    [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+private:
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    Time now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopped_ = false;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace kooza::sim

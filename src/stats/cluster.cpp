@@ -1,0 +1,251 @@
+#include "stats/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kooza::stats {
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+    return s;
+}
+
+constexpr double kLog2Pi = 1.8378770664093453;  // ln(2*pi)
+constexpr double kVarFloor = 1e-9;
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& data, std::size_t k, sim::Rng& rng,
+                    std::size_t max_iter) {
+    const std::size_t n = data.rows(), d = data.cols();
+    if (k == 0) throw std::invalid_argument("kmeans: k must be >= 1");
+    if (k > n) throw std::invalid_argument("kmeans: k exceeds observations");
+
+    // k-means++ seeding.
+    Matrix centroids(k, d);
+    std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+    std::size_t first = std::size_t(rng.uniform_int(0, std::int64_t(n) - 1));
+    for (std::size_t c = 0; c < d; ++c) centroids.at(0, c) = data.at(first, c);
+    for (std::size_t j = 1; j < k; ++j) {
+        for (std::size_t i = 0; i < n; ++i)
+            min_d2[i] = std::min(min_d2[i], sq_dist(data.row(i), centroids.row(j - 1)));
+        double total = 0.0;
+        for (double v : min_d2) total += v;
+        std::size_t pick = 0;
+        if (total > 0.0) {
+            double r = rng.uniform(0.0, total), acc = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                acc += min_d2[i];
+                if (r < acc) {
+                    pick = i;
+                    break;
+                }
+            }
+        } else {
+            pick = std::size_t(rng.uniform_int(0, std::int64_t(n) - 1));
+        }
+        for (std::size_t c = 0; c < d; ++c) centroids.at(j, c) = data.at(pick, c);
+    }
+
+    KMeansResult out{std::move(centroids), std::vector<std::size_t>(n, 0), 0.0, 0};
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        bool changed = false;
+        // Assign.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (std::size_t j = 0; j < k; ++j) {
+                const double dist = sq_dist(data.row(i), out.centroids.row(j));
+                if (dist < best_d) {
+                    best_d = dist;
+                    best = j;
+                }
+            }
+            if (out.labels[i] != best) {
+                out.labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        Matrix sums(k, d);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[out.labels[i]];
+            for (std::size_t c = 0; c < d; ++c)
+                sums.at(out.labels[i], c) += data.at(i, c);
+        }
+        for (std::size_t j = 0; j < k; ++j) {
+            if (counts[j] == 0) continue;  // keep stale centroid for empty cluster
+            for (std::size_t c = 0; c < d; ++c)
+                out.centroids.at(j, c) = sums.at(j, c) / double(counts[j]);
+        }
+        out.iterations = iter + 1;
+        if (!changed) break;
+    }
+    out.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        out.inertia += sq_dist(data.row(i), out.centroids.row(out.labels[i]));
+    return out;
+}
+
+GaussianMixture::GaussianMixture(const Matrix& data, std::size_t k, sim::Rng& rng,
+                                 std::size_t max_iter, double tol)
+    : dims_(data.cols()) {
+    const std::size_t n = data.rows();
+    if (k == 0) throw std::invalid_argument("GaussianMixture: k must be >= 1");
+    if (k > n) throw std::invalid_argument("GaussianMixture: k exceeds observations");
+
+    // Initialize from k-means.
+    auto km = kmeans(data, k, rng);
+    weights_.assign(k, 1.0 / double(k));
+    means_.assign(k, std::vector<double>(dims_, 0.0));
+    vars_.assign(k, std::vector<double>(dims_, 1.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) ++counts[km.labels[i]];
+    for (std::size_t j = 0; j < k; ++j) {
+        for (std::size_t c = 0; c < dims_; ++c) means_[j][c] = km.centroids.at(j, c);
+        weights_[j] = std::max(1.0, double(counts[j])) / double(n);
+    }
+    // Initial variances: within-cluster spread (floored).
+    for (std::size_t j = 0; j < k; ++j) std::fill(vars_[j].begin(), vars_[j].end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto j = km.labels[i];
+        for (std::size_t c = 0; c < dims_; ++c) {
+            const double dx = data.at(i, c) - means_[j][c];
+            vars_[j][c] += dx * dx;
+        }
+    }
+    for (std::size_t j = 0; j < k; ++j)
+        for (std::size_t c = 0; c < dims_; ++c)
+            vars_[j][c] = std::max(vars_[j][c] / std::max<double>(1.0, double(counts[j])),
+                                   kVarFloor);
+    // Normalize weights.
+    double wsum = 0.0;
+    for (double w : weights_) wsum += w;
+    for (auto& w : weights_) w /= wsum;
+
+    // EM.
+    std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        // E-step (log-sum-exp for stability).
+        double ll = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double mx = -std::numeric_limits<double>::infinity();
+            std::vector<double> lp(k);
+            for (std::size_t j = 0; j < k; ++j) {
+                double s = std::log(weights_[j]);
+                for (std::size_t c = 0; c < dims_; ++c) {
+                    const double dx = data.at(i, c) - means_[j][c];
+                    s += -0.5 * (kLog2Pi + std::log(vars_[j][c]) + dx * dx / vars_[j][c]);
+                }
+                lp[j] = s;
+                mx = std::max(mx, s);
+            }
+            double denom = 0.0;
+            for (std::size_t j = 0; j < k; ++j) denom += std::exp(lp[j] - mx);
+            ll += mx + std::log(denom);
+            for (std::size_t j = 0; j < k; ++j)
+                resp[i][j] = std::exp(lp[j] - mx) / denom;
+        }
+        // M-step.
+        for (std::size_t j = 0; j < k; ++j) {
+            double nj = 0.0;
+            for (std::size_t i = 0; i < n; ++i) nj += resp[i][j];
+            nj = std::max(nj, 1e-12);
+            weights_[j] = nj / double(n);
+            for (std::size_t c = 0; c < dims_; ++c) {
+                double m = 0.0;
+                for (std::size_t i = 0; i < n; ++i) m += resp[i][j] * data.at(i, c);
+                means_[j][c] = m / nj;
+            }
+            for (std::size_t c = 0; c < dims_; ++c) {
+                double v = 0.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double dx = data.at(i, c) - means_[j][c];
+                    v += resp[i][j] * dx * dx;
+                }
+                vars_[j][c] = std::max(v / nj, kVarFloor);
+            }
+        }
+        loglik_ = ll;
+        if (ll - prev_ll < tol && iter > 0) break;
+        prev_ll = ll;
+    }
+}
+
+std::size_t GaussianMixture::parameter_count() const noexcept {
+    // weights (k-1) + means (k*d) + diagonal variances (k*d)
+    return (weights_.size() - 1) + 2 * weights_.size() * dims_;
+}
+
+double GaussianMixture::bic(std::size_t n_observations) const {
+    if (n_observations == 0) throw std::invalid_argument("bic: n must be > 0");
+    return -2.0 * loglik_ + double(parameter_count()) * std::log(double(n_observations));
+}
+
+double GaussianMixture::log_pdf(std::span<const double> x) const {
+    if (x.size() != dims_) throw std::invalid_argument("GaussianMixture::log_pdf: dim");
+    double mx = -std::numeric_limits<double>::infinity();
+    std::vector<double> lp(weights_.size());
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+        double s = std::log(weights_[j]);
+        for (std::size_t c = 0; c < dims_; ++c) {
+            const double dx = x[c] - means_[j][c];
+            s += -0.5 * (kLog2Pi + std::log(vars_[j][c]) + dx * dx / vars_[j][c]);
+        }
+        lp[j] = s;
+        mx = std::max(mx, s);
+    }
+    double denom = 0.0;
+    for (double v : lp) denom += std::exp(v - mx);
+    return mx + std::log(denom);
+}
+
+std::size_t GaussianMixture::classify(std::span<const double> x) const {
+    if (x.size() != dims_) throw std::invalid_argument("GaussianMixture::classify: dim");
+    std::size_t best = 0;
+    double best_lp = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+        double s = std::log(weights_[j]);
+        for (std::size_t c = 0; c < dims_; ++c) {
+            const double dx = x[c] - means_[j][c];
+            s += -0.5 * (kLog2Pi + std::log(vars_[j][c]) + dx * dx / vars_[j][c]);
+        }
+        if (s > best_lp) {
+            best_lp = s;
+            best = j;
+        }
+    }
+    return best;
+}
+
+std::vector<double> GaussianMixture::sample(sim::Rng& rng) const {
+    const std::size_t j = rng.weighted_index(weights_);
+    std::vector<double> x(dims_);
+    for (std::size_t c = 0; c < dims_; ++c)
+        x[c] = rng.normal(means_[j][c], std::sqrt(vars_[j][c]));
+    return x;
+}
+
+std::size_t select_components(const Matrix& data, std::size_t max_k, sim::Rng& rng) {
+    if (max_k == 0) throw std::invalid_argument("select_components: max_k must be >= 1");
+    std::size_t best_k = 1;
+    double best_bic = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 1; k <= std::min(max_k, data.rows()); ++k) {
+        GaussianMixture gmm(data, k, rng);
+        const double b = gmm.bic(data.rows());
+        if (b < best_bic) {
+            best_bic = b;
+            best_k = k;
+        }
+    }
+    return best_k;
+}
+
+}  // namespace kooza::stats

@@ -1,0 +1,81 @@
+// Clustering: k-means and Gaussian-mixture EM with BIC model selection.
+//
+// Li '10 (surveyed by the paper) models grid workloads with "Model-Based
+// Clustering" — fitting a Gaussian mixture per feature space and choosing
+// the component count by an information criterion. GaussianMixture +
+// select_components reproduce that step; k-means provides initialization
+// and a cheaper alternative.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/matrix.hpp"
+
+namespace kooza::stats {
+
+/// k-means result.
+struct KMeansResult {
+    Matrix centroids;                   ///< k x d
+    std::vector<std::size_t> labels;    ///< per-observation cluster index
+    double inertia = 0.0;               ///< sum of squared distances to centroids
+    std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Throws if k == 0 or
+/// k > number of observations.
+[[nodiscard]] KMeansResult kmeans(const Matrix& data, std::size_t k, sim::Rng& rng,
+                                  std::size_t max_iter = 100);
+
+/// Diagonal-covariance Gaussian mixture fit by EM.
+class GaussianMixture {
+public:
+    /// Fit `k` components to `data` (rows = observations). Initializes from
+    /// k-means, then runs EM until the log-likelihood improvement drops
+    /// below `tol` or `max_iter` is reached.
+    GaussianMixture(const Matrix& data, std::size_t k, sim::Rng& rng,
+                    std::size_t max_iter = 200, double tol = 1e-6);
+
+    [[nodiscard]] std::size_t components() const noexcept { return weights_.size(); }
+    [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+    [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+    [[nodiscard]] const std::vector<std::vector<double>>& means() const noexcept {
+        return means_;
+    }
+    [[nodiscard]] const std::vector<std::vector<double>>& variances() const noexcept {
+        return vars_;
+    }
+
+    /// Total log-likelihood of the training data under the fitted model.
+    [[nodiscard]] double log_likelihood() const noexcept { return loglik_; }
+
+    /// Number of free parameters (for information criteria).
+    [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+    /// Bayesian information criterion: -2 ln L + params ln n (lower = better).
+    [[nodiscard]] double bic(std::size_t n_observations) const;
+
+    /// Log density of one observation.
+    [[nodiscard]] double log_pdf(std::span<const double> x) const;
+
+    /// Most likely component for an observation.
+    [[nodiscard]] std::size_t classify(std::span<const double> x) const;
+
+    /// Draw an observation from the mixture.
+    [[nodiscard]] std::vector<double> sample(sim::Rng& rng) const;
+
+private:
+    std::size_t dims_ = 0;
+    std::vector<double> weights_;
+    std::vector<std::vector<double>> means_;
+    std::vector<std::vector<double>> vars_;  ///< diagonal covariances
+    double loglik_ = 0.0;
+};
+
+/// Fit mixtures with 1..max_k components and return the k minimizing BIC —
+/// the model-based-clustering selection rule.
+[[nodiscard]] std::size_t select_components(const Matrix& data, std::size_t max_k,
+                                            sim::Rng& rng);
+
+}  // namespace kooza::stats

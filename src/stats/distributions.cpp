@@ -1,0 +1,187 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace kooza::stats {
+
+namespace {
+std::string fmt(double x) {
+    std::ostringstream os;
+    os << x;
+    return os.str();
+}
+}  // namespace
+
+double Distribution::quantile(double p) const {
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("Distribution::quantile: p must be in (0,1)");
+    // Find an upper bracket by doubling, then bisect.
+    double lo = 0.0, hi = 1.0;
+    while (cdf(hi) < p && hi < 1e18) hi *= 2.0;
+    while (cdf(lo) > p && lo > -1e18) lo = lo == 0.0 ? -1.0 : lo * 2.0;
+    return quantile_by_bisection(p, lo, hi);
+}
+
+double Distribution::quantile_by_bisection(double p, double lo, double hi) const {
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * std::max(1.0, std::fabs(hi))) break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::string Deterministic::describe() const {
+    return "deterministic(value=" + fmt(value_) + ")";
+}
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!(hi > lo)) throw std::invalid_argument("Uniform: hi must exceed lo");
+}
+double Uniform::cdf(double x) const {
+    if (x <= lo_) return 0.0;
+    if (x >= hi_) return 1.0;
+    return (x - lo_) / (hi_ - lo_);
+}
+double Uniform::quantile(double p) const { return lo_ + p * (hi_ - lo_); }
+double Uniform::sample(sim::Rng& rng) const { return rng.uniform(lo_, hi_); }
+std::string Uniform::describe() const {
+    return "uniform(lo=" + fmt(lo_) + ", hi=" + fmt(hi_) + ")";
+}
+
+Exponential::Exponential(double lambda) : lambda_(lambda) {
+    if (!(lambda > 0.0)) throw std::invalid_argument("Exponential: lambda must be > 0");
+}
+double Exponential::cdf(double x) const {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-lambda_ * x);
+}
+double Exponential::quantile(double p) const { return -std::log1p(-p) / lambda_; }
+double Exponential::sample(sim::Rng& rng) const { return rng.exponential(lambda_); }
+std::string Exponential::describe() const {
+    return "exponential(lambda=" + fmt(lambda_) + ")";
+}
+
+Normal::Normal(double mean, double stddev) : mean_(mean), sd_(stddev) {
+    if (!(stddev > 0.0)) throw std::invalid_argument("Normal: stddev must be > 0");
+}
+double Normal::cdf(double x) const { return normal_cdf((x - mean_) / sd_); }
+double Normal::quantile(double p) const { return mean_ + sd_ * normal_quantile(p); }
+double Normal::sample(sim::Rng& rng) const { return rng.normal(mean_, sd_); }
+std::string Normal::describe() const {
+    return "normal(mean=" + fmt(mean_) + ", sd=" + fmt(sd_) + ")";
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("LogNormal: sigma must be > 0");
+}
+double LogNormal::cdf(double x) const {
+    return x <= 0.0 ? 0.0 : normal_cdf((std::log(x) - mu_) / sigma_);
+}
+double LogNormal::quantile(double p) const {
+    return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+double LogNormal::variance() const {
+    const double s2 = sigma_ * sigma_;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+double LogNormal::sample(sim::Rng& rng) const { return rng.lognormal(mu_, sigma_); }
+std::string LogNormal::describe() const {
+    return "lognormal(mu=" + fmt(mu_) + ", sigma=" + fmt(sigma_) + ")";
+}
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+    if (!(xm > 0.0)) throw std::invalid_argument("Pareto: xm must be > 0");
+    if (!(alpha > 0.0)) throw std::invalid_argument("Pareto: alpha must be > 0");
+}
+double Pareto::cdf(double x) const {
+    return x <= xm_ ? 0.0 : 1.0 - std::pow(xm_ / x, alpha_);
+}
+double Pareto::quantile(double p) const { return xm_ / std::pow(1.0 - p, 1.0 / alpha_); }
+double Pareto::mean() const {
+    return alpha_ > 1.0 ? alpha_ * xm_ / (alpha_ - 1.0)
+                        : std::numeric_limits<double>::infinity();
+}
+double Pareto::variance() const {
+    if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+    return xm_ * xm_ * alpha_ / ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+double Pareto::sample(sim::Rng& rng) const { return rng.pareto(xm_, alpha_); }
+std::string Pareto::describe() const {
+    return "pareto(xm=" + fmt(xm_) + ", alpha=" + fmt(alpha_) + ")";
+}
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    if (!(shape > 0.0)) throw std::invalid_argument("Weibull: shape must be > 0");
+    if (!(scale > 0.0)) throw std::invalid_argument("Weibull: scale must be > 0");
+}
+double Weibull::cdf(double x) const {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+double Weibull::quantile(double p) const {
+    return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+double Weibull::variance() const {
+    const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+    const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+    return scale_ * scale_ * (g2 - g1 * g1);
+}
+double Weibull::sample(sim::Rng& rng) const { return rng.weibull(shape_, scale_); }
+std::string Weibull::describe() const {
+    return "weibull(shape=" + fmt(shape_) + ", scale=" + fmt(scale_) + ")";
+}
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+    if (!(shape > 0.0)) throw std::invalid_argument("Gamma: shape must be > 0");
+    if (!(scale > 0.0)) throw std::invalid_argument("Gamma: scale must be > 0");
+}
+double Gamma::cdf(double x) const { return x <= 0.0 ? 0.0 : gamma_p(shape_, x / scale_); }
+double Gamma::quantile(double p) const {
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("Gamma::quantile: p must be in (0,1)");
+    double hi = mean() + 10.0 * std::sqrt(variance()) + 1.0;
+    while (cdf(hi) < p && hi < 1e18) hi *= 2.0;
+    return quantile_by_bisection(p, 0.0, hi);
+}
+double Gamma::sample(sim::Rng& rng) const {
+    return std::gamma_distribution<double>(shape_, scale_)(rng.engine());
+}
+std::string Gamma::describe() const {
+    return "gamma(shape=" + fmt(shape_) + ", scale=" + fmt(scale_) + ")";
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+    if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+    if (s < 0.0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(double(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(sim::Rng& rng) const {
+    const double u = rng.uniform(0.0, 1.0);
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return std::size_t(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+    if (i >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf");
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace kooza::stats

@@ -1,0 +1,46 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace kooza::stats {
+
+Empirical::Empirical(std::span<const double> xs) : xs_(xs.begin(), xs.end()) {
+    if (xs_.empty()) throw std::invalid_argument("Empirical: empty sample");
+    std::sort(xs_.begin(), xs_.end());
+}
+
+double Empirical::cdf(double x) const {
+    auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    return double(it - xs_.begin()) / double(xs_.size());
+}
+
+double Empirical::quantile(double p) const {
+    if (!(p >= 0.0 && p <= 1.0))
+        throw std::invalid_argument("Empirical::quantile: p outside [0,1]");
+    if (xs_.size() == 1) return xs_[0];
+    const double pos = p * double(xs_.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+    const double frac = pos - double(lo);
+    return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double Empirical::mean() const { return kooza::stats::mean(xs_); }
+double Empirical::variance() const { return kooza::stats::variance(xs_); }
+
+double Empirical::sample(sim::Rng& rng) const {
+    return quantile(rng.uniform(0.0, 1.0));
+}
+
+std::string Empirical::describe() const {
+    std::ostringstream os;
+    os << "empirical(n=" << xs_.size() << ", mean=" << mean() << ")";
+    return os.str();
+}
+
+}  // namespace kooza::stats

@@ -1,0 +1,124 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+    if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+    counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = std::size_t(frac * double(counts_.size()));
+    return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept {
+    ++counts_[bin_of(x)];
+    ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+    for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+    const double w = (hi_ - lo_) / double(counts_.size());
+    return lo_ + (double(bin) + 0.5) * w;
+}
+
+std::vector<double> Histogram::frequencies() const {
+    std::vector<double> f(counts_.size(), 0.0);
+    if (total_ == 0) return f;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        f[i] = double(counts_[i]) / double(total_);
+    return f;
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::uint64_t peak = 0;
+    for (auto c : counts_) peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t len =
+            peak == 0 ? 0 : std::size_t(double(counts_[i]) / double(peak) * double(width));
+        os << bin_center(i) << "\t" << counts_[i] << "\t" << std::string(len, '#') << "\n";
+    }
+    return os.str();
+}
+
+void LogHistogram::add(double x) {
+    if (!(x > 0.0)) throw std::invalid_argument("LogHistogram::add: requires x > 0");
+    ++bins_[int(std::floor(std::log2(x)))];
+    ++total_;
+}
+
+std::string LogHistogram::render(std::size_t width) const {
+    std::uint64_t peak = 0;
+    for (auto& [k, c] : bins_) peak = std::max(peak, c);
+    std::ostringstream os;
+    for (auto& [k, c] : bins_) {
+        const std::size_t len =
+            peak == 0 ? 0 : std::size_t(double(c) / double(peak) * double(width));
+        os << "[2^" << k << ", 2^" << (k + 1) << ")\t" << c << "\t"
+           << std::string(len, '#') << "\n";
+    }
+    return os.str();
+}
+
+VuList::VuList(std::vector<Axis> axes) : axes_(std::move(axes)) {
+    if (axes_.empty()) throw std::invalid_argument("VuList: need at least one axis");
+    for (const auto& a : axes_) {
+        if (!(a.hi > a.lo)) throw std::invalid_argument("VuList: axis hi must exceed lo");
+        if (a.bins == 0) throw std::invalid_argument("VuList: axis bins must be >= 1");
+    }
+}
+
+std::vector<std::size_t> VuList::cell_of(std::span<const double> v) const {
+    if (v.size() != axes_.size())
+        throw std::invalid_argument("VuList: vector dimension mismatch");
+    std::vector<std::size_t> cell(axes_.size());
+    for (std::size_t d = 0; d < axes_.size(); ++d) {
+        const auto& a = axes_[d];
+        double x = std::clamp(v[d], a.lo, std::nexttoward(a.hi, a.lo));
+        const double frac = (x - a.lo) / (a.hi - a.lo);
+        cell[d] = std::min(std::size_t(frac * double(a.bins)), a.bins - 1);
+    }
+    return cell;
+}
+
+std::uint64_t VuList::key_of(const std::vector<std::size_t>& cell) const {
+    std::uint64_t key = 0;
+    for (std::size_t d = 0; d < cell.size(); ++d) key = key * 4096 + cell[d];
+    return key;
+}
+
+void VuList::add(std::span<const double> v) {
+    ++cells_[key_of(cell_of(v))];
+    raw_.emplace_back(v.begin(), v.end());
+    ++total_;
+}
+
+std::uint64_t VuList::count_at(std::span<const double> v) const {
+    auto it = cells_.find(key_of(cell_of(v)));
+    return it == cells_.end() ? 0 : it->second;
+}
+
+Histogram VuList::marginal(std::size_t dim) const {
+    if (dim >= axes_.size()) throw std::out_of_range("VuList::marginal");
+    const auto& a = axes_[dim];
+    Histogram h(a.lo, a.hi, a.bins);
+    for (const auto& v : raw_) h.add(v[dim]);
+    return h;
+}
+
+}  // namespace kooza::stats

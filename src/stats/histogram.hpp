@@ -1,0 +1,97 @@
+// Histograms: fixed-width linear and logarithmic binning, plus the
+// multi-dimensional "VU-list" histogram of Luthi '98 cited by the paper
+// (collections of parameter vectors binned jointly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kooza::stats {
+
+/// Fixed-width linear histogram over [lo, hi). Out-of-range samples clamp
+/// into the first/last bin so mass is never silently dropped.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+    void add_all(std::span<const double> xs) noexcept;
+
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] double lo() const noexcept { return lo_; }
+    [[nodiscard]] double hi() const noexcept { return hi_; }
+
+    /// Center of bin i.
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+    /// Bin index a value falls in (clamped).
+    [[nodiscard]] std::size_t bin_of(double x) const noexcept;
+    /// Normalized frequencies (sum to 1; all-zero if empty).
+    [[nodiscard]] std::vector<double> frequencies() const;
+
+    /// Simple fixed-width ASCII rendering, for bench/example output.
+    [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/// Log2-binned histogram for heavy-tailed positive quantities (request
+/// sizes, latencies). Bin k holds values in [2^k, 2^(k+1)).
+class LogHistogram {
+public:
+    void add(double x);
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    /// Map of exponent -> count.
+    [[nodiscard]] const std::map<int, std::uint64_t>& bins() const noexcept { return bins_; }
+    [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+private:
+    std::map<int, std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/// Multi-dimensional histogram over parameter vectors ("VU-list", Luthi).
+/// Each dimension has its own linear binning; cells are stored sparsely.
+class VuList {
+public:
+    struct Axis {
+        std::string name;
+        double lo = 0.0;
+        double hi = 1.0;
+        std::size_t bins = 10;
+    };
+
+    explicit VuList(std::vector<Axis> axes);
+
+    /// Add one parameter vector (size must equal dimension count).
+    void add(std::span<const double> v);
+
+    [[nodiscard]] std::size_t dimensions() const noexcept { return axes_.size(); }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    /// Number of non-empty cells.
+    [[nodiscard]] std::size_t occupied_cells() const noexcept { return cells_.size(); }
+    /// Count in the cell containing vector v.
+    [[nodiscard]] std::uint64_t count_at(std::span<const double> v) const;
+
+    /// Marginal histogram of one dimension.
+    [[nodiscard]] Histogram marginal(std::size_t dim) const;
+
+private:
+    [[nodiscard]] std::vector<std::size_t> cell_of(std::span<const double> v) const;
+    [[nodiscard]] std::uint64_t key_of(const std::vector<std::size_t>& cell) const;
+
+    std::vector<Axis> axes_;
+    std::map<std::uint64_t, std::uint64_t> cells_;
+    std::vector<std::vector<double>> raw_;  // kept for marginals
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace kooza::stats

@@ -1,0 +1,54 @@
+// Principal component analysis.
+//
+// The paper proposes PCA/SVD/sampling/regression to "reduce the
+// dimensionality of feature-space to the ones necessary for a
+// representative and succinct model" (Section 4); Abrahao '04 uses PCA to
+// categorize CPU-utilization trace data. This is a covariance-matrix PCA
+// on top of the Jacobi eigensolver in matrix.hpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace kooza::stats {
+
+class Pca {
+public:
+    /// Fit on a data matrix (rows = observations, cols = features).
+    /// If `standardize` is true, features are scaled to unit variance
+    /// (correlation-matrix PCA); zero-variance features are left unscaled.
+    explicit Pca(const Matrix& data, bool standardize = false);
+
+    [[nodiscard]] std::size_t dimensions() const noexcept { return means_.size(); }
+
+    /// Eigenvalues of the (co)variance matrix, descending.
+    [[nodiscard]] const std::vector<double>& eigenvalues() const noexcept {
+        return eigen_.values;
+    }
+
+    /// Component i as a unit vector in feature space.
+    [[nodiscard]] std::vector<double> component(std::size_t i) const;
+
+    /// Fraction of total variance captured by the first k components.
+    [[nodiscard]] double explained_variance(std::size_t k) const;
+
+    /// Smallest k whose cumulative explained variance reaches `target`.
+    [[nodiscard]] std::size_t components_for(double target) const;
+
+    /// Project one observation onto the first k components.
+    [[nodiscard]] std::vector<double> project(std::span<const double> x,
+                                              std::size_t k) const;
+
+    /// Reconstruct an observation from its k-dimensional projection.
+    [[nodiscard]] std::vector<double> reconstruct(std::span<const double> scores) const;
+
+private:
+    std::vector<double> means_;
+    std::vector<double> scales_;
+    EigenResult eigen_;
+};
+
+}  // namespace kooza::stats

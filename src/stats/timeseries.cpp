@@ -1,0 +1,142 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace kooza::stats {
+
+std::vector<double> autocorrelation(std::span<const double> xs, std::size_t max_lag) {
+    if (xs.empty()) throw std::invalid_argument("autocorrelation: empty series");
+    if (max_lag >= xs.size())
+        throw std::invalid_argument("autocorrelation: max_lag must be < n");
+    const double m = mean(xs);
+    double denom = 0.0;
+    for (double x : xs) denom += (x - m) * (x - m);
+    std::vector<double> acf(max_lag, 0.0);
+    if (denom <= 0.0) return acf;
+    for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+        double num = 0.0;
+        for (std::size_t i = 0; i + lag < xs.size(); ++i)
+            num += (xs[i] - m) * (xs[i + lag] - m);
+        acf[lag - 1] = num / denom;
+    }
+    return acf;
+}
+
+double autocorrelation_at(std::span<const double> xs, std::size_t lag) {
+    if (lag == 0) return 1.0;
+    return autocorrelation(xs, lag).back();
+}
+
+namespace {
+std::vector<double> window_counts(std::span<const double> arrivals, double window) {
+    if (arrivals.empty()) throw std::invalid_argument("window_counts: empty arrivals");
+    if (!(window > 0.0)) throw std::invalid_argument("window_counts: window must be > 0");
+    std::vector<double> ts(arrivals.begin(), arrivals.end());
+    std::sort(ts.begin(), ts.end());
+    const double span_t = ts.back() - ts.front();
+    const std::size_t n_win = std::max<std::size_t>(1, std::size_t(span_t / window) + 1);
+    std::vector<double> counts(n_win, 0.0);
+    for (double t : ts) {
+        auto w = std::size_t((t - ts.front()) / window);
+        counts[std::min(w, n_win - 1)] += 1.0;
+    }
+    return counts;
+}
+}  // namespace
+
+double index_of_dispersion(std::span<const double> arrivals, double window) {
+    auto counts = window_counts(arrivals, window);
+    const double m = mean(counts);
+    if (m <= 0.0) return 0.0;
+    // Population variance of the counts (the IDC definition).
+    double v = 0.0;
+    for (double c : counts) v += (c - m) * (c - m);
+    v /= double(counts.size());
+    return v / m;
+}
+
+double peak_to_mean(std::span<const double> arrivals, double window) {
+    auto counts = window_counts(arrivals, window);
+    const double m = mean(counts);
+    if (m <= 0.0) return 0.0;
+    return *std::max_element(counts.begin(), counts.end()) / m;
+}
+
+double hurst_exponent(std::span<const double> xs) {
+    if (xs.size() < 32) throw std::invalid_argument("hurst_exponent: need n >= 32");
+    // R/S analysis: for window sizes w, average the rescaled range over
+    // disjoint windows, then regress log(R/S) on log(w).
+    std::vector<double> log_w, log_rs;
+    for (std::size_t w = 8; w <= xs.size() / 2; w *= 2) {
+        double rs_sum = 0.0;
+        std::size_t rs_count = 0;
+        for (std::size_t start = 0; start + w <= xs.size(); start += w) {
+            std::span<const double> win = xs.subspan(start, w);
+            const double m = mean(win);
+            double cum = 0.0, mn = 0.0, mx = 0.0, ss = 0.0;
+            for (double x : win) {
+                cum += x - m;
+                mn = std::min(mn, cum);
+                mx = std::max(mx, cum);
+                ss += (x - m) * (x - m);
+            }
+            const double sd = std::sqrt(ss / double(w));
+            if (sd > 0.0) {
+                rs_sum += (mx - mn) / sd;
+                ++rs_count;
+            }
+        }
+        if (rs_count > 0) {
+            log_w.push_back(std::log(double(w)));
+            log_rs.push_back(std::log(rs_sum / double(rs_count)));
+        }
+    }
+    if (log_w.size() < 2) return 0.5;  // degenerate (constant) series
+    // OLS slope.
+    const double mw = mean(log_w), mr = mean(log_rs);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < log_w.size(); ++i) {
+        num += (log_w[i] - mw) * (log_rs[i] - mr);
+        den += (log_w[i] - mw) * (log_w[i] - mw);
+    }
+    return den > 0.0 ? num / den : 0.5;
+}
+
+double stationarity_drift(std::span<const double> xs, std::size_t pieces) {
+    if (pieces < 2) throw std::invalid_argument("stationarity_drift: pieces must be >= 2");
+    if (xs.size() < pieces)
+        throw std::invalid_argument("stationarity_drift: series shorter than pieces");
+    const double global = mean(xs);
+    const std::size_t w = xs.size() / pieces;
+    double worst = 0.0;
+    for (std::size_t p = 0; p < pieces; ++p) {
+        const double m = mean(xs.subspan(p * w, w));
+        const double denom = std::fabs(global) > 1e-300 ? std::fabs(global) : 1.0;
+        worst = std::max(worst, std::fabs(m - global) / denom);
+    }
+    return worst;
+}
+
+std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag, double threshold) {
+    if (min_lag == 0 || min_lag > max_lag)
+        throw std::invalid_argument("dominant_period: bad lag range");
+    if (max_lag >= xs.size())
+        throw std::invalid_argument("dominant_period: max_lag must be < n");
+    auto acf = autocorrelation(xs, max_lag);
+    std::size_t best = 0;
+    double best_val = threshold;
+    for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+        if (acf[lag - 1] > best_val) {
+            best_val = acf[lag - 1];
+            best = lag;
+        }
+    }
+    return best;
+}
+
+}  // namespace kooza::stats

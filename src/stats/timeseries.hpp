@@ -1,0 +1,45 @@
+// Time-series characterization: autocorrelation, burstiness, self-
+// similarity (Hurst exponent), and stationarity — the request-stream
+// features the paper's survey says DC workloads exhibit (Feitelson, Li,
+// Sengupta).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kooza::stats {
+
+/// Autocorrelation function at lags 1..max_lag (lag 0 is omitted; it is 1).
+/// Returns zeros for series with no variance. Throws if max_lag >= n.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
+                                                  std::size_t max_lag);
+
+/// Single-lag autocorrelation.
+[[nodiscard]] double autocorrelation_at(std::span<const double> xs, std::size_t lag);
+
+/// Index of dispersion for counts (IDC): variance/mean of per-window event
+/// counts. 1 for a Poisson stream; > 1 indicates burstiness.
+/// `arrivals` are event timestamps; `window` is the bin width.
+[[nodiscard]] double index_of_dispersion(std::span<const double> arrivals, double window);
+
+/// Peak-to-mean ratio of per-window counts, a second burstiness measure.
+[[nodiscard]] double peak_to_mean(std::span<const double> arrivals, double window);
+
+/// Hurst exponent via rescaled-range (R/S) analysis over dyadic window
+/// sizes. 0.5 for short-range-dependent series; > 0.5 indicates long-range
+/// dependence / self-similarity. Requires n >= 32.
+[[nodiscard]] double hurst_exponent(std::span<const double> xs);
+
+/// Crude stationarity check: split into `pieces` windows and report the
+/// max relative deviation of window means from the global mean. Small
+/// values (< ~0.1) indicate first-order stationarity.
+[[nodiscard]] double stationarity_drift(std::span<const double> xs, std::size_t pieces = 4);
+
+/// Dominant period detection by maximizing the ACF over lags in
+/// [min_lag, max_lag]. Returns 0 when no lag's ACF exceeds `threshold`
+/// (i.e. no convincing pseudoperiodicity).
+[[nodiscard]] std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                                          std::size_t max_lag, double threshold = 0.2);
+
+}  // namespace kooza::stats

@@ -1,0 +1,221 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::trace {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::ofstream open_out(const fs::path& p) {
+    std::ofstream f(p);
+    if (!f) throw std::runtime_error("write_csv: cannot open " + p.string());
+    f.precision(17);
+    return f;
+}
+
+[[noreturn]] void bad_row(const fs::path& p, std::size_t line, const char* why) {
+    std::ostringstream os;
+    os << "read_csv: " << p.string() << ":" << line << ": " << why;
+    throw std::runtime_error(os.str());
+}
+
+struct Reader {
+    fs::path path;
+    std::ifstream file;
+    std::size_t line_no = 0;
+
+    explicit Reader(const fs::path& p) : path(p), file(p) {}
+    [[nodiscard]] bool ok() const { return bool(file); }
+
+    /// Next data row split into fields; empty optional-equivalent when EOF.
+    bool next(std::vector<std::string>& fields) {
+        std::string line;
+        while (std::getline(file, line)) {
+            ++line_no;
+            if (line.empty()) continue;
+            if (line_no == 1) continue;  // header
+            fields = split_csv_line(line);
+            return true;
+        }
+        return false;
+    }
+
+    double num(const std::string& s, const char* what) {
+        try {
+            return std::stod(s);
+        } catch (const std::exception&) {
+            bad_row(path, line_no, what);
+        }
+    }
+    std::uint64_t id(const std::string& s, const char* what) {
+        try {
+            return std::stoull(s);
+        } catch (const std::exception&) {
+            bad_row(path, line_no, what);
+        }
+    }
+};
+
+void expect_fields(Reader& r, const std::vector<std::string>& f, std::size_t n) {
+    if (f.size() != n) bad_row(r.path, r.line_no, "wrong field count");
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const auto pos = line.find(',', start);
+        if (pos == std::string::npos) {
+            out.push_back(line.substr(start));
+            break;
+        }
+        out.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+void write_csv(const TraceSet& ts, const fs::path& dir) {
+    fs::create_directories(dir);
+    {
+        auto f = open_out(dir / "storage.csv");
+        f << "time,request_id,lbn,size_bytes,type,latency\n";
+        for (const auto& r : ts.storage)
+            f << r.time << ',' << r.request_id << ',' << r.lbn << ',' << r.size_bytes
+              << ',' << to_string(r.type) << ',' << r.latency << '\n';
+    }
+    {
+        auto f = open_out(dir / "cpu.csv");
+        f << "time,request_id,busy_seconds,utilization\n";
+        for (const auto& r : ts.cpu)
+            f << r.time << ',' << r.request_id << ',' << r.busy_seconds << ','
+              << r.utilization << '\n';
+    }
+    {
+        auto f = open_out(dir / "memory.csv");
+        f << "time,request_id,bank,size_bytes,type\n";
+        for (const auto& r : ts.memory)
+            f << r.time << ',' << r.request_id << ',' << r.bank << ',' << r.size_bytes
+              << ',' << to_string(r.type) << '\n';
+    }
+    {
+        auto f = open_out(dir / "network.csv");
+        f << "time,request_id,size_bytes,direction,latency\n";
+        for (const auto& r : ts.network)
+            f << r.time << ',' << r.request_id << ',' << r.size_bytes << ','
+              << to_string(r.direction) << ',' << r.latency << '\n';
+    }
+    {
+        auto f = open_out(dir / "requests.csv");
+        f << "request_id,type,arrival,completion,bytes\n";
+        for (const auto& r : ts.requests)
+            f << r.request_id << ',' << to_string(r.type) << ',' << r.arrival << ','
+              << r.completion << ',' << r.bytes << '\n';
+    }
+    {
+        auto f = open_out(dir / "spans.csv");
+        f << "trace_id,span_id,parent_id,name,start,end\n";
+        for (const auto& s : ts.spans)
+            f << s.trace_id << ',' << s.span_id << ',' << s.parent_id << ',' << s.name
+              << ',' << s.start << ',' << s.end << '\n';
+    }
+}
+
+TraceSet read_csv(const fs::path& dir) {
+    TraceSet ts;
+    {
+        Reader r(dir / "storage.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 6);
+            StorageRecord rec;
+            rec.time = r.num(f[0], "time");
+            rec.request_id = r.id(f[1], "request_id");
+            rec.lbn = r.id(f[2], "lbn");
+            rec.size_bytes = r.id(f[3], "size_bytes");
+            rec.type = iotype_from_string(f[4]);
+            rec.latency = r.num(f[5], "latency");
+            ts.storage.push_back(rec);
+        }
+    }
+    {
+        Reader r(dir / "cpu.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 4);
+            CpuRecord rec;
+            rec.time = r.num(f[0], "time");
+            rec.request_id = r.id(f[1], "request_id");
+            rec.busy_seconds = r.num(f[2], "busy_seconds");
+            rec.utilization = r.num(f[3], "utilization");
+            ts.cpu.push_back(rec);
+        }
+    }
+    {
+        Reader r(dir / "memory.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 5);
+            MemoryRecord rec;
+            rec.time = r.num(f[0], "time");
+            rec.request_id = r.id(f[1], "request_id");
+            rec.bank = std::uint32_t(r.id(f[2], "bank"));
+            rec.size_bytes = r.id(f[3], "size_bytes");
+            rec.type = iotype_from_string(f[4]);
+            ts.memory.push_back(rec);
+        }
+    }
+    {
+        Reader r(dir / "network.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 5);
+            NetworkRecord rec;
+            rec.time = r.num(f[0], "time");
+            rec.request_id = r.id(f[1], "request_id");
+            rec.size_bytes = r.id(f[2], "size_bytes");
+            rec.direction = f[3] == "rx" ? NetworkRecord::Direction::kRx
+                                         : NetworkRecord::Direction::kTx;
+            rec.latency = r.num(f[4], "latency");
+            ts.network.push_back(rec);
+        }
+    }
+    {
+        Reader r(dir / "requests.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 5);
+            RequestRecord rec;
+            rec.request_id = r.id(f[0], "request_id");
+            rec.type = iotype_from_string(f[1]);
+            rec.arrival = r.num(f[2], "arrival");
+            rec.completion = r.num(f[3], "completion");
+            rec.bytes = r.id(f[4], "bytes");
+            ts.requests.push_back(rec);
+        }
+    }
+    {
+        Reader r(dir / "spans.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 6);
+            Span s;
+            s.trace_id = r.id(f[0], "trace_id");
+            s.span_id = r.id(f[1], "span_id");
+            s.parent_id = r.id(f[2], "parent_id");
+            s.name = f[3];
+            s.start = r.num(f[4], "start");
+            s.end = r.num(f[5], "end");
+            ts.spans.push_back(s);
+        }
+    }
+    return ts;
+}
+
+}  // namespace kooza::trace

@@ -1,0 +1,115 @@
+#include "trace/features.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace kooza::trace {
+
+namespace {
+
+struct Accumulator {
+    std::uint64_t rx = 0, tx = 0;
+    double cpu_busy = 0.0;
+    std::uint64_t mem_read = 0, mem_write = 0;
+    std::uint64_t sto_read = 0, sto_write = 0;
+    double first_sto_time = -1.0;
+    std::uint64_t first_lbn = 0;
+    double first_mem_time = -1.0;
+    std::uint32_t first_bank = 0;
+};
+
+}  // namespace
+
+std::string RequestFeatures::to_string() const {
+    std::ostringstream os;
+    os << "req " << request_id << ": net=" << network_bytes
+       << "B cpu=" << cpu_utilization * 100.0 << "% mem=" << memory_bytes << "B/"
+       << kooza::trace::to_string(memory_type) << " sto=" << storage_bytes << "B/"
+       << kooza::trace::to_string(storage_type) << " lat=" << latency * 1e3 << "ms";
+    return os.str();
+}
+
+std::vector<RequestFeatures> extract_features(const TraceSet& ts) {
+    std::map<std::uint64_t, Accumulator> acc;
+    for (const auto& r : ts.network) {
+        auto& a = acc[r.request_id];
+        if (r.direction == NetworkRecord::Direction::kRx)
+            a.rx += r.size_bytes;
+        else
+            a.tx += r.size_bytes;
+    }
+    for (const auto& r : ts.cpu) acc[r.request_id].cpu_busy += r.busy_seconds;
+    for (const auto& r : ts.memory) {
+        auto& a = acc[r.request_id];
+        (r.type == IoType::kRead ? a.mem_read : a.mem_write) += r.size_bytes;
+        if (a.first_mem_time < 0.0 || r.time < a.first_mem_time) {
+            a.first_mem_time = r.time;
+            a.first_bank = r.bank;
+        }
+    }
+    for (const auto& r : ts.storage) {
+        auto& a = acc[r.request_id];
+        (r.type == IoType::kRead ? a.sto_read : a.sto_write) += r.size_bytes;
+        if (a.first_sto_time < 0.0 || r.time < a.first_sto_time) {
+            a.first_sto_time = r.time;
+            a.first_lbn = r.lbn;
+        }
+    }
+
+    std::vector<RequestFeatures> out;
+    out.reserve(ts.requests.size());
+    for (const auto& req : ts.requests) {
+        auto it = acc.find(req.request_id);
+        RequestFeatures f;
+        f.request_id = req.request_id;
+        f.arrival = req.arrival;
+        f.latency = req.latency();
+        if (it != acc.end()) {
+            const auto& a = it->second;
+            f.network_bytes = std::max(a.rx, a.tx);
+            // Per-request CPU utilization: busy core-seconds over the
+            // request's end-to-end window — how the paper's 2.1% / 5.1%
+            // figures are constructed.
+            f.cpu_utilization = f.latency > 0.0 ? a.cpu_busy / f.latency : 0.0;
+            f.memory_bytes = a.mem_read + a.mem_write;
+            f.memory_type = a.mem_write > a.mem_read ? IoType::kWrite : IoType::kRead;
+            f.storage_bytes = a.sto_read + a.sto_write;
+            f.storage_type = a.sto_write > a.sto_read ? IoType::kWrite : IoType::kRead;
+            f.cpu_busy_seconds = a.cpu_busy;
+            f.first_lbn = a.first_lbn;
+            f.first_bank = a.first_bank;
+        }
+        out.push_back(f);
+    }
+    std::sort(out.begin(), out.end(), [](const RequestFeatures& a, const RequestFeatures& b) {
+        return a.arrival < b.arrival;
+    });
+    return out;
+}
+
+std::optional<RequestFeatures> extract_features_for(const TraceSet& ts,
+                                                    std::uint64_t request_id) {
+    for (const auto& f : extract_features(ts))
+        if (f.request_id == request_id) return f;
+    return std::nullopt;
+}
+
+#define KOOZA_COLUMN(fn, expr)                                                      \
+    std::vector<double> fn(const std::vector<RequestFeatures>& fs) {                \
+        std::vector<double> out;                                                    \
+        out.reserve(fs.size());                                                     \
+        for (const auto& f : fs) out.push_back(double(expr));                       \
+        return out;                                                                 \
+    }
+
+KOOZA_COLUMN(column_network_bytes, f.network_bytes)
+KOOZA_COLUMN(column_cpu_utilization, f.cpu_utilization)
+KOOZA_COLUMN(column_memory_bytes, f.memory_bytes)
+KOOZA_COLUMN(column_storage_bytes, f.storage_bytes)
+KOOZA_COLUMN(column_latency, f.latency)
+KOOZA_COLUMN(column_arrival, f.arrival)
+
+#undef KOOZA_COLUMN
+
+}  // namespace kooza::trace

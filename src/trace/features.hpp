@@ -1,0 +1,59 @@
+// Per-request feature extraction — the rows of the paper's Table 2.
+//
+// For each request id, aggregate its records across the four subsystem
+// streams into one feature vector: network request size, CPU utilization,
+// memory size/type, storage size/type, and end-to-end latency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/traceset.hpp"
+
+namespace kooza::trace {
+
+/// The Table 2 columns for one request.
+struct RequestFeatures {
+    std::uint64_t request_id = 0;
+    double arrival = 0.0;
+    std::uint64_t network_bytes = 0;  ///< user payload moved over the NIC
+    double cpu_utilization = 0.0;     ///< CPU busy seconds / end-to-end latency
+    std::uint64_t memory_bytes = 0;   ///< total memory traffic
+    IoType memory_type = IoType::kRead;
+    std::uint64_t storage_bytes = 0;  ///< total disk traffic
+    IoType storage_type = IoType::kRead;
+    double latency = 0.0;             ///< end-to-end seconds
+    // Model-training extras (not Table 2 columns):
+    double cpu_busy_seconds = 0.0;    ///< total CPU busy time
+    std::uint64_t first_lbn = 0;      ///< LBN of the request's first disk I/O
+    std::uint32_t first_bank = 0;     ///< bank of the request's first memory access
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Extract features for every request in the trace set, sorted by arrival
+/// time. Requests with no end-to-end record are skipped (they never
+/// completed). Network bytes count the *payload-bearing* transfer: the
+/// maximum of rx and tx totals, which is the response for reads and the
+/// data for writes — matching the paper's "Request Size" column.
+[[nodiscard]] std::vector<RequestFeatures> extract_features(const TraceSet& ts);
+
+/// Features of one specific request, if it completed.
+[[nodiscard]] std::optional<RequestFeatures> extract_features_for(const TraceSet& ts,
+                                                                  std::uint64_t request_id);
+
+/// Column accessors for fitting/validation code.
+[[nodiscard]] std::vector<double> column_network_bytes(
+    const std::vector<RequestFeatures>& fs);
+[[nodiscard]] std::vector<double> column_cpu_utilization(
+    const std::vector<RequestFeatures>& fs);
+[[nodiscard]] std::vector<double> column_memory_bytes(
+    const std::vector<RequestFeatures>& fs);
+[[nodiscard]] std::vector<double> column_storage_bytes(
+    const std::vector<RequestFeatures>& fs);
+[[nodiscard]] std::vector<double> column_latency(const std::vector<RequestFeatures>& fs);
+[[nodiscard]] std::vector<double> column_arrival(const std::vector<RequestFeatures>& fs);
+
+}  // namespace kooza::trace

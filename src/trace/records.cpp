@@ -1,0 +1,21 @@
+#include "trace/records.hpp"
+
+#include <stdexcept>
+
+namespace kooza::trace {
+
+const char* to_string(IoType t) noexcept {
+    return t == IoType::kRead ? "read" : "write";
+}
+
+IoType iotype_from_string(const std::string& s) {
+    if (s == "read") return IoType::kRead;
+    if (s == "write") return IoType::kWrite;
+    throw std::invalid_argument("iotype_from_string: '" + s + "'");
+}
+
+const char* to_string(NetworkRecord::Direction d) noexcept {
+    return d == NetworkRecord::Direction::kRx ? "rx" : "tx";
+}
+
+}  // namespace kooza::trace

@@ -1,0 +1,72 @@
+// Trace record schemas for the four subsystems the paper models (storage,
+// CPU, memory, network) plus end-to-end request records. These are the
+// only interface between the "real system" (the GFS simulator) and every
+// model: trainers consume TraceSets, never simulator internals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kooza::trace {
+
+/// Read/write tag used by storage and memory records.
+enum class IoType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+[[nodiscard]] const char* to_string(IoType t) noexcept;
+[[nodiscard]] IoType iotype_from_string(const std::string& s);
+
+/// One disk I/O: when it was issued, where (logical block number), how
+/// big, which way, and how long the device took.
+struct StorageRecord {
+    double time = 0.0;
+    std::uint64_t request_id = 0;
+    std::uint64_t lbn = 0;
+    std::uint64_t size_bytes = 0;
+    IoType type = IoType::kRead;
+    double latency = 0.0;
+};
+
+/// One CPU burst attributed to a request. `utilization` is the fraction of
+/// one core the burst represents over the request's service window — the
+/// quantity the paper's CPU model states discretize ("CPU Util 1..4").
+struct CpuRecord {
+    double time = 0.0;
+    std::uint64_t request_id = 0;
+    double busy_seconds = 0.0;
+    double utilization = 0.0;
+};
+
+/// One memory access burst: bank touched, bytes moved, direction.
+struct MemoryRecord {
+    double time = 0.0;
+    std::uint64_t request_id = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t size_bytes = 0;
+    IoType type = IoType::kRead;
+};
+
+/// One network transfer at a server NIC.
+struct NetworkRecord {
+    enum class Direction : std::uint8_t { kRx = 0, kTx = 1 };
+    double time = 0.0;
+    std::uint64_t request_id = 0;
+    std::uint64_t size_bytes = 0;
+    Direction direction = Direction::kRx;
+    double latency = 0.0;
+};
+
+[[nodiscard]] const char* to_string(NetworkRecord::Direction d) noexcept;
+
+/// End-to-end view of one user request.
+struct RequestRecord {
+    std::uint64_t request_id = 0;
+    IoType type = IoType::kRead;
+    double arrival = 0.0;
+    double completion = 0.0;
+    std::uint64_t bytes = 0;
+
+    [[nodiscard]] double latency() const noexcept { return completion - arrival; }
+};
+
+}  // namespace kooza::trace

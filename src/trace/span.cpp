@@ -1,0 +1,134 @@
+#include "trace/span.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace kooza::trace {
+
+SpanTracer::SpanTracer(std::uint64_t sample_every) : every_(sample_every) {
+    if (sample_every == 0)
+        throw std::invalid_argument("SpanTracer: sample_every must be >= 1");
+}
+
+bool SpanTracer::sampled(TraceId trace) const noexcept { return trace % every_ == 0; }
+
+SpanId SpanTracer::start_span(TraceId trace, SpanId parent, std::string name,
+                              double now) {
+    ++ops_req_;
+    if (!sampled(trace)) return 0;
+    ++ops_rec_;
+    const SpanId id = next_id_++;
+    Span s;
+    s.trace_id = trace;
+    s.span_id = id;
+    s.parent_id = parent;
+    s.name = std::move(name);
+    s.start = now;
+    s.end = now;
+    open_.emplace(id, std::move(s));
+    return id;
+}
+
+void SpanTracer::annotate(SpanId span, double now, std::string message) {
+    ++ops_req_;
+    if (span == 0) return;
+    auto it = open_.find(span);
+    if (it == open_.end()) throw std::logic_error("SpanTracer::annotate: unknown span");
+    ++ops_rec_;
+    it->second.annotations.push_back(Annotation{now, std::move(message)});
+}
+
+void SpanTracer::end_span(SpanId span, double now) {
+    ++ops_req_;
+    if (span == 0) return;
+    auto it = open_.find(span);
+    if (it == open_.end()) throw std::logic_error("SpanTracer::end_span: unknown span");
+    ++ops_rec_;
+    it->second.end = now;
+    done_.push_back(std::move(it->second));
+    open_.erase(it);
+}
+
+std::size_t SpanTracer::sampled_trace_count() const {
+    std::set<TraceId> ids;
+    for (const auto& s : done_) ids.insert(s.trace_id);
+    return ids.size();
+}
+
+void SpanTracer::clear() {
+    open_.clear();
+    done_.clear();
+    ops_req_ = ops_rec_ = 0;
+}
+
+SpanTree::SpanTree(const std::vector<Span>& all, TraceId trace) : trace_(trace) {
+    for (const auto& s : all)
+        if (s.trace_id == trace) spans_.push_back(s);
+    if (spans_.empty()) throw std::invalid_argument("SpanTree: no spans for trace");
+    // Order by start time; ties break on creation order (span id), which
+    // puts a parent before children opened at the same instant.
+    std::stable_sort(spans_.begin(), spans_.end(), [](const Span& a, const Span& b) {
+        if (a.start != b.start) return a.start < b.start;
+        return a.span_id < b.span_id;
+    });
+    // Validate there is exactly one root.
+    std::size_t roots = 0;
+    for (const auto& s : spans_)
+        if (s.parent_id == 0) ++roots;
+    if (roots == 0) throw std::invalid_argument("SpanTree: no root span");
+}
+
+const Span& SpanTree::root() const {
+    for (const auto& s : spans_)
+        if (s.parent_id == 0) return s;
+    throw std::logic_error("SpanTree::root: unreachable");
+}
+
+std::vector<const Span*> SpanTree::children_of(SpanId parent) const {
+    std::vector<const Span*> out;
+    for (const auto& s : spans_)
+        if (s.parent_id == parent) out.push_back(&s);
+    return out;
+}
+
+std::vector<std::string> SpanTree::phase_sequence() const {
+    std::vector<std::string> out;
+    out.reserve(spans_.size());
+    for (const auto& s : spans_) out.push_back(s.name);
+    return out;
+}
+
+std::vector<double> SpanTree::phase_durations() const {
+    std::vector<double> out;
+    out.reserve(spans_.size());
+    for (const auto& s : spans_) out.push_back(s.duration());
+    return out;
+}
+
+double SpanTree::total_duration() const { return root().duration(); }
+
+void SpanTree::render_node(const Span& s, int depth, std::string& out) const {
+    std::ostringstream os;
+    os << std::string(std::size_t(depth) * 2, ' ') << s.name << " ["
+       << s.duration() * 1e3 << " ms]";
+    for (const auto& a : s.annotations) os << " {" << a.message << "}";
+    os << "\n";
+    out += os.str();
+    for (const Span* c : children_of(s.span_id)) render_node(*c, depth + 1, out);
+}
+
+std::string SpanTree::render() const {
+    std::string out;
+    render_node(root(), 0, out);
+    return out;
+}
+
+std::vector<TraceId> SpanTree::trace_ids(const std::vector<Span>& all) {
+    std::set<TraceId> ids;
+    for (const auto& s : all) ids.insert(s.trace_id);
+    return {ids.begin(), ids.end()};
+}
+
+}  // namespace kooza::trace

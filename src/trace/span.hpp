@@ -1,0 +1,118 @@
+// Dapper-style request tracing: trees of nested spans with annotations and
+// 1-in-N sampling.
+//
+// The paper describes Dapper (Sigelman '10): "trees of nested RPCs, spans
+// (i.e. tree nodes) and annotations", with "sampling 1 out of 1000
+// requests" for low overhead. SpanTracer reproduces that data model; the
+// KOOZA trainer consumes span trees to learn the structure queue, and
+// ablation A2 sweeps the sampling rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kooza::trace {
+
+using TraceId = std::uint64_t;  ///< global request identifier
+using SpanId = std::uint64_t;   ///< unique within the tracer
+
+/// Timestamped note inside a span (Dapper annotations).
+struct Annotation {
+    double time = 0.0;
+    std::string message;
+};
+
+/// One node of a request's RPC/phase tree.
+struct Span {
+    TraceId trace_id = 0;
+    SpanId span_id = 0;
+    SpanId parent_id = 0;  ///< 0 = root span
+    std::string name;      ///< e.g. "net.rx", "cpu.verify", "disk.io"
+    double start = 0.0;
+    double end = 0.0;
+    std::vector<Annotation> annotations;
+
+    [[nodiscard]] double duration() const noexcept { return end - start; }
+};
+
+/// Collects spans with deterministic 1-in-N head sampling (a trace is
+/// either fully recorded or fully dropped, as in Dapper).
+class SpanTracer {
+public:
+    /// @param sample_every record 1 out of `sample_every` traces (>= 1)
+    explicit SpanTracer(std::uint64_t sample_every = 1);
+
+    /// Head-sampling decision for a trace id (deterministic: id % N == 0).
+    [[nodiscard]] bool sampled(TraceId trace) const noexcept;
+
+    /// Open a span; returns its id (0 if the trace is not sampled, which
+    /// the other calls treat as a no-op handle).
+    SpanId start_span(TraceId trace, SpanId parent, std::string name, double now);
+
+    /// Attach an annotation to an open span. No-op for handle 0.
+    void annotate(SpanId span, double now, std::string message);
+
+    /// Close a span. No-op for handle 0. Throws std::logic_error on an
+    /// unknown/closed non-zero handle.
+    void end_span(SpanId span, double now);
+
+    /// All closed spans, in completion order.
+    [[nodiscard]] const std::vector<Span>& spans() const noexcept { return done_; }
+
+    /// Bookkeeping for the overhead ablation: how many span operations
+    /// were requested vs actually recorded.
+    [[nodiscard]] std::uint64_t operations_requested() const noexcept { return ops_req_; }
+    [[nodiscard]] std::uint64_t operations_recorded() const noexcept { return ops_rec_; }
+
+    /// Distinct sampled trace ids with at least one closed span.
+    [[nodiscard]] std::size_t sampled_trace_count() const;
+
+    void clear();
+
+private:
+    std::uint64_t every_;
+    SpanId next_id_ = 1;
+    std::map<SpanId, Span> open_;
+    std::vector<Span> done_;
+    std::uint64_t ops_req_ = 0;
+    std::uint64_t ops_rec_ = 0;
+};
+
+/// A reassembled request tree.
+class SpanTree {
+public:
+    /// Build the tree for one trace id from a span collection. Throws if
+    /// the trace has no spans or no root.
+    SpanTree(const std::vector<Span>& all, TraceId trace);
+
+    [[nodiscard]] TraceId trace_id() const noexcept { return trace_; }
+    [[nodiscard]] const Span& root() const;
+    [[nodiscard]] const std::vector<Span>& spans() const noexcept { return spans_; }
+    [[nodiscard]] std::vector<const Span*> children_of(SpanId parent) const;
+
+    /// Names of all spans in start-time order — the phase sequence the
+    /// KOOZA structure queue is trained on.
+    [[nodiscard]] std::vector<std::string> phase_sequence() const;
+
+    /// Durations matching phase_sequence().
+    [[nodiscard]] std::vector<double> phase_durations() const;
+
+    /// End-to-end duration (root span).
+    [[nodiscard]] double total_duration() const;
+
+    /// Indented one-line-per-span rendering (for Fig. 1 reproduction).
+    [[nodiscard]] std::string render() const;
+
+    /// All trace ids present in a span collection.
+    [[nodiscard]] static std::vector<TraceId> trace_ids(const std::vector<Span>& all);
+
+private:
+    void render_node(const Span& s, int depth, std::string& out) const;
+
+    TraceId trace_;
+    std::vector<Span> spans_;  ///< sorted by start time
+};
+
+}  // namespace kooza::trace

@@ -1,0 +1,53 @@
+#include "trace/traceset.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kooza::trace {
+
+void TraceSet::merge(const TraceSet& other) {
+    storage.insert(storage.end(), other.storage.begin(), other.storage.end());
+    cpu.insert(cpu.end(), other.cpu.begin(), other.cpu.end());
+    memory.insert(memory.end(), other.memory.begin(), other.memory.end());
+    network.insert(network.end(), other.network.begin(), other.network.end());
+    requests.insert(requests.end(), other.requests.begin(), other.requests.end());
+    spans.insert(spans.end(), other.spans.begin(), other.spans.end());
+}
+
+std::size_t TraceSet::total_records() const noexcept {
+    return storage.size() + cpu.size() + memory.size() + network.size() +
+           requests.size() + spans.size();
+}
+
+void TraceSet::clear() {
+    storage.clear();
+    cpu.clear();
+    memory.clear();
+    network.clear();
+    requests.clear();
+    spans.clear();
+}
+
+void TraceSet::sort_by_time() {
+    auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
+    std::stable_sort(storage.begin(), storage.end(), by_time);
+    std::stable_sort(cpu.begin(), cpu.end(), by_time);
+    std::stable_sort(memory.begin(), memory.end(), by_time);
+    std::stable_sort(network.begin(), network.end(), by_time);
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const RequestRecord& a, const RequestRecord& b) {
+                         return a.arrival < b.arrival;
+                     });
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const Span& a, const Span& b) { return a.start < b.start; });
+}
+
+std::string TraceSet::summary() const {
+    std::ostringstream os;
+    os << "storage=" << storage.size() << " cpu=" << cpu.size()
+       << " memory=" << memory.size() << " network=" << network.size()
+       << " requests=" << requests.size() << " spans=" << spans.size();
+    return os.str();
+}
+
+}  // namespace kooza::trace

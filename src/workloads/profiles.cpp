@@ -1,0 +1,200 @@
+#include "workloads/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace kooza::workloads {
+
+void Workload::install(gfs::Cluster& cluster) const {
+    for (const auto& [name, size] : files) cluster.create_file(name, size);
+    cluster.submit_all(requests);
+}
+
+namespace {
+
+/// Clamp an offset so [offset, offset+size) stays inside the file.
+std::uint64_t clamp_offset(std::uint64_t offset, std::uint64_t size,
+                           std::uint64_t file_size) {
+    if (size >= file_size) return 0;
+    return std::min(offset, file_size - size);
+}
+
+/// Align an offset down to 4 KB (block-friendly I/O).
+std::uint64_t align4k(std::uint64_t offset) { return offset & ~std::uint64_t(4095); }
+
+}  // namespace
+
+Workload MicroProfile::generate(sim::Rng& rng) const {
+    Workload w;
+    w.files.emplace_back("micro.dat", p_.file_size);
+    double t = 0.0;
+    std::uint64_t seq_cursor = 0;
+    for (std::size_t i = 0; i < p_.count; ++i) {
+        t += rng.exponential(p_.arrival_rate);
+        gfs::RequestSpec r;
+        r.time = t;
+        r.file = "micro.dat";
+        r.type = rng.bernoulli(p_.read_fraction) ? trace::IoType::kRead
+                                                 : trace::IoType::kWrite;
+        r.size = r.type == trace::IoType::kRead ? p_.read_size : p_.write_size;
+        if (p_.sequential) {
+            r.offset = clamp_offset(seq_cursor, r.size, p_.file_size);
+            seq_cursor += r.size;
+            if (seq_cursor + r.size > p_.file_size) seq_cursor = 0;
+        } else {
+            r.offset = clamp_offset(
+                align4k(std::uint64_t(rng.uniform(0.0, double(p_.file_size)))), r.size,
+                p_.file_size);
+        }
+        w.requests.push_back(std::move(r));
+    }
+    return w;
+}
+
+Workload OltpProfile::generate(sim::Rng& rng) const {
+    Workload w;
+    w.files.emplace_back("table.db", p_.table_size);
+    // MMPP(2): quiet at base_rate, bursts at base_rate * burst_multiplier.
+    const double burst_rate = p_.base_rate * p_.burst_multiplier;
+    const double switch_quiet = 0.5;  // leave quiet phase every ~2 s
+    const double switch_burst = 2.0;  // bursts last ~0.5 s
+    int phase = 0;
+    double t = 0.0;
+    for (std::size_t i = 0; i < p_.count; ++i) {
+        // Competing exponentials between arrival and phase switch.
+        for (;;) {
+            const double rate = phase == 0 ? p_.base_rate : burst_rate;
+            const double sw = phase == 0 ? switch_quiet : switch_burst;
+            const double ta = rng.exponential(rate);
+            const double ts = rng.exponential(sw);
+            if (ta <= ts) {
+                t += ta;
+                break;
+            }
+            t += ts;
+            phase ^= 1;
+        }
+        gfs::RequestSpec r;
+        r.time = t;
+        r.file = "table.db";
+        r.type = rng.bernoulli(p_.read_fraction) ? trace::IoType::kRead
+                                                 : trace::IoType::kWrite;
+        // Page-sized accesses: 4, 8 or 16 KB.
+        static constexpr std::uint64_t kPages[] = {4096, 8192, 16384};
+        r.size = kPages[std::size_t(rng.uniform_int(0, 2))];
+        r.offset = clamp_offset(
+            align4k(std::uint64_t(rng.uniform(0.0, double(p_.table_size)))), r.size,
+            p_.table_size);
+        w.requests.push_back(std::move(r));
+    }
+    return w;
+}
+
+Workload WebSearchProfile::generate(sim::Rng& rng) const {
+    Workload w;
+    for (std::size_t s = 0; s < p_.shards; ++s)
+        w.files.emplace_back("shard." + std::to_string(s), p_.shard_size);
+    stats::ZipfSampler popularity(p_.shards, p_.zipf_s);
+    double t = 0.0;
+    for (std::size_t i = 0; i < p_.count; ++i) {
+        t += rng.exponential(p_.arrival_rate);
+        gfs::RequestSpec r;
+        r.time = t;
+        r.file = "shard." + std::to_string(popularity.sample(rng));
+        r.type = rng.bernoulli(p_.read_fraction) ? trace::IoType::kRead
+                                                 : trace::IoType::kWrite;
+        const double bytes = rng.lognormal(p_.size_log_mean, p_.size_log_sigma);
+        r.size = std::clamp<std::uint64_t>(std::uint64_t(bytes), 4096, 8ull << 20);
+        r.offset = clamp_offset(
+            align4k(std::uint64_t(rng.uniform(0.0, double(p_.shard_size)))), r.size,
+            p_.shard_size);
+        w.requests.push_back(std::move(r));
+    }
+    std::sort(w.requests.begin(), w.requests.end(),
+              [](const gfs::RequestSpec& a, const gfs::RequestSpec& b) {
+                  return a.time < b.time;
+              });
+    return w;
+}
+
+Workload StreamingProfile::generate(sim::Rng& rng) const {
+    Workload w;
+    for (std::size_t f = 0; f < p_.files; ++f)
+        w.files.emplace_back("media." + std::to_string(f), p_.file_size);
+    stats::ZipfSampler popularity(p_.files, p_.zipf_s);
+    double session_start = 0.0;
+    for (std::size_t s = 0; s < p_.sessions; ++s) {
+        session_start += rng.exponential(p_.session_rate);
+        const std::string file = "media." + std::to_string(popularity.sample(rng));
+        // Geometric session length (>= 1 segment).
+        const std::size_t segments =
+            1 + std::size_t(rng.geometric(1.0 / double(p_.mean_segments)));
+        // Start position: beginning of the file for most viewers, random
+        // seek for some (interrupted playback).
+        std::uint64_t cursor =
+            rng.bernoulli(0.8) ? 0
+                               : align4k(std::uint64_t(
+                                     rng.uniform(0.0, double(p_.file_size) / 2)));
+        for (std::size_t k = 0; k < segments; ++k) {
+            if (cursor + p_.segment > p_.file_size) break;
+            gfs::RequestSpec r;
+            r.time = session_start + double(k) * p_.segment_interval;
+            r.file = file;
+            r.type = trace::IoType::kRead;
+            r.size = p_.segment;
+            r.offset = cursor;
+            cursor += p_.segment;
+            w.requests.push_back(std::move(r));
+        }
+    }
+    std::sort(w.requests.begin(), w.requests.end(),
+              [](const gfs::RequestSpec& a, const gfs::RequestSpec& b) {
+                  return a.time < b.time;
+              });
+    return w;
+}
+
+Workload LogAppendProfile::generate(sim::Rng& rng) const {
+    Workload w;
+    for (std::size_t l = 0; l < p_.logs; ++l)
+        w.files.emplace_back("log." + std::to_string(l), p_.initial_size);
+    double t = 0.0;
+    for (std::size_t i = 0; i < p_.count; ++i) {
+        t += rng.exponential(p_.arrival_rate);
+        gfs::RequestSpec r;
+        r.time = t;
+        r.file = "log." + std::to_string(std::size_t(
+                     rng.uniform_int(0, std::int64_t(p_.logs) - 1)));
+        r.type = trace::IoType::kWrite;
+        r.append = true;
+        r.size = align4k(std::uint64_t(
+                     rng.uniform(double(p_.min_record), double(p_.max_record))));
+        r.size = std::max<std::uint64_t>(r.size, 512);
+        w.requests.push_back(std::move(r));
+    }
+    return w;
+}
+
+Workload table2_validation_workload() {
+    Workload w;
+    w.files.emplace_back("validate.dat", 64ull << 20);
+    gfs::RequestSpec read;
+    read.time = 0.0;
+    read.file = "validate.dat";
+    read.offset = 0;
+    read.size = 64ull << 10;
+    read.type = trace::IoType::kRead;
+    w.requests.push_back(read);
+    gfs::RequestSpec write;
+    write.time = 1.0;  // unloaded: well after the read completes
+    write.file = "validate.dat";
+    write.offset = 8ull << 20;
+    write.size = 4ull << 20;
+    write.type = trace::IoType::kWrite;
+    w.requests.push_back(write);
+    return w;
+}
+
+}  // namespace kooza::workloads

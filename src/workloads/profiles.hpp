@@ -1,0 +1,152 @@
+// Workload profiles: generators of timed GFS request streams.
+//
+// These play the role of the application traffic the paper's models are
+// trained on. MicroProfile reproduces the paper's validation requests
+// (fixed-size reads/writes); the OLTP, web-search and streaming profiles
+// are the workload archetypes the survey repeatedly cites (Sengupta's
+// OLTP request streams, Barroso's Search, Tang's MediSyn streaming-media
+// sessions).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gfs/cluster.hpp"
+#include "sim/rng.hpp"
+#include "trace/records.hpp"
+
+namespace kooza::workloads {
+
+/// A generated workload: files to create plus a timed request schedule.
+struct Workload {
+    std::vector<std::pair<std::string, std::uint64_t>> files;  ///< name, bytes
+    std::vector<gfs::RequestSpec> requests;
+
+    /// Create the files and submit every request to a cluster.
+    void install(gfs::Cluster& cluster) const;
+};
+
+/// Common interface so benches can sweep profiles generically.
+class Profile {
+public:
+    virtual ~Profile() = default;
+    [[nodiscard]] virtual Workload generate(sim::Rng& rng) const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fixed-size request microbenchmark — the paper's Table 2 driver.
+/// Generates `count` requests with Poisson arrivals; each is a read of
+/// `read_size` with probability `read_fraction`, else a write of
+/// `write_size`.
+class MicroProfile final : public Profile {
+public:
+    struct Params {
+        std::size_t count = 200;
+        double arrival_rate = 20.0;       ///< requests/second
+        std::uint64_t read_size = 64ull << 10;
+        std::uint64_t write_size = 4ull << 20;
+        double read_fraction = 0.5;
+        std::uint64_t file_size = 1ull << 30;
+        bool sequential = false;          ///< sequential vs random offsets
+    };
+    explicit MicroProfile(Params p) : p_(p) {}
+    [[nodiscard]] Workload generate(sim::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "micro"; }
+    [[nodiscard]] const Params& params() const noexcept { return p_; }
+
+private:
+    Params p_;
+};
+
+/// OLTP-like: small (4-16 KB) random reads and writes against one large
+/// table file, 70% reads, bursty MMPP arrivals.
+class OltpProfile final : public Profile {
+public:
+    struct Params {
+        std::size_t count = 2000;
+        double base_rate = 200.0;      ///< quiet-phase arrivals/second
+        double burst_multiplier = 5.0;
+        double read_fraction = 0.7;
+        std::uint64_t table_size = 4ull << 30;
+    };
+    explicit OltpProfile(Params p) : p_(p) {}
+    [[nodiscard]] Workload generate(sim::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "oltp"; }
+
+private:
+    Params p_;
+};
+
+/// Web-search-like: read-dominant, Zipf-popular index shards, lognormal
+/// result sizes.
+class WebSearchProfile final : public Profile {
+public:
+    struct Params {
+        std::size_t count = 2000;
+        double arrival_rate = 100.0;
+        std::size_t shards = 32;
+        std::uint64_t shard_size = 256ull << 20;
+        double zipf_s = 0.9;
+        double read_fraction = 0.99;   ///< the rest are index updates
+        double size_log_mean = 11.0;   ///< ln bytes: e^11 ~ 60 KB
+        double size_log_sigma = 0.6;
+    };
+    explicit WebSearchProfile(Params p) : p_(p) {}
+    [[nodiscard]] Workload generate(sim::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "websearch"; }
+
+private:
+    Params p_;
+};
+
+/// Streaming-media-like (MediSyn-flavored): Poisson session arrivals;
+/// each session reads a Zipf-popular media file sequentially in fixed
+/// segments at a steady playback rate.
+class StreamingProfile final : public Profile {
+public:
+    struct Params {
+        std::size_t sessions = 50;
+        double session_rate = 2.0;       ///< session starts/second
+        std::size_t files = 20;
+        std::uint64_t file_size = 512ull << 20;
+        double zipf_s = 1.1;
+        std::uint64_t segment = 1ull << 20;  ///< bytes per segment read
+        double segment_interval = 0.1;       ///< seconds between segments
+        std::size_t mean_segments = 20;      ///< geometric session length
+    };
+    explicit StreamingProfile(Params p) : p_(p) {}
+    [[nodiscard]] Workload generate(sim::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "streaming"; }
+
+private:
+    Params p_;
+};
+
+/// Log-append: write-only record appends to a few log files (commit-log /
+/// logging tier behavior; exercises the GFS record-append path with its
+/// chunk padding and sequential disk locality).
+class LogAppendProfile final : public Profile {
+public:
+    struct Params {
+        std::size_t count = 1000;
+        double arrival_rate = 50.0;
+        std::size_t logs = 4;
+        std::uint64_t initial_size = 1ull << 20;
+        std::uint64_t min_record = 4096;
+        std::uint64_t max_record = 256ull << 10;
+    };
+    explicit LogAppendProfile(Params p) : p_(p) {}
+    [[nodiscard]] Workload generate(sim::Rng& rng) const override;
+    [[nodiscard]] std::string name() const override { return "logappend"; }
+
+private:
+    Params p_;
+};
+
+/// The paper's two validation requests (Table 2), issued back-to-back and
+/// unloaded: request 0 = 64 KB read, request 1 = 4 MB write.
+[[nodiscard]] Workload table2_validation_workload();
+
+}  // namespace kooza::workloads

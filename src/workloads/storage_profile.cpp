@@ -1,0 +1,222 @@
+#include "workloads/storage_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/fitting.hpp"
+#include "stats/timeseries.hpp"
+
+namespace kooza::workloads {
+
+StorageProfile StorageProfile::clone() const {
+    StorageProfile p;
+    p.request_rate = request_rate;
+    p.read_fraction = read_fraction;
+    p.randomness = randomness;
+    p.burstiness = burstiness;
+    p.size_dist = size_dist ? size_dist->clone() : nullptr;
+    p.mean_seek_fraction = mean_seek_fraction;
+    p.lbn_space = lbn_space;
+    return p;
+}
+
+std::string StorageProfile::describe() const {
+    std::ostringstream os;
+    os << "StorageProfile(rate=" << request_rate << "/s, read=" << read_fraction
+       << ", randomness=" << randomness << ", burstiness=" << burstiness
+       << ", size=" << (size_dist ? size_dist->describe() : "none")
+       << ", seek=" << mean_seek_fraction << ")";
+    return os.str();
+}
+
+StorageProfile extract_profile(std::span<const trace::StorageRecord> recs,
+                               double idc_window) {
+    if (recs.size() < 2)
+        throw std::invalid_argument("extract_profile: need >= 2 records");
+    std::vector<trace::StorageRecord> sorted(recs.begin(), recs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.time < b.time; });
+
+    StorageProfile p;
+    const double span = sorted.back().time - sorted.front().time;
+    p.request_rate = span > 0.0 ? double(sorted.size() - 1) / span
+                                : double(sorted.size());
+
+    std::size_t reads = 0;
+    std::uint64_t max_lbn = 0;
+    std::vector<double> sizes, arrivals;
+    sizes.reserve(sorted.size());
+    for (const auto& r : sorted) {
+        if (r.type == trace::IoType::kRead) ++reads;
+        max_lbn = std::max(max_lbn, r.lbn);
+        sizes.push_back(double(r.size_bytes));
+        arrivals.push_back(r.time);
+    }
+    p.read_fraction = double(reads) / double(sorted.size());
+    p.lbn_space = max_lbn + 1;
+    p.size_dist = stats::fit_or_empirical(sizes);
+    p.burstiness = std::max(stats::index_of_dispersion(arrivals, idc_window), 1e-6);
+
+    // Randomness + seek: an I/O is "sequential" when it starts where the
+    // previous one ended (within one block).
+    std::size_t random_ios = 0;
+    double seek_sum = 0.0;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        const auto& prev = sorted[i - 1];
+        const std::uint64_t expected = prev.lbn + std::max<std::uint64_t>(
+                                                      1, prev.size_bytes / 512);
+        const double jump =
+            std::fabs(double(sorted[i].lbn) - double(expected));
+        if (jump > 1.0) {
+            ++random_ios;
+            seek_sum += jump;
+        }
+    }
+    p.randomness = double(random_ios) / double(sorted.size() - 1);
+    p.mean_seek_fraction =
+        random_ios > 0 ? (seek_sum / double(random_ios)) / double(p.lbn_space) : 0.0;
+    return p;
+}
+
+std::vector<trace::StorageRecord> generate_trace(const StorageProfile& profile,
+                                                 std::size_t count, sim::Rng& rng) {
+    if (count == 0) throw std::invalid_argument("generate_trace: count 0");
+    if (!profile.size_dist)
+        throw std::invalid_argument("generate_trace: profile has no size dist");
+    if (!(profile.request_rate > 0.0))
+        throw std::invalid_argument("generate_trace: rate must be > 0");
+    const std::uint64_t lbn_space = std::max<std::uint64_t>(profile.lbn_space, 1024);
+
+    // Two-phase modulated arrivals scaled so that higher target burstiness
+    // means a hotter burst phase. IDC ~ 1 -> plain Poisson.
+    const bool bursty = profile.burstiness > 1.5;
+    const double quiet_rate = profile.request_rate * (bursty ? 0.5 : 1.0);
+    const double burst_rate =
+        profile.request_rate * (bursty ? std::min(1.0 + profile.burstiness, 20.0) : 1.0);
+    // Phase occupancy chosen to keep the long-run mean at request_rate:
+    // pi_quiet * quiet + (1-pi_quiet) * burst = rate.
+    const double pi_quiet =
+        bursty ? (burst_rate - profile.request_rate) / (burst_rate - quiet_rate) : 1.0;
+    const double s_quiet = 0.5;  // leave quiet every ~2 s
+    const double s_burst = bursty && pi_quiet < 1.0
+                               ? s_quiet * pi_quiet / (1.0 - pi_quiet)
+                               : 1.0;
+
+    std::vector<trace::StorageRecord> out;
+    out.reserve(count);
+    double t = 0.0;
+    int phase = 0;
+    std::uint64_t cursor = std::uint64_t(rng.uniform(0.0, double(lbn_space)));
+    for (std::size_t i = 0; i < count; ++i) {
+        // Arrival (competing exponentials when bursty).
+        if (bursty) {
+            for (;;) {
+                const double rate = phase == 0 ? quiet_rate : burst_rate;
+                const double sw = phase == 0 ? s_quiet : s_burst;
+                const double ta = rng.exponential(rate);
+                const double ts = rng.exponential(sw);
+                if (ta <= ts) {
+                    t += ta;
+                    break;
+                }
+                t += ts;
+                phase ^= 1;
+            }
+        } else {
+            t += rng.exponential(profile.request_rate);
+        }
+
+        trace::StorageRecord rec;
+        rec.time = t;
+        rec.request_id = i;
+        rec.type = rng.bernoulli(profile.read_fraction) ? trace::IoType::kRead
+                                                        : trace::IoType::kWrite;
+        const double raw = profile.size_dist->sample(rng);
+        rec.size_bytes = std::uint64_t(std::max(raw, 512.0));
+        if (rng.bernoulli(profile.randomness)) {
+            // Random jump whose magnitude follows the profile's mean seek.
+            const double scale =
+                std::max(profile.mean_seek_fraction, 1e-6) * double(lbn_space);
+            const double jump = rng.exponential(1.0 / scale) *
+                                (rng.bernoulli(0.5) ? 1.0 : -1.0);
+            double target = double(cursor) + jump;
+            if (target < 0.0) target = -target;
+            cursor = std::uint64_t(target) % lbn_space;
+        }
+        rec.lbn = cursor;
+        cursor = (cursor + std::max<std::uint64_t>(1, rec.size_bytes / 512)) %
+                 lbn_space;
+        out.push_back(rec);
+    }
+    return out;
+}
+
+double predict_latency(const StorageProfile& profile, const hw::DiskParams& disk) {
+    if (!profile.size_dist)
+        throw std::invalid_argument("predict_latency: profile has no size dist");
+    // Per-I/O service time: random I/Os pay seek + rotation, sequential
+    // ones only transfer. Seek uses the disk's sqrt curve at the profile's
+    // mean seek fraction.
+    const double mean_size = profile.size_dist->mean();
+    const double transfer = mean_size / disk.transfer_rate;
+    // The profile's seek fraction is relative to the *observed* LBN span;
+    // rescale it to the target disk's full stroke before applying the
+    // device's seek curve.
+    const double seek_blocks =
+        profile.mean_seek_fraction * double(std::max<std::uint64_t>(
+                                         profile.lbn_space, 1));
+    const double seek_fraction = std::min(1.0, seek_blocks / double(disk.lbn_count));
+    const double seek = disk.min_seek +
+                        (disk.max_seek - disk.min_seek) * std::sqrt(seek_fraction);
+    const double rotation = 0.5 * 60.0 / disk.rpm;
+    const double mean_service =
+        transfer + profile.randomness * (seek + rotation);
+
+    // Service-time second moment (size variance + seek/no-seek mixture).
+    const double var_size = profile.size_dist->variance();
+    const double var_transfer =
+        std::isfinite(var_size)
+            ? var_size / (disk.transfer_rate * disk.transfer_rate)
+            : 0.0;
+    const double overhead = seek + rotation;
+    const double p = profile.randomness;
+    const double var_overhead = p * (1.0 - p) * overhead * overhead;
+    const double var_service = var_transfer + var_overhead;
+    const double scv =
+        mean_service > 0.0 ? var_service / (mean_service * mean_service) : 0.0;
+
+    const double rho = profile.request_rate * mean_service;
+    if (rho >= 1.0)
+        throw std::invalid_argument("predict_latency: profile overloads the disk");
+    // Pollaczek-Khinchine, with the burstiness of the arrival stream
+    // scaling the waiting term (batch-arrival approximation).
+    const double wait = rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho)) *
+                        std::max(profile.burstiness, 1.0);
+    return wait + mean_service;
+}
+
+double measure_latency(std::span<const trace::StorageRecord> recs,
+                       const hw::DiskParams& disk) {
+    if (recs.empty()) throw std::invalid_argument("measure_latency: empty trace");
+    sim::Engine eng;
+    hw::Disk device(eng, disk, nullptr);
+    double total = 0.0;
+    std::size_t done = 0;
+    for (const auto& r : recs) {
+        eng.schedule_at(r.time, [&, r] {
+            device.io(r.request_id, std::min<std::uint64_t>(r.lbn, disk.lbn_count - 1),
+                      r.size_bytes, r.type, [&](double latency) {
+                          total += latency;
+                          ++done;
+                      });
+        });
+    }
+    eng.run();
+    return total / double(done);
+}
+
+}  // namespace kooza::workloads

@@ -1,0 +1,76 @@
+// Rome-style storage workload profiles.
+//
+// Three storage-modeling papers in the survey meet here:
+//  * Ozmen '07 uses the Rome model: storage activity as "a stream of
+//    stores characterized by parameters like: randomness, request rates,
+//    read/write mix, burstiness, and request size" — StorageProfile is
+//    exactly that parameter set.
+//  * Sankar '09 characterizes production storage traces — extract_profile
+//    measures the Rome parameters from a StorageRecord stream.
+//  * Gulati '09 predicts "the expected latency to service I/O requests"
+//    from the workload profile — predict_latency is that estimator
+//    (M/G/1 on the disk mechanics).
+// generate_trace closes the loop: a profile is enough to synthesize a
+// representative trace without the platform the original was captured on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/disk.hpp"
+#include "sim/rng.hpp"
+#include "stats/distributions.hpp"
+#include "trace/records.hpp"
+
+namespace kooza::workloads {
+
+/// The Rome parameter set for one storage workload.
+struct StorageProfile {
+    double request_rate = 0.0;    ///< I/Os per second
+    double read_fraction = 1.0;   ///< reads / all
+    double randomness = 1.0;      ///< fraction of non-sequential I/Os
+    double burstiness = 1.0;      ///< index of dispersion of arrival counts
+    std::unique_ptr<stats::Distribution> size_dist;  ///< request size (bytes)
+    double mean_seek_fraction = 0.0;  ///< mean LBN jump / LBN-space size
+    std::uint64_t lbn_space = 0;      ///< observed LBN space (max + 1)
+
+    StorageProfile() = default;
+    StorageProfile(StorageProfile&&) = default;
+    StorageProfile& operator=(StorageProfile&&) = default;
+    /// Deep copy (clones the size distribution).
+    [[nodiscard]] StorageProfile clone() const;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Measure the Rome parameters of a storage trace (Sankar-style
+/// characterization). Requires >= 2 records. `idc_window` is the bin
+/// width for the burstiness measurement.
+[[nodiscard]] StorageProfile extract_profile(std::span<const trace::StorageRecord> recs,
+                                             double idc_window = 0.1);
+
+/// Synthesize a storage trace from a profile (Rome-style generation):
+/// bursty arrivals (two-phase modulated Poisson scaled to the profile's
+/// burstiness), sequential runs broken by random jumps per `randomness`,
+/// sizes from the profile's distribution, reads/writes per the mix.
+/// Latency fields are left 0 (the trace has not been serviced yet).
+[[nodiscard]] std::vector<trace::StorageRecord> generate_trace(
+    const StorageProfile& profile, std::size_t count, sim::Rng& rng);
+
+/// Gulati-style analytic latency prediction: expected mean I/O latency of
+/// the profile on a disk, modeling the device as an M/G/1 queue whose
+/// service time comes from the disk mechanics (seek by randomness,
+/// rotation, transfer by size). Throws std::invalid_argument if the
+/// profile overloads the disk (utilization >= 1).
+[[nodiscard]] double predict_latency(const StorageProfile& profile,
+                                     const hw::DiskParams& disk);
+
+/// Convenience: run a (possibly synthetic) trace against a simulated Disk
+/// and return the measured mean latency — the oracle predict_latency is
+/// validated against.
+[[nodiscard]] double measure_latency(std::span<const trace::StorageRecord> recs,
+                                     const hw::DiskParams& disk);
+
+}  // namespace kooza::workloads

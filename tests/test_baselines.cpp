@@ -1,0 +1,135 @@
+// Tests for the in-breadth and in-depth baseline models.
+#include <gtest/gtest.h>
+
+#include "baselines/inbreadth.hpp"
+#include "baselines/indepth.hpp"
+#include "core/trainer.hpp"
+#include "gfs/cluster.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/features.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using kooza::baselines::InBreadthModel;
+using kooza::baselines::InDepthModel;
+using kooza::sim::Rng;
+using kooza::trace::IoType;
+
+kooza::trace::TraceSet simulate(std::size_t count, std::uint64_t seed) {
+    kooza::gfs::GfsConfig cfg;
+    kooza::gfs::Cluster cluster(cfg);
+    Rng rng(seed);
+    kooza::workloads::MicroProfile profile({.count = count, .arrival_rate = 20.0});
+    profile.generate(rng).install(cluster);
+    cluster.run();
+    return cluster.traces();
+}
+
+TEST(InBreadth, GeneratesWithoutStructure) {
+    const auto ts = simulate(300, 1);
+    const auto model = InBreadthModel::train(ts);
+    Rng rng(2);
+    const auto w = model.generate(200, rng);
+    EXPECT_EQ(w.requests.size(), 200u);
+    for (const auto& r : w.requests) EXPECT_TRUE(r.phases.empty());
+    EXPECT_NE(w.model_name.find("in-breadth"), std::string::npos);
+}
+
+TEST(InBreadth, FeatureDistributionsPreserved) {
+    const auto ts = simulate(400, 3);
+    const auto model = InBreadthModel::train(ts);
+    Rng rng(4);
+    const auto w = model.generate(1000, rng);
+    // Feature means track the original (the in-breadth strength).
+    const auto orig = kooza::trace::extract_features(ts);
+    double orig_sto = kooza::stats::mean(kooza::trace::column_storage_bytes(orig));
+    double synth_sto = 0.0;
+    for (const auto& r : w.requests) synth_sto += double(r.storage_bytes);
+    synth_sto /= double(w.requests.size());
+    EXPECT_NEAR(synth_sto, orig_sto, orig_sto * 0.15);
+}
+
+TEST(InBreadth, FewerParamsThanWithStructure) {
+    const auto ts = simulate(200, 5);
+    const auto model = InBreadthModel::train(ts);
+    const auto full = kooza::core::Trainer().train(ts);
+    EXPECT_LT(model.parameter_count(), full.parameter_count());
+    EXPECT_FALSE(model.describe().empty());
+}
+
+TEST(InDepth, RequiresSpans) {
+    auto ts = simulate(100, 6);
+    ts.spans.clear();
+    EXPECT_THROW(InDepthModel::train(ts), std::invalid_argument);
+}
+
+TEST(InDepth, StructureLearned) {
+    const auto ts = simulate(300, 7);
+    const auto model = InDepthModel::train(ts);
+    EXPECT_TRUE(model.has_reads());
+    EXPECT_TRUE(model.has_writes());
+    const std::vector<std::string> fig1{"net.rx",  "cpu.verify",    "mem.buffer",
+                                        "disk.io", "cpu.aggregate", "net.tx"};
+    EXPECT_EQ(model.read_structure().dominant(), fig1);
+}
+
+TEST(InDepth, GeneratesConstantMeanFeatures) {
+    const auto ts = simulate(300, 8);
+    const auto model = InDepthModel::train(ts);
+    Rng rng(9);
+    const auto w = model.generate(500, rng);
+    // All reads share identical feature values (means only).
+    std::uint64_t first_read_size = 0;
+    for (const auto& r : w.requests) {
+        if (r.type != IoType::kRead) continue;
+        if (first_read_size == 0)
+            first_read_size = r.storage_bytes;
+        else
+            EXPECT_EQ(r.storage_bytes, first_read_size);
+        EXPECT_FALSE(r.phases.empty());
+    }
+    EXPECT_GT(first_read_size, 0u);
+}
+
+TEST(InDepth, PredictLatenciesPlausible) {
+    const auto ts = simulate(300, 10);
+    const auto model = InDepthModel::train(ts);
+    Rng rng(11);
+    const auto lats = model.predict_latencies(500, rng);
+    ASSERT_EQ(lats.size(), 500u);
+    const auto orig = kooza::trace::extract_features(ts);
+    const double orig_mean = kooza::stats::mean(kooza::trace::column_latency(orig));
+    // Queueing-model prediction lands within 50% of truth (the paper's
+    // point: decent timing, no feature fidelity).
+    EXPECT_NEAR(kooza::stats::mean(lats), orig_mean, orig_mean * 0.5);
+    EXPECT_THROW(model.predict_latencies(0, rng), std::invalid_argument);
+}
+
+TEST(InDepth, ReadFractionPreserved) {
+    const auto ts = simulate(400, 12);
+    const auto model = InDepthModel::train(ts);
+    Rng rng(13);
+    const auto w = model.generate(1000, rng);
+    std::size_t reads = 0;
+    for (const auto& r : w.requests)
+        if (r.type == IoType::kRead) ++reads;
+    EXPECT_NEAR(double(reads) / 1000.0, model.read_fraction(), 0.05);
+}
+
+TEST(InDepth, ParamCountSmallerThanInBreadth) {
+    const auto ts = simulate(300, 14);
+    const auto indepth = InDepthModel::train(ts);
+    const auto inbreadth = InBreadthModel::train(ts);
+    // The paper's "simplicity of the model" point: the queueing model is
+    // far smaller than four annotated chains.
+    EXPECT_LT(indepth.parameter_count(), inbreadth.parameter_count());
+    EXPECT_FALSE(indepth.describe().empty());
+}
+
+TEST(InDepth, EmptyTraceThrows) {
+    kooza::trace::TraceSet empty;
+    EXPECT_THROW(InDepthModel::train(empty), std::invalid_argument);
+}
+
+}  // namespace

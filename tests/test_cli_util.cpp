@@ -1,0 +1,54 @@
+// Tests for the CLI flag parser shared by the kooza_* tools.
+#include <gtest/gtest.h>
+
+#include "../tools/cli_util.hpp"
+
+namespace {
+
+using kooza::cli::Args;
+
+Args make(std::vector<std::string> argv) {
+    std::vector<char*> ptrs;
+    ptrs.push_back(const_cast<char*>("prog"));
+    for (auto& a : argv) ptrs.push_back(a.data());
+    return Args(int(ptrs.size()), ptrs.data());
+}
+
+TEST(CliArgs, PositionalAndFlags) {
+    auto args = make({"trace-dir", "--count", "42", "--out", "/tmp/x"});
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "trace-dir");
+    EXPECT_EQ(args.get_u64("count", 0), 42u);
+    EXPECT_EQ(args.get("out", ""), "/tmp/x");
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+    auto args = make({"x"});
+    EXPECT_EQ(args.get_u64("count", 7), 7u);
+    EXPECT_DOUBLE_EQ(args.get_double("rate", 2.5), 2.5);
+    EXPECT_EQ(args.get("out", "fallback"), "fallback");
+}
+
+TEST(CliArgs, DoubleParsing) {
+    auto args = make({"--rate", "12.75"});
+    EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 12.75);
+    EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(CliArgs, MissingFlagValueThrows) {
+    EXPECT_THROW(make({"dir", "--count"}), std::invalid_argument);
+}
+
+TEST(CliArgs, InterleavedOrder) {
+    auto args = make({"--a", "1", "pos1", "--b", "2", "pos2"});
+    EXPECT_EQ(args.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+    EXPECT_EQ(args.get("a", ""), "1");
+    EXPECT_EQ(args.get("b", ""), "2");
+}
+
+TEST(CliArgs, EmptyCommandLine) {
+    auto args = make({});
+    EXPECT_TRUE(args.positional().empty());
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Tests for the workload characterization report.
+#include <gtest/gtest.h>
+
+#include "core/characterize.hpp"
+#include "gfs/cluster.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using namespace kooza;
+
+trace::TraceSet run_profile(const workloads::Profile& p, std::uint64_t seed) {
+    gfs::GfsConfig cfg;
+    gfs::Cluster cluster(cfg);
+    sim::Rng rng(seed);
+    p.generate(rng).install(cluster);
+    cluster.run();
+    return cluster.traces();
+}
+
+TEST(Characterize, BasicVolumeAndMix) {
+    const auto ts = run_profile(
+        workloads::MicroProfile({.count = 300, .arrival_rate = 20.0,
+                                 .read_fraction = 0.7}),
+        1);
+    const auto r = core::characterize(ts);
+    EXPECT_EQ(r.requests, 300u);
+    EXPECT_NEAR(r.arrival_rate, 20.0, 3.0);
+    EXPECT_NEAR(r.read_fraction, 0.7, 0.08);
+    EXPECT_GT(r.duration, 0.0);
+    EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(Characterize, PoissonStreamRecognized) {
+    const auto ts = run_profile(
+        workloads::MicroProfile({.count = 800, .arrival_rate = 25.0}), 2);
+    const auto r = core::characterize(ts);
+    // Exponential gaps (or a generalization that nests it).
+    EXPECT_TRUE(r.arrival_family == "exponential" || r.arrival_family == "weibull" ||
+                r.arrival_family == "gamma")
+        << r.arrival_family;
+    EXPECT_LT(r.burstiness_idc, 2.5);
+}
+
+TEST(Characterize, BurstyOltpFlagged) {
+    const auto ts =
+        run_profile(workloads::OltpProfile({.count = 2000, .base_rate = 30.0}), 3);
+    const auto r = core::characterize(ts);
+    EXPECT_GT(r.burstiness_idc, 3.0);
+    EXPECT_GT(r.peak_to_mean, 2.0);
+}
+
+TEST(Characterize, StreamingIsReadOnly) {
+    const auto ts = run_profile(workloads::StreamingProfile({.sessions = 40}), 4);
+    const auto r = core::characterize(ts);
+    EXPECT_DOUBLE_EQ(r.read_fraction, 1.0);
+}
+
+TEST(Characterize, PcaDimsWithinBounds) {
+    const auto ts = run_profile(
+        workloads::WebSearchProfile({.count = 500, .arrival_rate = 30.0}), 5);
+    const auto r = core::characterize(ts);
+    EXPECT_GE(r.pca_dims_90, 1u);
+    EXPECT_LE(r.pca_dims_90, r.feature_dims);
+    EXPECT_EQ(r.feature_dims, 5u);
+}
+
+TEST(Correlation, LatencyTracksStorageBytes) {
+    // Micro profile: bimodal sizes dominate latency, so latency must
+    // correlate strongly with storage bytes.
+    const auto ts = run_profile(
+        workloads::MicroProfile({.count = 400, .arrival_rate = 15.0}), 7);
+    const auto r = core::correlation_report(ts);
+    ASSERT_EQ(r.names.size(), 5u);
+    const auto idx = [&](const std::string& n) {
+        return std::size_t(std::find(r.names.begin(), r.names.end(), n) -
+                           r.names.begin());
+    };
+    EXPECT_GT(r.matrix[idx("sto_bytes")][idx("latency")], 0.6);
+    // Diagonal is exactly 1, matrix symmetric.
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(r.matrix[i][i], 1.0);
+        for (std::size_t j = 0; j < 5; ++j)
+            EXPECT_DOUBLE_EQ(r.matrix[i][j], r.matrix[j][i]);
+    }
+}
+
+TEST(Correlation, PerformanceModelPredicts) {
+    const auto ts = run_profile(
+        workloads::MicroProfile({.count = 400, .arrival_rate = 15.0}), 8);
+    const auto r = core::correlation_report(ts);
+    EXPECT_GT(r.perf_r_squared, 0.5);
+    // Predicting the average request's latency lands near the mean.
+    const auto features = trace::extract_features(ts);
+    double err = 0.0, mean_lat = 0.0;
+    for (const auto& f : features) {
+        err += std::fabs(r.predict_latency(f) - f.latency);
+        mean_lat += f.latency;
+    }
+    err /= double(features.size());
+    mean_lat /= double(features.size());
+    EXPECT_LT(err, mean_lat * 0.5);
+    EXPECT_NE(r.to_string().find("R^2"), std::string::npos);
+}
+
+TEST(Correlation, TooFewRequestsRejected) {
+    const auto ts = run_profile(
+        workloads::MicroProfile({.count = 5, .arrival_rate = 15.0}), 9);
+    EXPECT_THROW(core::correlation_report(ts), std::invalid_argument);
+}
+
+TEST(Characterize, Validation) {
+    trace::TraceSet empty;
+    EXPECT_THROW(core::characterize(empty), std::invalid_argument);
+    const auto ts = run_profile(
+        workloads::MicroProfile({.count = 100, .arrival_rate = 20.0}), 6);
+    EXPECT_THROW(core::characterize(ts, 0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Tests for the KOOZA trainer, ServerModel, generator and validator.
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+#include "core/trainer.hpp"
+#include "core/validator.hpp"
+#include "gfs/cluster.hpp"
+#include "trace/features.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using namespace kooza::core;
+using kooza::sim::Rng;
+using kooza::trace::IoType;
+
+kooza::trace::TraceSet simulate_micro(std::size_t count, std::uint64_t seed,
+                                      double read_fraction = 0.5) {
+    kooza::gfs::GfsConfig cfg;
+    kooza::gfs::Cluster cluster(cfg);
+    Rng rng(seed);
+    kooza::workloads::MicroProfile profile(
+        {.count = count, .arrival_rate = 20.0, .read_fraction = read_fraction});
+    profile.generate(rng).install(cluster);
+    cluster.run();
+    return cluster.traces();
+}
+
+TEST(Trainer, LearnsReadFraction) {
+    const auto ts = simulate_micro(300, 1, 0.7);
+    const auto model = Trainer({.workload_name = "m"}).train(ts);
+    EXPECT_NEAR(model.read_fraction(), 0.7, 0.08);
+    EXPECT_TRUE(model.has_reads());
+    EXPECT_TRUE(model.has_writes());
+    EXPECT_EQ(model.workload_name(), "m");
+}
+
+TEST(Trainer, PoissonArrivalsRecognized) {
+    const auto ts = simulate_micro(400, 2);
+    const auto model = Trainer().train(ts);
+    EXPECT_NE(model.arrivals().describe().find("poisson"), std::string::npos);
+    EXPECT_NEAR(model.arrivals().mean_rate(), 20.0, 3.0);
+}
+
+TEST(Trainer, StateSpaceSizesFromConfig) {
+    const auto ts = simulate_micro(200, 3);
+    TrainerConfig cfg;
+    cfg.lbn_ranges = 8;
+    cfg.util_levels = 6;
+    const auto model = Trainer(cfg).train(ts);
+    EXPECT_EQ(model.lbn_states().n_states(), 8u);
+    EXPECT_EQ(model.util_states().n_states(), 6u);
+    // Banks inferred from the simulator's 4-bank memory.
+    EXPECT_EQ(model.bank_states().n_states(), 4u);
+}
+
+TEST(Trainer, StructureLearnedPerType) {
+    const auto ts = simulate_micro(300, 4);
+    const auto model = Trainer().train(ts);
+    // Dominant read structure is the Fig. 1 path.
+    const auto& seq = model.reads().structure.dominant();
+    const std::vector<std::string> fig1{"net.rx",  "cpu.verify",    "mem.buffer",
+                                        "disk.io", "cpu.aggregate", "net.tx"};
+    EXPECT_EQ(seq, fig1);
+    EXPECT_EQ(model.writes().structure.dominant(), fig1);
+}
+
+TEST(Trainer, VerifyFractionLearned) {
+    const auto ts = simulate_micro(300, 5);
+    const auto model = Trainer().train(ts);
+    EXPECT_GT(model.cpu_verify_fraction(), 0.1);
+    EXPECT_LT(model.cpu_verify_fraction(), 0.9);
+}
+
+TEST(Trainer, FallbackStructureWhenNoSpans) {
+    auto ts = simulate_micro(200, 6);
+    ts.spans.clear();
+    const auto model = Trainer().train(ts);
+    EXPECT_EQ(model.reads().structure.training_traces(), 0u);  // canonical
+    EXPECT_FALSE(model.reads().structure.dominant().empty());
+}
+
+TEST(Trainer, NoFallbackThrowsWithoutSpans) {
+    auto ts = simulate_micro(100, 7);
+    ts.spans.clear();
+    TrainerConfig cfg;
+    cfg.fallback_structure = false;
+    EXPECT_THROW(Trainer(cfg).train(ts), std::invalid_argument);
+}
+
+TEST(Trainer, EmptyTraceThrows) {
+    kooza::trace::TraceSet empty;
+    EXPECT_THROW(Trainer().train(empty), std::invalid_argument);
+}
+
+TEST(Trainer, SingleTypeWorkload) {
+    const auto ts = simulate_micro(150, 8, 1.0);  // all reads
+    const auto model = Trainer().train(ts);
+    EXPECT_TRUE(model.has_reads());
+    EXPECT_FALSE(model.has_writes());
+    EXPECT_THROW((void)model.writes(), std::logic_error);
+    EXPECT_DOUBLE_EQ(model.read_fraction(), 1.0);
+}
+
+TEST(Model, ParameterCountPositiveAndDescribed) {
+    const auto ts = simulate_micro(200, 9);
+    const auto model = Trainer().train(ts);
+    EXPECT_GT(model.parameter_count(), 10u);
+    const auto text = model.describe();
+    EXPECT_NE(text.find("arrivals"), std::string::npos);
+    EXPECT_NE(text.find("read structure"), std::string::npos);
+}
+
+TEST(Generator, CountAndArrivalSpacing) {
+    const auto ts = simulate_micro(300, 10);
+    const auto model = Trainer().train(ts);
+    Rng rng(11);
+    const auto w = Generator(model).generate(500, rng);
+    ASSERT_EQ(w.requests.size(), 500u);
+    for (std::size_t i = 1; i < w.requests.size(); ++i)
+        EXPECT_GE(w.requests[i].time, w.requests[i - 1].time);
+    const double span = w.requests.back().time - w.requests.front().time;
+    EXPECT_NEAR(500.0 / span, 20.0, 4.0);
+}
+
+TEST(Generator, FeaturesMatchTrainingMixture) {
+    const auto ts = simulate_micro(400, 12);
+    const auto model = Trainer().train(ts);
+    Rng rng(13);
+    const auto w = Generator(model).generate(1000, rng);
+    std::size_t reads = 0;
+    for (const auto& r : w.requests) {
+        if (r.type == IoType::kRead) {
+            ++reads;
+            EXPECT_NEAR(double(r.storage_bytes), 65536.0, 65536.0 * 0.2);
+        } else {
+            EXPECT_NEAR(double(r.storage_bytes), double(4 << 20),
+                        double(4 << 20) * 0.2);
+            EXPECT_EQ(r.memory_type, IoType::kWrite);
+        }
+        EXPECT_FALSE(r.phases.empty());
+        EXPECT_GE(r.cpu_busy_seconds, 0.0);
+        EXPECT_GT(r.network_bytes, 0u);
+    }
+    EXPECT_NEAR(double(reads) / 1000.0, model.read_fraction(), 0.05);
+}
+
+TEST(Generator, DeterministicBySeed) {
+    const auto ts = simulate_micro(200, 14);
+    const auto model = Trainer().train(ts);
+    Rng a(15), b(15);
+    const auto wa = Generator(model).generate(100, a);
+    const auto wb = Generator(model).generate(100, b);
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(wa.requests[i].time, wb.requests[i].time);
+        EXPECT_EQ(wa.requests[i].storage_bytes, wb.requests[i].storage_bytes);
+    }
+}
+
+TEST(Generator, ZeroCountRejected) {
+    const auto ts = simulate_micro(100, 16);
+    const auto model = Trainer().train(ts);
+    Rng rng(17);
+    EXPECT_THROW(Generator(model).generate(0, rng), std::invalid_argument);
+}
+
+TEST(Validator, SingleRequestRows) {
+    kooza::trace::RequestFeatures a, b;
+    a.network_bytes = 65536;
+    b.network_bytes = 65536;
+    a.cpu_utilization = 0.021;
+    b.cpu_utilization = 0.023;
+    a.latency = 0.0114;
+    b.latency = 0.01185;
+    const auto rep = compare_single(a, b, "1st User Request");
+    EXPECT_EQ(rep.rows.size(), 7u);
+    EXPECT_DOUBLE_EQ(rep.rows[0].variation_pct, 0.0);  // network size exact
+    EXPECT_NEAR(rep.latency_variation(), 3.947, 0.01);
+    EXPECT_NE(rep.to_table().find("1st User Request"), std::string::npos);
+}
+
+TEST(Validator, AggregateComparison) {
+    const auto ts = simulate_micro(200, 18);
+    const auto fs = kooza::trace::extract_features(ts);
+    const auto rep = compare_features(fs, fs, "self");
+    EXPECT_DOUBLE_EQ(rep.max_feature_variation(), 0.0);
+    EXPECT_DOUBLE_EQ(rep.latency_variation(), 0.0);
+    EXPECT_THROW(compare_features({}, fs, "x"), std::invalid_argument);
+}
+
+TEST(Validator, LatencyKsZeroForIdentical) {
+    const auto ts = simulate_micro(150, 19);
+    const auto fs = kooza::trace::extract_features(ts);
+    EXPECT_DOUBLE_EQ(latency_ks(fs, fs), 0.0);
+}
+
+TEST(Synthetic, ToFeaturesProjection) {
+    SyntheticWorkload w;
+    w.model_name = "test";
+    SyntheticRequest r;
+    r.time = 1.5;
+    r.network_bytes = 100;
+    r.memory_bytes = 50;
+    r.storage_bytes = 200;
+    r.cpu_busy_seconds = 0.01;
+    w.requests.push_back(r);
+    const auto fs = to_features(w);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].network_bytes, 100u);
+    EXPECT_DOUBLE_EQ(fs[0].arrival, 1.5);
+    EXPECT_DOUBLE_EQ(fs[0].cpu_busy_seconds, 0.01);
+}
+
+}  // namespace

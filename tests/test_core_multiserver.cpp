@@ -1,0 +1,133 @@
+// Tests for per-server trace capture and the multi-server ClusterModel.
+#include <gtest/gtest.h>
+
+#include "core/multiserver.hpp"
+#include "core/replayer.hpp"
+#include "gfs/cluster.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/features.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using namespace kooza;
+using trace::IoType;
+
+/// Web-search over 4 servers: Zipf shard popularity skews load so the
+/// server holding shard.0 is hottest.
+gfs::Cluster make_skewed_cluster(std::uint64_t seed) {
+    gfs::GfsConfig cfg;
+    cfg.n_chunkservers = 4;
+    gfs::Cluster cluster(cfg);
+    sim::Rng rng(seed);
+    // Single-chunk shards (32 MB < the 64 MB chunk size) so each shard
+    // lives on exactly one server and the Zipf popularity translates into
+    // per-server load skew instead of striping away.
+    workloads::WebSearchProfile profile({.count = 800,
+                                         .arrival_rate = 40.0,
+                                         .shards = 8,
+                                         .shard_size = 32ull << 20,
+                                         .zipf_s = 1.2});
+    profile.generate(rng).install(cluster);
+    cluster.run();
+    return cluster;
+}
+
+TEST(PerServerTraces, PartitionDeviceRecords) {
+    auto cluster = make_skewed_cluster(1);
+    const auto all = cluster.traces();
+    std::size_t storage_sum = 0;
+    for (std::size_t s = 0; s < cluster.n_servers(); ++s) {
+        const auto ts = cluster.traces_for_server(s);
+        storage_sum += ts.storage.size();
+        // Every per-server view carries its requests' end-to-end records.
+        EXPECT_FALSE(ts.requests.empty());
+        EXPECT_FALSE(ts.spans.empty());
+    }
+    EXPECT_EQ(storage_sum, all.storage.size());
+    EXPECT_THROW((void)cluster.traces_for_server(99), std::out_of_range);
+}
+
+TEST(PerServerTraces, LoadSkewVisible) {
+    auto cluster = make_skewed_cluster(2);
+    std::vector<std::size_t> per_server;
+    for (std::size_t s = 0; s < cluster.n_servers(); ++s)
+        per_server.push_back(cluster.traces_for_server(s).requests.size());
+    const auto [mn, mx] = std::minmax_element(per_server.begin(), per_server.end());
+    EXPECT_GT(*mx, *mn * 2);  // Zipf 1.2 over 8 shards on 4 servers
+}
+
+std::vector<trace::TraceSet> per_server_traces(gfs::Cluster& cluster) {
+    std::vector<trace::TraceSet> out;
+    for (std::size_t s = 0; s < cluster.n_servers(); ++s)
+        out.push_back(cluster.traces_for_server(s));
+    return out;
+}
+
+TEST(ClusterModel, TrainsOneInstancePerServer) {
+    auto cluster = make_skewed_cluster(3);
+    const auto traces = per_server_traces(cluster);
+    const auto model = core::ClusterModel::train(traces);
+    EXPECT_EQ(model.n_servers(), 4u);
+    EXPECT_GT(model.parameter_count(), model.server(0).parameter_count());
+    EXPECT_FALSE(model.describe().empty());
+}
+
+TEST(ClusterModel, PreservesLoadSkew) {
+    auto cluster = make_skewed_cluster(4);
+    const auto traces = per_server_traces(cluster);
+    const auto model = core::ClusterModel::train(traces);
+    // Learned rates ordered like observed per-server request counts.
+    const auto rates = model.arrival_rates();
+    std::vector<double> observed;
+    for (const auto& ts : traces) observed.push_back(double(ts.requests.size()));
+    EXPECT_GT(stats::correlation(rates, observed), 0.9);
+
+    // Generated streams keep the skew.
+    sim::Rng rng(5);
+    const auto w = model.generate(10.0, rng);
+    std::vector<double> generated(model.n_servers(), 0.0);
+    for (const auto& r : w.requests) generated[r.server] += 1.0;
+    EXPECT_GT(stats::correlation(generated, observed), 0.9);
+}
+
+TEST(ClusterModel, GeneratedStreamSortedAndBounded) {
+    auto cluster = make_skewed_cluster(6);
+    const auto model = core::ClusterModel::train(per_server_traces(cluster));
+    sim::Rng rng(7);
+    const auto w = model.generate(5.0, rng);
+    ASSERT_FALSE(w.requests.empty());
+    for (std::size_t i = 1; i < w.requests.size(); ++i)
+        EXPECT_GE(w.requests[i].time, w.requests[i - 1].time);
+    for (const auto& r : w.requests) {
+        EXPECT_LE(r.time, 5.0);
+        EXPECT_LT(r.server, 4u);
+    }
+}
+
+TEST(ClusterModel, ReplaysAcrossMatchingServers) {
+    auto cluster = make_skewed_cluster(8);
+    const auto model = core::ClusterModel::train(per_server_traces(cluster));
+    sim::Rng rng(9);
+    const auto w = model.generate(8.0, rng);
+    core::ReplayConfig rc;
+    rc.n_servers = model.n_servers();
+    core::Replayer rep(rc);
+    const auto res = rep.replay(w);
+    EXPECT_EQ(res.latencies.size(), w.requests.size());
+    EXPECT_EQ(res.unknown_phases, 0u);
+    EXPECT_EQ(res.traces.requests.size(), w.requests.size());
+}
+
+TEST(ClusterModel, Validation) {
+    EXPECT_THROW(core::ClusterModel::train({}), std::invalid_argument);
+    trace::TraceSet empty;
+    const std::vector<trace::TraceSet> with_empty{empty};
+    EXPECT_THROW(core::ClusterModel::train(with_empty), std::invalid_argument);
+    auto cluster = make_skewed_cluster(10);
+    const auto model = core::ClusterModel::train(per_server_traces(cluster));
+    sim::Rng rng(11);
+    EXPECT_THROW(model.generate(0.0, rng), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Tests for the replayer: structured vs independent modes, trace output,
+// incast behaviour, and phase handling.
+#include <gtest/gtest.h>
+
+#include "core/replayer.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/features.hpp"
+
+namespace {
+
+using namespace kooza::core;
+using kooza::trace::IoType;
+
+SyntheticRequest basic_read(double t) {
+    SyntheticRequest r;
+    r.time = t;
+    r.type = IoType::kRead;
+    r.network_bytes = 65536;
+    r.cpu_busy_seconds = 0.0002;
+    r.memory_bytes = 16384;
+    r.memory_type = IoType::kRead;
+    r.bank = 1;
+    r.storage_bytes = 65536;
+    r.storage_type = IoType::kRead;
+    r.lbn = 4096;
+    r.phases = {"net.rx",  "cpu.verify",    "mem.buffer",
+                "disk.io", "cpu.aggregate", "net.tx"};
+    return r;
+}
+
+SyntheticWorkload workload_of(std::vector<SyntheticRequest> rs) {
+    SyntheticWorkload w;
+    w.model_name = "test";
+    w.requests = std::move(rs);
+    return w;
+}
+
+TEST(Replayer, StructuredProducesFullTraces) {
+    Replayer rep;
+    const auto res = rep.replay(workload_of({basic_read(0.0)}));
+    ASSERT_EQ(res.latencies.size(), 1u);
+    EXPECT_GT(res.latencies[0], 0.0);
+    EXPECT_EQ(res.traces.requests.size(), 1u);
+    EXPECT_EQ(res.traces.storage.size(), 1u);
+    EXPECT_EQ(res.traces.cpu.size(), 2u);  // verify + aggregate
+    EXPECT_EQ(res.traces.memory.size(), 1u);
+    EXPECT_EQ(res.traces.network.size(), 1u);  // read payload on net.tx
+    EXPECT_EQ(res.unknown_phases, 0u);
+}
+
+TEST(Replayer, FeatureProjectionMatchesInput) {
+    Replayer rep;
+    const auto res = rep.replay(workload_of({basic_read(0.0)}));
+    const auto fs = kooza::trace::extract_features(res.traces);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].network_bytes, 65536u);
+    EXPECT_EQ(fs[0].storage_bytes, 65536u);
+    EXPECT_EQ(fs[0].memory_bytes, 16384u);
+    EXPECT_EQ(fs[0].first_lbn, 4096u);
+    EXPECT_EQ(fs[0].first_bank, 1u);
+}
+
+TEST(Replayer, IndependentFasterThanStructured) {
+    // Serial phases must take at least as long as the max single phase.
+    std::vector<SyntheticRequest> rs;
+    for (int i = 0; i < 50; ++i) rs.push_back(basic_read(double(i) * 0.05));
+    Replayer rep;
+    const auto structured = rep.replay(workload_of(rs), ReplayMode::kStructured);
+    const auto independent = rep.replay(workload_of(rs), ReplayMode::kIndependent);
+    EXPECT_LT(kooza::stats::mean(independent.latencies),
+              kooza::stats::mean(structured.latencies));
+}
+
+TEST(Replayer, EmptyPhasesFallBackToIndependent) {
+    auto r = basic_read(0.0);
+    r.phases.clear();
+    Replayer rep;
+    const auto res = rep.replay(workload_of({r}), ReplayMode::kStructured);
+    ASSERT_EQ(res.latencies.size(), 1u);
+    EXPECT_GT(res.latencies[0], 0.0);
+}
+
+TEST(Replayer, UnknownPhasesCountedAndSkipped) {
+    auto r = basic_read(0.0);
+    r.phases = {"warp.drive", "disk.io"};
+    Replayer rep;
+    const auto res = rep.replay(workload_of({r}));
+    EXPECT_EQ(res.unknown_phases, 1u);
+    EXPECT_EQ(res.traces.storage.size(), 1u);
+}
+
+TEST(Replayer, WritePathRecordsRxPayload) {
+    auto r = basic_read(0.0);
+    r.type = IoType::kWrite;
+    r.storage_type = IoType::kWrite;
+    r.memory_type = IoType::kWrite;
+    Replayer rep;
+    const auto res = rep.replay(workload_of({r}));
+    ASSERT_EQ(res.traces.network.size(), 1u);
+    EXPECT_EQ(res.traces.network[0].direction,
+              kooza::trace::NetworkRecord::Direction::kRx);
+}
+
+TEST(Replayer, ReplForwardUsesSecondServerDisk) {
+    auto r = basic_read(0.0);
+    r.type = IoType::kWrite;
+    r.storage_type = IoType::kWrite;
+    r.phases = {"net.rx", "disk.io", "repl.forward", "net.tx"};
+    ReplayConfig cfg;
+    cfg.n_servers = 2;
+    Replayer rep(cfg);
+    const auto res = rep.replay(workload_of({r}));
+    EXPECT_EQ(res.traces.storage.size(), 2u);   // primary + replica write
+    EXPECT_EQ(res.traces.network.size(), 2u);   // rx payload + forward
+}
+
+TEST(Replayer, MasterLookupPhaseSupported) {
+    auto r = basic_read(0.0);
+    r.phases.insert(r.phases.begin(), "master.lookup");
+    Replayer rep;
+    const auto res = rep.replay(workload_of({r}));
+    EXPECT_EQ(res.unknown_phases, 0u);
+}
+
+TEST(Replayer, LbnAndBankClamped) {
+    auto r = basic_read(0.0);
+    r.lbn = ~0ull;  // beyond any disk
+    r.bank = 1000;
+    Replayer rep;
+    EXPECT_NO_THROW(rep.replay(workload_of({r})));
+}
+
+TEST(Replayer, IncastDropsGrowWithFanIn) {
+    // Many servers respond to one client at the same instant.
+    auto run = [](std::size_t n_servers) {
+        std::vector<SyntheticRequest> rs;
+        for (std::size_t i = 0; i < n_servers; ++i) {
+            auto r = basic_read(0.0);
+            r.network_bytes = 256 << 10;
+            r.phases = {"net.tx"};
+            r.server = std::uint32_t(i);
+            rs.push_back(r);
+        }
+        ReplayConfig cfg;
+        cfg.n_servers = n_servers;
+        cfg.net.buffer_frames = 8;
+        cfg.net.retry_timeout = 0.05;
+        Replayer rep(cfg);
+        return rep.replay(workload_of(rs)).network_drops;
+    };
+    EXPECT_EQ(run(2), 0u);
+    EXPECT_GT(run(64), 0u);
+}
+
+TEST(Replayer, Validation) {
+    Replayer rep;
+    EXPECT_THROW(rep.replay(SyntheticWorkload{}), std::invalid_argument);
+    ReplayConfig bad;
+    bad.n_servers = 0;
+    EXPECT_THROW(Replayer{bad}, std::invalid_argument);
+    ReplayConfig bad2;
+    bad2.cpu_verify_fraction = 1.5;
+    EXPECT_THROW(Replayer{bad2}, std::invalid_argument);
+}
+
+TEST(Replayer, RepeatedPhasesSplitTheByteBudget) {
+    // A chunk-boundary write has two disk.io phases; the request's bytes
+    // must be split across them, not executed twice.
+    auto r = basic_read(0.0);
+    r.type = IoType::kWrite;
+    r.storage_type = IoType::kWrite;
+    r.storage_bytes = 4 << 20;
+    r.network_bytes = 4 << 20;
+    r.memory_bytes = 256 << 10;
+    r.phases = {"net.rx",  "net.rx",  "cpu.verify", "mem.buffer", "disk.io",
+                "cpu.verify", "mem.buffer", "disk.io", "cpu.aggregate", "net.tx"};
+    Replayer rep;
+    const auto res = rep.replay(workload_of({r}));
+    const auto fs = kooza::trace::extract_features(res.traces);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].storage_bytes, 4u << 20);   // 2 x 2 MB, not 2 x 4 MB
+    EXPECT_EQ(fs[0].network_bytes, 4u << 20);
+    EXPECT_EQ(fs[0].memory_bytes, 256u << 10);
+    EXPECT_EQ(res.traces.storage.size(), 2u);
+    EXPECT_EQ(res.traces.storage[0].size_bytes, 2u << 20);
+}
+
+TEST(Replayer, RepeatedCpuPhasesSplitBusyTime) {
+    auto r = basic_read(0.0);
+    r.cpu_busy_seconds = 0.004;
+    r.phases = {"cpu.verify", "cpu.verify", "cpu.aggregate", "cpu.aggregate"};
+    Replayer rep;  // verify fraction 0.4
+    const auto res = rep.replay(workload_of({r}));
+    const auto fs = kooza::trace::extract_features(res.traces);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_NEAR(fs[0].cpu_busy_seconds, 0.004, 1e-12);
+    ASSERT_EQ(res.traces.cpu.size(), 4u);
+    EXPECT_NEAR(res.traces.cpu[0].busy_seconds, 0.4 * 0.004 / 2.0, 1e-12);
+    EXPECT_NEAR(res.traces.cpu[2].busy_seconds, 0.6 * 0.004 / 2.0, 1e-12);
+}
+
+TEST(Replayer, SinglePhaseKeepsFullBudget) {
+    auto r = basic_read(0.0);
+    r.phases = {"disk.io"};
+    Replayer rep;
+    const auto res = rep.replay(workload_of({r}));
+    ASSERT_EQ(res.traces.storage.size(), 1u);
+    EXPECT_EQ(res.traces.storage[0].size_bytes, 65536u);
+}
+
+TEST(Replayer, ReportsUtilizationAndDuration) {
+    std::vector<SyntheticRequest> rs;
+    for (int i = 0; i < 40; ++i) rs.push_back(basic_read(double(i) * 0.02));
+    Replayer rep;
+    const auto res = rep.replay(workload_of(rs));
+    EXPECT_GT(res.duration, 0.0);
+    EXPECT_GT(res.mean_disk_utilization, 0.0);
+    EXPECT_LE(res.mean_disk_utilization, 1.0);
+    EXPECT_GT(res.mean_cpu_utilization, 0.0);
+    EXPECT_LE(res.mean_cpu_utilization, 1.0);
+    // Disk dominates this workload.
+    EXPECT_GT(res.mean_disk_utilization, res.mean_cpu_utilization);
+}
+
+TEST(Replayer, DeterministicAcrossRuns) {
+    std::vector<SyntheticRequest> rs;
+    for (int i = 0; i < 20; ++i) rs.push_back(basic_read(double(i) * 0.01));
+    Replayer rep;
+    const auto a = rep.replay(workload_of(rs));
+    const auto b = rep.replay(workload_of(rs));
+    ASSERT_EQ(a.latencies.size(), b.latencies.size());
+    for (std::size_t i = 0; i < a.latencies.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.latencies[i], b.latencies[i]);
+}
+
+}  // namespace

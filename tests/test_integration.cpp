@@ -1,0 +1,230 @@
+// End-to-end integration tests: the paper's validation loop, the
+// cross-examination ordering (KOOZA vs baselines), CSV round-trip through
+// training, and the incast composition.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/inbreadth.hpp"
+#include "baselines/indepth.hpp"
+#include "core/generator.hpp"
+#include "core/replayer.hpp"
+#include "core/trainer.hpp"
+#include "core/validator.hpp"
+#include "gfs/cluster.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/hypothesis.hpp"
+#include "trace/csv.hpp"
+#include "trace/features.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using namespace kooza;
+using sim::Rng;
+using trace::IoType;
+
+gfs::GfsConfig default_cfg() { return gfs::GfsConfig{}; }
+
+trace::TraceSet run_cluster(const workloads::Workload& w,
+                            const gfs::GfsConfig& cfg = default_cfg()) {
+    gfs::Cluster cluster(cfg);
+    w.install(cluster);
+    cluster.run();
+    return cluster.traces();
+}
+
+core::ReplayConfig replay_cfg_for(const gfs::GfsConfig& cfg,
+                                  double verify_fraction) {
+    core::ReplayConfig r;
+    r.disk = cfg.disk;
+    r.cpu = cfg.cpu;
+    r.memory = cfg.memory;
+    r.net = cfg.net;
+    r.cpu_verify_fraction = verify_fraction;
+    return r;
+}
+
+TEST(Integration, Table2ScenarioFeaturesNearExact) {
+    // The paper's validation: one 64 KB read and one 4 MB write, unloaded.
+    // Train on repeated instances, generate, replay, compare per type.
+    workloads::Workload train_w;
+    train_w.files.emplace_back("validate.dat", 64ull << 20);
+    for (int i = 0; i < 50; ++i) {
+        train_w.requests.push_back({double(i), "validate.dat", 0, 64ull << 10,
+                                    IoType::kRead, 0});
+        train_w.requests.push_back({double(i) + 0.5, "validate.dat", 8ull << 20,
+                                    4ull << 20, IoType::kWrite, 0});
+    }
+    const auto cfg = default_cfg();
+    const auto ts = run_cluster(train_w, cfg);
+    const auto model = core::Trainer({.workload_name = "table2"}).train(ts);
+    Rng rng(1);
+    const auto synth = core::Generator(model).generate(100, rng);
+    core::Replayer replayer(replay_cfg_for(cfg, model.cpu_verify_fraction()));
+    const auto replayed = replayer.replay(synth);
+
+    // Table 2 compares per user-request type (one block for the 64 KB
+    // read, one for the 4 MB write), so split both sides by type.
+    auto by_type = [](const std::vector<trace::RequestFeatures>& fs, IoType t) {
+        std::vector<trace::RequestFeatures> out;
+        for (const auto& f : fs)
+            if (f.storage_type == t) out.push_back(f);
+        return out;
+    };
+    const auto orig = trace::extract_features(ts);
+    const auto gen = trace::extract_features(replayed.traces);
+    for (IoType t : {IoType::kRead, IoType::kWrite}) {
+        const auto report = core::compare_features(
+            by_type(orig, t), by_type(gen, t),
+            t == IoType::kRead ? "table2-read" : "table2-write");
+        // Deterministic request features must match almost exactly.
+        EXPECT_LT(report.max_feature_variation(), 5.0) << report.to_table();
+        // Latency in the paper deviates <= 6.6%; grant slack for load.
+        EXPECT_LT(report.latency_variation(), 10.0) << report.to_table();
+    }
+}
+
+TEST(Integration, KoozaBeatsInBreadthOnLatency) {
+    Rng wl_rng(2);
+    workloads::MicroProfile profile({.count = 400, .arrival_rate = 25.0});
+    const auto w = profile.generate(wl_rng);
+    const auto cfg = default_cfg();
+    const auto ts = run_cluster(w, cfg);
+    const auto orig = trace::extract_features(ts);
+    const double orig_lat = stats::mean(trace::column_latency(orig));
+
+    // KOOZA.
+    const auto kooza_model = core::Trainer().train(ts);
+    Rng g1(3);
+    const auto kooza_w = core::Generator(kooza_model).generate(400, g1);
+    core::Replayer replayer(replay_cfg_for(cfg, kooza_model.cpu_verify_fraction()));
+    const double kooza_lat =
+        stats::mean(replayer.replay(kooza_w, core::ReplayMode::kStructured).latencies);
+
+    // In-breadth (no structure): independent stressing.
+    const auto ib_model = baselines::InBreadthModel::train(ts);
+    Rng g2(4);
+    const auto ib_w = ib_model.generate(400, g2);
+    const double ib_lat =
+        stats::mean(replayer.replay(ib_w, core::ReplayMode::kIndependent).latencies);
+
+    const double kooza_err = stats::variation_pct(kooza_lat, orig_lat);
+    const double ib_err = stats::variation_pct(ib_lat, orig_lat);
+    EXPECT_LT(kooza_err, ib_err);
+    // In-breadth underestimates: parallel stressing cannot reproduce the
+    // serialized request path.
+    EXPECT_LT(ib_lat, orig_lat);
+}
+
+TEST(Integration, KoozaBeatsInDepthOnFeatures) {
+    // Needs within-type size variance (lognormal web-search results), so
+    // a per-type *mean* cannot summarize the distribution.
+    Rng wl_rng(5);
+    workloads::WebSearchProfile profile({.count = 400, .arrival_rate = 25.0});
+    const auto ts = run_cluster(profile.generate(wl_rng));
+    const auto orig = trace::extract_features(ts);
+
+    const auto kooza_model = core::Trainer().train(ts);
+    Rng g1(6);
+    const auto kooza_w = core::Generator(kooza_model).generate(1000, g1);
+
+    const auto id_model = baselines::InDepthModel::train(ts);
+    Rng g2(7);
+    const auto id_w = id_model.generate(1000, g2);
+
+    // Compare feature *distributions* via two-sample KS on storage size.
+    auto sizes_of = [](const core::SyntheticWorkload& w) {
+        std::vector<double> out;
+        for (const auto& r : w.requests) out.push_back(double(r.storage_bytes));
+        return out;
+    };
+    const auto orig_sizes = trace::column_storage_bytes(orig);
+    const double kooza_ks =
+        stats::ks_statistic_two_sample(orig_sizes, sizes_of(kooza_w));
+    const double id_ks = stats::ks_statistic_two_sample(orig_sizes, sizes_of(id_w));
+    EXPECT_LT(kooza_ks, id_ks);
+    // The in-depth model collapses the size distribution to two points, so
+    // its KS distance to the real bimodal distribution is large.
+    EXPECT_GT(id_ks, 0.3);
+}
+
+TEST(Integration, TrainingThroughCsvRoundTrip) {
+    Rng wl_rng(8);
+    workloads::MicroProfile profile({.count = 200, .arrival_rate = 25.0});
+    const auto ts = run_cluster(profile.generate(wl_rng));
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_integration_csv";
+    std::filesystem::remove_all(dir);
+    trace::write_csv(ts, dir);
+    const auto loaded = trace::read_csv(dir);
+    std::filesystem::remove_all(dir);
+
+    const auto m1 = core::Trainer().train(ts);
+    const auto m2 = core::Trainer().train(loaded);
+    EXPECT_DOUBLE_EQ(m1.read_fraction(), m2.read_fraction());
+    EXPECT_EQ(m1.parameter_count(), m2.parameter_count());
+    EXPECT_EQ(m1.reads().structure.dominant(), m2.reads().structure.dominant());
+}
+
+TEST(Integration, MultiServerIncastReproduced) {
+    // Striped read across many chunkservers converging on one client:
+    // the original system shows incast drops; a multi-server KOOZA replay
+    // shows them too (paper Section 4's incast claim).
+    gfs::GfsConfig cfg;
+    cfg.n_chunkservers = 32;
+    cfg.chunk_size = 256ull << 10;
+    cfg.net.buffer_frames = 16;
+    cfg.net.retry_timeout = 0.05;
+    gfs::Cluster cluster(cfg);
+    cluster.create_file("wide", 32ull << 20);
+    // One big striped read: 8 MB over 32 chunks of 256 KB.
+    cluster.submit({0.0, "wide", 0, 8ull << 20, IoType::kRead, 0});
+    cluster.run();
+    const auto ts = cluster.traces();
+    ASSERT_EQ(ts.requests.size(), 1u);
+
+    // Replay the same fan-in with the multi-server replayer.
+    core::SyntheticWorkload w;
+    w.model_name = "incast";
+    for (int i = 0; i < 32; ++i) {
+        core::SyntheticRequest r;
+        r.time = 0.0;
+        r.type = IoType::kRead;
+        r.network_bytes = 256 << 10;
+        r.storage_bytes = 256 << 10;
+        r.memory_bytes = 64 << 10;
+        r.cpu_busy_seconds = 1e-4;
+        r.lbn = std::uint64_t(i) * 4096;
+        r.phases = {"disk.io", "net.tx"};
+        r.server = std::uint32_t(i);
+        w.requests.push_back(r);
+    }
+    core::ReplayConfig rcfg = replay_cfg_for(cfg, 0.4);
+    rcfg.n_servers = 32;
+    core::Replayer rep(rcfg);
+    const auto res = rep.replay(w);
+    EXPECT_GT(res.network_drops, 0u);
+}
+
+TEST(Integration, ModelPortableAcrossServerConfigs) {
+    // Applicability (paper Section 5): train once, replay on a different
+    // server configuration to predict its latency; a faster disk must give
+    // lower predicted latency.
+    Rng wl_rng(9);
+    workloads::MicroProfile profile({.count = 300, .arrival_rate = 20.0});
+    const auto cfg = default_cfg();
+    const auto ts = run_cluster(profile.generate(wl_rng), cfg);
+    const auto model = core::Trainer().train(ts);
+    Rng g(10);
+    const auto synth = core::Generator(model).generate(300, g);
+
+    auto latency_with_disk = [&](double transfer_rate) {
+        auto rc = replay_cfg_for(cfg, model.cpu_verify_fraction());
+        rc.disk.transfer_rate = transfer_rate;
+        core::Replayer rep(rc);
+        return stats::mean(rep.replay(synth).latencies);
+    };
+    EXPECT_LT(latency_with_disk(500e6), latency_with_disk(60e6));
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the Ergodic Continuous HMM (Moro '09 memory-trace model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/echmm.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using kooza::markov::Echmm;
+using kooza::sim::Rng;
+
+/// Two-regime data: long runs near 10, long runs near 100.
+std::vector<double> two_regime_sequence(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    double level = 10.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.02)) level = level < 50.0 ? 100.0 : 10.0;
+        out.push_back(rng.normal(level, 1.0));
+    }
+    return out;
+}
+
+TEST(Echmm, RecoversTwoRegimes) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(3000, 1)};
+    const auto m = Echmm::fit(seqs, 2, 40);
+    // Emission means near 10 and 100, in some order.
+    const bool first_low = m.emission_mean(0) < 50.0;
+    const double low = m.emission_mean(first_low ? 0 : 1);
+    const double high = m.emission_mean(first_low ? 1 : 0);
+    EXPECT_NEAR(low, 10.0, 2.0);
+    EXPECT_NEAR(high, 100.0, 2.0);
+    // Sticky transitions (the regimes persist ~50 steps).
+    EXPECT_GT(m.transition(0, 0), 0.9);
+    EXPECT_GT(m.transition(1, 1), 0.9);
+}
+
+TEST(Echmm, TrainingImprovesLikelihood) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(2000, 2)};
+    const auto one_iter = Echmm::fit(seqs, 2, 1);
+    const auto many = Echmm::fit(seqs, 2, 30);
+    EXPECT_GE(many.training_log_likelihood(), one_iter.training_log_likelihood());
+    EXPECT_GE(many.iterations_run(), 2u);
+}
+
+TEST(Echmm, LikelihoodPrefersMatchingData) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(2000, 3)};
+    const auto m = Echmm::fit(seqs, 2, 30);
+    const auto matching = two_regime_sequence(500, 4);
+    Rng rng(5);
+    std::vector<double> noise(500);
+    for (auto& x : noise) x = rng.uniform(-500.0, 500.0);
+    EXPECT_GT(m.log_likelihood(matching) / 500.0, m.log_likelihood(noise) / 500.0);
+}
+
+TEST(Echmm, ViterbiTracksRegimes) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(2000, 6)};
+    const auto m = Echmm::fit(seqs, 2, 30);
+    const std::vector<double> obs{10, 11, 9, 100, 101, 99, 10};
+    const auto path = m.viterbi(obs);
+    ASSERT_EQ(path.size(), obs.size());
+    EXPECT_EQ(path[0], path[1]);
+    EXPECT_EQ(path[3], path[4]);
+    EXPECT_NE(path[0], path[3]);
+    EXPECT_EQ(path[6], path[0]);
+}
+
+TEST(Echmm, GenerateMatchesRegimeStatistics) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(3000, 7)};
+    const auto m = Echmm::fit(seqs, 2, 30);
+    Rng rng(8);
+    const auto synth = m.generate(3000, rng);
+    // Synthetic data occupies both regimes.
+    std::size_t low = 0, high = 0;
+    for (double x : synth) {
+        if (x < 50.0)
+            ++low;
+        else
+            ++high;
+    }
+    EXPECT_GT(low, 300u);
+    EXPECT_GT(high, 300u);
+    // Runs are long: few regime switches per 3000 samples.
+    std::size_t switches = 0;
+    for (std::size_t i = 1; i < synth.size(); ++i)
+        if ((synth[i] < 50.0) != (synth[i - 1] < 50.0)) ++switches;
+    EXPECT_LT(switches, 300u);
+}
+
+TEST(Echmm, MultipleSequencesPooled) {
+    std::vector<std::vector<double>> seqs;
+    for (int s = 0; s < 4; ++s) seqs.push_back(two_regime_sequence(500, 9 + s));
+    const auto m = Echmm::fit(seqs, 2, 20);
+    EXPECT_EQ(m.n_states(), 2u);
+    EXPECT_FALSE(m.describe().empty());
+}
+
+TEST(Echmm, ParameterCount) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(500, 20)};
+    const auto m = Echmm::fit(seqs, 3, 5);
+    // (3-1) + 3*2 + 2*3 = 14.
+    EXPECT_EQ(m.parameter_count(), 14u);
+}
+
+TEST(Echmm, Validation) {
+    const std::vector<std::vector<double>> tiny{{1.0, 2.0}};
+    EXPECT_THROW(Echmm::fit(tiny, 4), std::invalid_argument);
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(500, 21)};
+    const auto m = Echmm::fit(seqs, 2, 5);
+    EXPECT_THROW((void)m.transition(5, 0), std::out_of_range);
+    EXPECT_THROW((void)m.emission_mean(5), std::out_of_range);
+    Rng rng(22);
+    EXPECT_THROW(m.generate(0, rng), std::invalid_argument);
+    EXPECT_TRUE(m.viterbi(std::vector<double>{}).empty());
+}
+
+TEST(Echmm, InitialDistributionNormalized) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(1000, 23)};
+    const auto m = Echmm::fit(seqs, 3, 10);
+    double sum = 0.0;
+    for (double p : m.initial()) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (std::size_t i = 0; i < 3; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < 3; ++j) row += m.transition(i, j);
+        EXPECT_NEAR(row, 1.0, 1e-9);
+    }
+}
+
+}  // namespace

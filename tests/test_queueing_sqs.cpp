@@ -1,0 +1,123 @@
+// Tests for SQS (stochastic queueing simulation with statistical
+// sampling), validated against the M/M/1 analytic oracle.
+#include <gtest/gtest.h>
+
+#include "queueing/analytic.hpp"
+#include "queueing/sqs.hpp"
+#include "sim/rng.hpp"
+#include "stats/distributions.hpp"
+
+namespace {
+
+using namespace kooza::queueing;
+using kooza::sim::Rng;
+using kooza::stats::Exponential;
+
+SqsWorkloadModel mm1_model(double lambda, double mu, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> gaps(4000), services(4000);
+    Exponential arr(lambda), svc(mu);
+    for (auto& g : gaps) g = arr.sample(rng);
+    for (auto& s : services) s = svc.sample(rng);
+    return SqsWorkloadModel::characterize(gaps, services);
+}
+
+TEST(SqsCharacterize, FitsParametricWhenPossible) {
+    const auto m = mm1_model(8.0, 10.0, 1);
+    EXPECT_NE(m.interarrival->name(), "empirical");
+    EXPECT_NEAR(m.interarrival->mean(), 1.0 / 8.0, 0.01);
+    EXPECT_NEAR(m.service->mean(), 0.1, 0.005);
+    EXPECT_FALSE(m.describe().empty());
+}
+
+TEST(SqsCharacterize, EmpiricalFallbackOnBimodal) {
+    Rng rng(2);
+    std::vector<double> gaps(2000), services(2000);
+    for (auto& g : gaps) g = rng.exponential(10.0);
+    for (auto& s : services)
+        s = rng.bernoulli(0.5) ? rng.normal(0.001, 0.00001)
+                               : rng.normal(0.05, 0.0001);
+    const auto m = SqsWorkloadModel::characterize(gaps, services);
+    EXPECT_EQ(m.service->name(), "empirical");
+}
+
+TEST(SqsCharacterize, FromRequestRecords) {
+    Rng rng(3);
+    std::vector<kooza::trace::RequestRecord> recs;
+    double t = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        t += rng.exponential(20.0);
+        kooza::trace::RequestRecord r;
+        r.request_id = std::uint64_t(i);
+        r.arrival = t;
+        r.completion = t + 0.01 + rng.exponential(200.0);
+        recs.push_back(r);
+    }
+    const auto m = SqsWorkloadModel::characterize(recs);
+    EXPECT_NEAR(m.interarrival->mean(), 0.05, 0.01);
+    EXPECT_GT(m.service->mean(), 0.0);
+    std::vector<kooza::trace::RequestRecord> tiny(2);
+    EXPECT_THROW(SqsWorkloadModel::characterize(tiny), std::invalid_argument);
+}
+
+TEST(SqsSimulator, MatchesMm1Oracle) {
+    const auto model = mm1_model(8.0, 10.0, 4);
+    SqsSimulator sim({.tasks_per_server = 5000, .target_rel_ci = 0.02, .seed = 5});
+    const auto res = sim.run(model, 1000);
+    const auto oracle = mm1(8.0, 10.0);
+    EXPECT_NEAR(res.mean_response, oracle.mean_response,
+                oracle.mean_response * 0.12);
+    EXPECT_NEAR(res.utilization, 0.8, 0.05);
+}
+
+TEST(SqsSimulator, SamplingStopsEarly) {
+    const auto model = mm1_model(5.0, 10.0, 6);
+    SqsSimulator sim({.tasks_per_server = 3000, .target_rel_ci = 0.05, .seed = 7});
+    const auto res = sim.run(model, 10000);
+    EXPECT_LT(res.servers_simulated, 10000u);
+    EXPECT_GT(res.sampling_savings(), 0.9);
+    EXPECT_EQ(res.servers_requested, 10000u);
+    EXPECT_LE(res.ci_halfwidth / res.mean_response, 0.05 + 1e-9);
+}
+
+TEST(SqsSimulator, TighterCiNeedsMoreServers) {
+    const auto model = mm1_model(8.0, 10.0, 8);
+    SqsSimulator loose({.tasks_per_server = 500, .target_rel_ci = 0.2, .seed = 9});
+    SqsSimulator tight({.tasks_per_server = 500, .target_rel_ci = 0.01, .seed = 9});
+    const auto a = loose.run(model, 5000);
+    const auto b = tight.run(model, 5000);
+    EXPECT_LE(a.servers_simulated, b.servers_simulated);
+}
+
+TEST(SqsSimulator, RejectsUnstableModel) {
+    const auto model = mm1_model(12.0, 10.0, 10);  // rho = 1.2
+    SqsSimulator sim;
+    EXPECT_THROW((void)sim.run(model, 10), std::invalid_argument);
+    const auto ok = mm1_model(5.0, 10.0, 11);
+    EXPECT_THROW((void)sim.run(ok, 0), std::invalid_argument);
+}
+
+TEST(SqsSimulator, HigherLoadHigherResponse) {
+    SqsSimulator sim({.tasks_per_server = 3000, .target_rel_ci = 0.03, .seed = 12});
+    const auto low = sim.run(mm1_model(3.0, 10.0, 13), 500);
+    const auto high = sim.run(mm1_model(9.0, 10.0, 14), 500);
+    EXPECT_GT(high.mean_response, 2.0 * low.mean_response);
+    EXPECT_GT(high.utilization, low.utilization);
+}
+
+TEST(SqsSimulator, DeterministicPerSeed) {
+    const auto model = mm1_model(5.0, 10.0, 15);
+    SqsSimulator sim({.tasks_per_server = 1000, .target_rel_ci = 0.05, .seed = 16});
+    const auto a = sim.run(model, 100);
+    const auto b = sim.run(model, 100);
+    EXPECT_DOUBLE_EQ(a.mean_response, b.mean_response);
+    EXPECT_EQ(a.servers_simulated, b.servers_simulated);
+}
+
+TEST(SqsSimulator, OptionValidation) {
+    EXPECT_THROW(SqsSimulator({.tasks_per_server = 0}), std::invalid_argument);
+    EXPECT_THROW(SqsSimulator({.target_rel_ci = 0.0}), std::invalid_argument);
+    EXPECT_THROW(SqsSimulator({.min_servers = 0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for k-means and Gaussian-mixture (model-based) clustering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+#include "stats/cluster.hpp"
+
+namespace {
+
+using namespace kooza::stats;
+using kooza::sim::Rng;
+
+Matrix two_blobs(int per_blob, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < per_blob; ++i)
+        rows.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    for (int i = 0; i < per_blob; ++i)
+        rows.push_back({rng.normal(10.0, 0.5), rng.normal(10.0, 0.5)});
+    return Matrix::from_rows(rows);
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+    Rng rng(1);
+    const auto data = two_blobs(100, 42);
+    const auto r = kmeans(data, 2, rng);
+    // Every point in blob 1 shares a label, distinct from blob 2's.
+    const auto l0 = r.labels[0];
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(r.labels[std::size_t(i)], l0);
+    const auto l1 = r.labels[100];
+    EXPECT_NE(l0, l1);
+    for (int i = 100; i < 200; ++i) EXPECT_EQ(r.labels[std::size_t(i)], l1);
+}
+
+TEST(KMeans, CentroidsNearBlobMeans) {
+    Rng rng(2);
+    const auto r = kmeans(two_blobs(200, 43), 2, rng);
+    std::set<int> found;
+    for (std::size_t c = 0; c < 2; ++c) {
+        if (std::abs(r.centroids(c, 0)) < 1.0) found.insert(0);
+        if (std::abs(r.centroids(c, 0) - 10.0) < 1.0) found.insert(1);
+    }
+    EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+    Rng rng(3);
+    const auto data = two_blobs(100, 44);
+    const auto r1 = kmeans(data, 1, rng);
+    const auto r2 = kmeans(data, 2, rng);
+    EXPECT_LT(r2.inertia, r1.inertia * 0.2);
+}
+
+TEST(KMeans, Validation) {
+    Rng rng(4);
+    const auto data = two_blobs(5, 45);
+    EXPECT_THROW(kmeans(data, 0, rng), std::invalid_argument);
+    EXPECT_THROW(kmeans(data, 100, rng), std::invalid_argument);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+    Rng rng(5);
+    auto data = Matrix::from_rows({{0.0, 0.0}, {5.0, 5.0}, {9.0, 1.0}});
+    const auto r = kmeans(data, 3, rng);
+    EXPECT_NEAR(r.inertia, 0.0, 1e-18);
+}
+
+TEST(Gmm, RecoversTwoComponents) {
+    Rng rng(6);
+    GaussianMixture gmm(two_blobs(200, 46), 2, rng);
+    ASSERT_EQ(gmm.components(), 2u);
+    EXPECT_NEAR(gmm.weights()[0], 0.5, 0.05);
+    // Means near (0,0) and (10,10) in some order.
+    const bool first_low = gmm.means()[0][0] < 5.0;
+    const auto& low = gmm.means()[first_low ? 0 : 1];
+    const auto& high = gmm.means()[first_low ? 1 : 0];
+    EXPECT_NEAR(low[0], 0.0, 0.3);
+    EXPECT_NEAR(high[0], 10.0, 0.3);
+}
+
+TEST(Gmm, ClassifyAssignsNearestComponent) {
+    Rng rng(7);
+    GaussianMixture gmm(two_blobs(200, 47), 2, rng);
+    const std::vector<double> near_low{0.1, -0.2};
+    const std::vector<double> near_high{9.8, 10.1};
+    EXPECT_NE(gmm.classify(near_low), gmm.classify(near_high));
+}
+
+TEST(Gmm, LogPdfHigherNearMass) {
+    Rng rng(8);
+    GaussianMixture gmm(two_blobs(200, 48), 2, rng);
+    const std::vector<double> on{0.0, 0.0};
+    const std::vector<double> off{5.0, 5.0};
+    EXPECT_GT(gmm.log_pdf(on), gmm.log_pdf(off));
+}
+
+TEST(Gmm, SampleStaysNearComponents) {
+    Rng rng(9);
+    GaussianMixture gmm(two_blobs(200, 49), 2, rng);
+    for (int i = 0; i < 200; ++i) {
+        const auto x = gmm.sample(rng);
+        const bool near_low = std::abs(x[0]) < 3.0 && std::abs(x[1]) < 3.0;
+        const bool near_high =
+            std::abs(x[0] - 10.0) < 3.0 && std::abs(x[1] - 10.0) < 3.0;
+        EXPECT_TRUE(near_low || near_high) << x[0] << "," << x[1];
+    }
+}
+
+TEST(Gmm, BicSelectsTwoForTwoBlobs) {
+    Rng rng(10);
+    EXPECT_EQ(select_components(two_blobs(150, 50), 4, rng), 2u);
+}
+
+TEST(Gmm, BicSelectsOneForSingleBlob) {
+    Rng rng(11);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 300; ++i)
+        rows.push_back({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)});
+    EXPECT_EQ(select_components(Matrix::from_rows(rows), 3, rng), 1u);
+}
+
+TEST(Gmm, ParameterCount) {
+    Rng rng(12);
+    GaussianMixture gmm(two_blobs(50, 51), 2, rng);
+    // (k-1) weights + k*d means + k*d variances = 1 + 4 + 4.
+    EXPECT_EQ(gmm.parameter_count(), 9u);
+    EXPECT_THROW((void)gmm.bic(0), std::invalid_argument);
+}
+
+TEST(Gmm, DimensionValidation) {
+    Rng rng(13);
+    GaussianMixture gmm(two_blobs(50, 52), 2, rng);
+    const std::vector<double> wrong{1.0};
+    EXPECT_THROW((void)gmm.log_pdf(wrong), std::invalid_argument);
+    EXPECT_THROW((void)gmm.classify(wrong), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for descriptive statistics and histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace kooza::stats;
+
+TEST(Descriptive, MeanBasics) {
+    const std::vector<double> xs{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceUnbiased) {
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Descriptive, StddevIsSqrtVariance) {
+    const std::vector<double> xs{1, 3, 5};
+    EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+    const std::vector<double> xs{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+    const std::vector<double> xs{40, 10, 30, 20};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Descriptive, QuantileErrors) {
+    EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.9), 1.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(Descriptive, SummaryFields) {
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const auto s = summarize(xs);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+    EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Descriptive, SummarySkewedData) {
+    const std::vector<double> xs{1, 1, 1, 1, 100};
+    EXPECT_GT(summarize(xs).skewness, 1.0);
+}
+
+TEST(Descriptive, SummaryEmpty) {
+    const auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Descriptive, CvZeroWhenMeanZero) {
+    const std::vector<double> xs{-1, 1};
+    EXPECT_DOUBLE_EQ(summarize(xs).cv(), 0.0);
+}
+
+TEST(Descriptive, CorrelationPerfect) {
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+    const std::vector<double> ny{8, 6, 4, 2};
+    EXPECT_NEAR(correlation(xs, ny), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationDegenerate) {
+    const std::vector<double> xs{1, 1, 1};
+    const std::vector<double> ys{1, 2, 3};
+    EXPECT_DOUBLE_EQ(correlation(xs, ys), 0.0);
+    EXPECT_THROW((void)correlation(xs, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Descriptive, VariationPct) {
+    EXPECT_DOUBLE_EQ(variation_pct(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(variation_pct(90.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(variation_pct(5.0, 5.0), 0.0);
+    // Zero baseline: absolute difference scaled to percent.
+    EXPECT_DOUBLE_EQ(variation_pct(0.02, 0.0), 2.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);   // clamps to bin 0
+    h.add(0.5);
+    h.add(9.9);
+    h.add(100.0);  // clamps to last bin
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinCenters) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+    EXPECT_THROW((void)h.bin_center(5), std::out_of_range);
+}
+
+TEST(Histogram, FrequenciesSumToOne) {
+    Histogram h(0.0, 1.0, 4);
+    const std::vector<double> xs{0.1, 0.2, 0.6, 0.9};
+    h.add_all(xs);
+    double sum = 0.0;
+    for (double f : h.frequencies()) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, InvalidConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderNonEmpty) {
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    EXPECT_NE(h.render().find('#'), std::string::npos);
+}
+
+TEST(LogHistogram, PowerOfTwoBinning) {
+    LogHistogram h;
+    h.add(1.0);    // 2^0
+    h.add(3.0);    // 2^1
+    h.add(1024);   // 2^10
+    EXPECT_EQ(h.bins().at(0), 1u);
+    EXPECT_EQ(h.bins().at(1), 1u);
+    EXPECT_EQ(h.bins().at(10), 1u);
+    EXPECT_THROW(h.add(0.0), std::invalid_argument);
+}
+
+TEST(VuList, CountsCells) {
+    VuList vu({{"a", 0.0, 1.0, 2}, {"b", 0.0, 1.0, 2}});
+    const std::vector<double> p1{0.2, 0.2};
+    const std::vector<double> p2{0.8, 0.8};
+    vu.add(p1);
+    vu.add(p1);
+    vu.add(p2);
+    EXPECT_EQ(vu.total(), 3u);
+    EXPECT_EQ(vu.occupied_cells(), 2u);
+    EXPECT_EQ(vu.count_at(p1), 2u);
+    EXPECT_EQ(vu.count_at(p2), 1u);
+}
+
+TEST(VuList, DimensionMismatchThrows) {
+    VuList vu({{"a", 0.0, 1.0, 2}});
+    const std::vector<double> bad{0.5, 0.5};
+    EXPECT_THROW(vu.add(bad), std::invalid_argument);
+}
+
+TEST(VuList, MarginalMatchesData) {
+    VuList vu({{"a", 0.0, 1.0, 4}, {"b", 0.0, 1.0, 4}});
+    for (int i = 0; i < 8; ++i) {
+        const std::vector<double> p{0.1, double(i) / 8.0};
+        vu.add(p);
+    }
+    const auto m = vu.marginal(0);
+    EXPECT_EQ(m.count(0), 8u);
+    EXPECT_THROW(vu.marginal(2), std::out_of_range);
+}
+
+}  // namespace

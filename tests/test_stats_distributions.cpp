@@ -1,0 +1,196 @@
+// Tests for the parametric distribution families, including
+// parameterized CDF/quantile round-trip and sample-moment properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "sim/rng.hpp"
+#include "stats/distributions.hpp"
+#include "stats/empirical.hpp"
+
+namespace {
+
+using namespace kooza::stats;
+using kooza::sim::Rng;
+
+std::unique_ptr<Distribution> make_family(const std::string& which) {
+    if (which == "uniform") return std::make_unique<Uniform>(2.0, 5.0);
+    if (which == "exponential") return std::make_unique<Exponential>(1.5);
+    if (which == "normal") return std::make_unique<Normal>(10.0, 2.0);
+    if (which == "lognormal") return std::make_unique<LogNormal>(1.0, 0.5);
+    if (which == "pareto") return std::make_unique<Pareto>(1.0, 3.5);
+    if (which == "weibull") return std::make_unique<Weibull>(1.8, 2.0);
+    if (which == "gamma") return std::make_unique<Gamma>(3.0, 2.0);
+    throw std::logic_error("unknown family " + which);
+}
+
+class DistributionFamily : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DistributionFamily, QuantileCdfRoundTrip) {
+    auto d = make_family(GetParam());
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95, 0.999}) {
+        const double x = d->quantile(p);
+        EXPECT_NEAR(d->cdf(x), p, 1e-6) << GetParam() << " p=" << p;
+    }
+}
+
+TEST_P(DistributionFamily, CdfMonotone) {
+    auto d = make_family(GetParam());
+    double prev = -1e-9;
+    for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const double x = d->quantile(p);
+        const double c = d->cdf(x);
+        EXPECT_GE(c, prev) << GetParam();
+        prev = c;
+    }
+}
+
+TEST_P(DistributionFamily, SampleMomentsMatch) {
+    auto d = make_family(GetParam());
+    Rng rng(11);
+    const int n = 60000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = d->sample(rng);
+        sum += x;
+        sq += x * x;
+    }
+    const double m = sum / n;
+    const double v = sq / n - m * m;
+    EXPECT_NEAR(m, d->mean(), 0.05 * std::max(1.0, std::fabs(d->mean())))
+        << GetParam();
+    EXPECT_NEAR(v, d->variance(), 0.15 * std::max(1.0, d->variance())) << GetParam();
+}
+
+TEST_P(DistributionFamily, CloneIsEquivalent) {
+    auto d = make_family(GetParam());
+    auto c = d->clone();
+    EXPECT_EQ(d->describe(), c->describe());
+    EXPECT_DOUBLE_EQ(d->cdf(1.7), c->cdf(1.7));
+}
+
+TEST_P(DistributionFamily, DescribeContainsName) {
+    auto d = make_family(GetParam());
+    EXPECT_NE(d->describe().find(d->name()), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionFamily,
+                         ::testing::Values("uniform", "exponential", "normal",
+                                           "lognormal", "pareto", "weibull", "gamma"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Deterministic, PointMass) {
+    Deterministic d(3.0);
+    EXPECT_DOUBLE_EQ(d.cdf(2.999), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(d.sample(rng), 3.0);
+}
+
+TEST(Exponential, KnownValues) {
+    Exponential d(2.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+    EXPECT_NEAR(d.cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+}
+
+TEST(Normal, SymmetryAroundMean) {
+    Normal d(5.0, 1.0);
+    EXPECT_NEAR(d.cdf(5.0), 0.5, 1e-12);
+    EXPECT_NEAR(d.cdf(4.0) + d.cdf(6.0), 1.0, 1e-10);
+    EXPECT_THROW(Normal(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(LogNormal, PositiveSupport) {
+    LogNormal d(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+    EXPECT_NEAR(d.cdf(1.0), 0.5, 1e-12);  // median = e^mu
+    EXPECT_NEAR(d.mean(), std::exp(0.5), 1e-12);
+}
+
+TEST(Pareto, TailAndMoments) {
+    Pareto d(1.0, 2.5);
+    EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+    EXPECT_NEAR(d.mean(), 2.5 / 1.5, 1e-12);
+    Pareto heavy(1.0, 0.9);
+    EXPECT_TRUE(std::isinf(heavy.mean()));
+    Pareto no_var(1.0, 1.5);
+    EXPECT_TRUE(std::isinf(no_var.variance()));
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+    Weibull w(1.0, 2.0);
+    Exponential e(0.5);
+    for (double x : {0.5, 1.0, 2.0, 4.0}) EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+}
+
+TEST(Gamma, ShapeOneIsExponential) {
+    Gamma g(1.0, 2.0);
+    Exponential e(0.5);
+    for (double x : {0.5, 1.0, 2.0, 4.0}) EXPECT_NEAR(g.cdf(x), e.cdf(x), 1e-9);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+    ZipfSampler z(10, 1.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) sum += z.pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_GT(z.pmf(0), z.pmf(9));
+}
+
+TEST(ZipfSampler, SamplingMatchesPmf) {
+    ZipfSampler z(5, 1.2);
+    Rng rng(3);
+    std::vector<int> counts(5, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(double(counts[i]) / n, z.pmf(i), 0.01);
+}
+
+TEST(ZipfSampler, UniformWhenSZero) {
+    ZipfSampler z(4, 0.0);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(z.pmf(i), 0.25, 1e-12);
+}
+
+TEST(Empirical, CdfIsEcdf) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    Empirical e(xs);
+    EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(e.cdf(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+}
+
+TEST(Empirical, QuantileInterpolates) {
+    const std::vector<double> xs{0.0, 10.0};
+    Empirical e(xs);
+    EXPECT_DOUBLE_EQ(e.quantile(0.5), 5.0);
+}
+
+TEST(Empirical, MomentsMatchSample) {
+    const std::vector<double> xs{2, 4, 6, 8};
+    Empirical e(xs);
+    EXPECT_DOUBLE_EQ(e.mean(), 5.0);
+    EXPECT_NEAR(e.variance(), 20.0 / 3.0, 1e-12);
+}
+
+TEST(Empirical, SamplesWithinRange) {
+    const std::vector<double> xs{3.0, 7.0, 5.0};
+    Empirical e(xs);
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        const double x = e.sample(rng);
+        EXPECT_GE(x, 3.0);
+        EXPECT_LE(x, 7.0);
+    }
+}
+
+TEST(Empirical, EmptyRejected) {
+    EXPECT_THROW(Empirical(std::vector<double>{}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Tests for the matrix kernel, eigensolver, PCA and regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/matrix.hpp"
+#include "stats/pca.hpp"
+#include "stats/regression.hpp"
+
+namespace {
+
+using namespace kooza::stats;
+using kooza::sim::Rng;
+
+TEST(Matrix, ConstructionAndAccess) {
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+    m.at(0, 0) = 7.0;
+    EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+    EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+    EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+}
+
+TEST(Matrix, FromRowsValidatesShape) {
+    auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+    EXPECT_THROW(Matrix::from_rows({}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeMultiply) {
+    auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+    auto b = Matrix::from_rows({{5, 6}, {7, 8}});
+    auto ab = a.multiply(b);
+    EXPECT_DOUBLE_EQ(ab(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(ab(1, 1), 50.0);
+    auto at = a.transpose();
+    EXPECT_DOUBLE_EQ(at(0, 1), 3.0);
+    const std::vector<double> v{1.0, 1.0};
+    const auto av = a.multiply(v);
+    EXPECT_DOUBLE_EQ(av[0], 3.0);
+    EXPECT_DOUBLE_EQ(av[1], 7.0);
+}
+
+TEST(Matrix, SolveLinearSystem) {
+    auto a = Matrix::from_rows({{2, 1}, {1, 3}});
+    const auto x = Matrix::solve(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SolveSingularThrows) {
+    auto a = Matrix::from_rows({{1, 2}, {2, 4}});
+    EXPECT_THROW(Matrix::solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Matrix, DeterminantAndInverse) {
+    auto a = Matrix::from_rows({{4, 7}, {2, 6}});
+    EXPECT_NEAR(a.determinant(), 10.0, 1e-12);
+    auto inv = a.inverse();
+    auto prod = a.multiply(inv);
+    EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+    auto sing = Matrix::from_rows({{1, 2}, {2, 4}});
+    EXPECT_NEAR(sing.determinant(), 0.0, 1e-12);
+    EXPECT_THROW(sing.inverse(), std::runtime_error);
+}
+
+TEST(Matrix, CovarianceKnown) {
+    // Two perfectly correlated columns.
+    auto data = Matrix::from_rows({{1, 2}, {2, 4}, {3, 6}});
+    auto cov = covariance_matrix(data);
+    EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-15);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+    auto d = Matrix::from_rows({{3, 0}, {0, 1}});
+    auto e = symmetric_eigen(d);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(Eigen, KnownSymmetric) {
+    // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+    auto m = Matrix::from_rows({{2, 1}, {1, 2}});
+    auto e = symmetric_eigen(m);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    const auto v = e.vectors.col(0);
+    EXPECT_NEAR(std::fabs(v[0]), 1.0 / std::sqrt(2.0), 1e-8);
+    EXPECT_NEAR(v[0], v[1], 1e-8);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+    auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+    EXPECT_THROW(symmetric_eigen(m), std::invalid_argument);
+}
+
+TEST(Pca, ExplainsVarianceInOrder) {
+    // Data with dominant variance along x.
+    Rng rng(1);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 500; ++i)
+        rows.push_back({rng.normal(0.0, 10.0), rng.normal(0.0, 1.0)});
+    Pca pca(Matrix::from_rows(rows));
+    EXPECT_GT(pca.eigenvalues()[0], pca.eigenvalues()[1]);
+    EXPECT_GT(pca.explained_variance(1), 0.95);
+    EXPECT_NEAR(pca.explained_variance(2), 1.0, 1e-12);
+    EXPECT_EQ(pca.components_for(0.9), 1u);
+}
+
+TEST(Pca, FirstComponentAlignsWithSpread) {
+    Rng rng(2);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 500; ++i) {
+        const double t = rng.normal(0.0, 5.0);
+        rows.push_back({t, t + rng.normal(0.0, 0.1)});
+    }
+    Pca pca(Matrix::from_rows(rows));
+    const auto c = pca.component(0);
+    // Should be close to (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(c[0]), std::fabs(c[1]), 0.05);
+}
+
+TEST(Pca, ProjectReconstructRoundTrip) {
+    Rng rng(3);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 200; ++i)
+        rows.push_back({rng.normal(5.0, 2.0), rng.normal(-3.0, 1.0),
+                        rng.normal(0.0, 0.5)});
+    Pca pca(Matrix::from_rows(rows));
+    const std::vector<double> x{6.0, -2.5, 0.2};
+    const auto full = pca.project(x, 3);
+    const auto back = pca.reconstruct(full);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(Pca, StandardizedIgnoresScale) {
+    Rng rng(4);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 500; ++i)
+        rows.push_back({rng.normal(0.0, 1000.0), rng.normal(0.0, 1.0)});
+    Pca pca(Matrix::from_rows(rows), /*standardize=*/true);
+    // After standardization both dims contribute comparably.
+    EXPECT_LT(pca.explained_variance(1), 0.7);
+}
+
+TEST(Regression, SimpleRecoversLine) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(double(i));
+        ys.push_back(3.0 + 2.0 * double(i));
+    }
+    const auto r = fit_simple(xs, ys);
+    EXPECT_NEAR(r.intercept, 3.0, 1e-9);
+    EXPECT_NEAR(r.slope, 2.0, 1e-12);
+    EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+    EXPECT_NEAR(r.predict(100.0), 203.0, 1e-9);
+}
+
+TEST(Regression, NoisyR2BelowOne) {
+    Rng rng(5);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(double(i));
+        ys.push_back(2.0 * double(i) + rng.normal(0.0, 50.0));
+    }
+    const auto r = fit_simple(xs, ys);
+    EXPECT_NEAR(r.slope, 2.0, 0.2);
+    EXPECT_LT(r.r_squared, 1.0);
+    EXPECT_GT(r.r_squared, 0.8);
+}
+
+TEST(Regression, Validation) {
+    const std::vector<double> one{1.0};
+    EXPECT_THROW((void)fit_simple(one, one), std::invalid_argument);
+    const std::vector<double> xs{1.0, 1.0};
+    const std::vector<double> ys{1.0, 2.0};
+    EXPECT_THROW((void)fit_simple(xs, ys), std::invalid_argument);
+}
+
+TEST(LinearModel, RecoversCoefficients) {
+    Rng rng(6);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> ys;
+    for (int i = 0; i < 300; ++i) {
+        const double a = rng.uniform(0.0, 10.0), b = rng.uniform(0.0, 5.0);
+        rows.push_back({a, b});
+        ys.push_back(1.0 + 2.0 * a - 3.0 * b);
+    }
+    LinearModel m(Matrix::from_rows(rows), ys);
+    EXPECT_NEAR(m.coefficients()[0], 1.0, 1e-8);
+    EXPECT_NEAR(m.coefficients()[1], 2.0, 1e-8);
+    EXPECT_NEAR(m.coefficients()[2], -3.0, 1e-8);
+    EXPECT_NEAR(m.r_squared(), 1.0, 1e-10);
+    const std::vector<double> x{1.0, 1.0};
+    EXPECT_NEAR(m.predict(x), 0.0, 1e-8);
+}
+
+TEST(LinearModel, RidgeHandlesCollinearPredictors) {
+    // Second predictor is an exact copy of the first: plain least squares
+    // is singular; ridge solves and still predicts correctly.
+    Rng rng(7);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> ys;
+    for (int i = 0; i < 100; ++i) {
+        const double a = rng.uniform(0.0, 10.0);
+        rows.push_back({a, a});
+        ys.push_back(2.0 + 3.0 * a);
+    }
+    const auto data = Matrix::from_rows(rows);
+    EXPECT_THROW(LinearModel(data, ys), std::runtime_error);  // singular
+    LinearModel m(data, ys, 1e-8);
+    const std::vector<double> x{4.0, 4.0};
+    EXPECT_NEAR(m.predict(x), 14.0, 1e-3);
+    EXPECT_NEAR(m.r_squared(), 1.0, 1e-6);
+    EXPECT_THROW(LinearModel(data, ys, -1.0), std::invalid_argument);
+}
+
+TEST(LinearModel, Validation) {
+    auto data = Matrix::from_rows({{1.0, 2.0}, {2.0, 3.0}});
+    EXPECT_THROW(LinearModel(data, std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);  // too few observations
+}
+
+}  // namespace

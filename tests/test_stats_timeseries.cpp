@@ -1,0 +1,137 @@
+// Tests for autocorrelation, burstiness, self-similarity (Hurst) and
+// stationarity — the stream-characterization toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/timeseries.hpp"
+
+namespace {
+
+using namespace kooza::stats;
+using kooza::sim::Rng;
+
+TEST(Autocorrelation, IidIsNearZero) {
+    Rng rng(1);
+    std::vector<double> xs(5000);
+    for (auto& x : xs) x = rng.uniform();
+    const auto acf = autocorrelation(xs, 5);
+    for (double a : acf) EXPECT_NEAR(a, 0.0, 0.05);
+}
+
+TEST(Autocorrelation, Ar1IsPositive) {
+    Rng rng(2);
+    std::vector<double> xs(5000);
+    xs[0] = 0.0;
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        xs[i] = 0.8 * xs[i - 1] + rng.normal(0.0, 1.0);
+    const auto acf = autocorrelation(xs, 3);
+    EXPECT_NEAR(acf[0], 0.8, 0.05);
+    EXPECT_GT(acf[0], acf[1]);
+    EXPECT_GT(acf[1], acf[2]);
+}
+
+TEST(Autocorrelation, ConstantSeriesZero) {
+    const std::vector<double> xs(100, 3.0);
+    for (double a : autocorrelation(xs, 3)) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Autocorrelation, Validation) {
+    const std::vector<double> xs{1.0, 2.0};
+    EXPECT_THROW(autocorrelation(xs, 2), std::invalid_argument);
+    EXPECT_THROW(autocorrelation({}, 1), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(autocorrelation_at(xs, 0), 1.0);
+}
+
+TEST(IndexOfDispersion, PoissonNearOne) {
+    Rng rng(3);
+    std::vector<double> arrivals;
+    double t = 0.0;
+    for (int i = 0; i < 20000; ++i) arrivals.push_back(t += rng.exponential(10.0));
+    EXPECT_NEAR(index_of_dispersion(arrivals, 1.0), 1.0, 0.25);
+}
+
+TEST(IndexOfDispersion, BurstyExceedsOne) {
+    Rng rng(4);
+    std::vector<double> arrivals;
+    double t = 0.0;
+    // On/off: 1 s of 100/s bursts alternating with 9 s silence.
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        const double start = double(cycle) * 10.0;
+        t = start;
+        while (t < start + 1.0) arrivals.push_back(t += rng.exponential(100.0));
+    }
+    EXPECT_GT(index_of_dispersion(arrivals, 1.0), 5.0);
+}
+
+TEST(PeakToMean, DetectsBursts) {
+    std::vector<double> even, bursty;
+    for (int i = 0; i < 100; ++i) even.push_back(double(i));
+    for (int i = 0; i < 100; ++i) bursty.push_back(i < 90 ? 0.5 : double(i));
+    EXPECT_NEAR(peak_to_mean(even, 10.0), 1.0, 0.2);
+    EXPECT_GT(peak_to_mean(bursty, 10.0), 3.0);
+}
+
+TEST(Hurst, IidNearHalf) {
+    Rng rng(5);
+    std::vector<double> xs(4096);
+    for (auto& x : xs) x = rng.normal(0.0, 1.0);
+    EXPECT_NEAR(hurst_exponent(xs), 0.55, 0.12);  // R/S biases slightly high
+}
+
+TEST(Hurst, LongRangeDependentHigher) {
+    // A slowly-wandering series (integrated noise) has H near 1.
+    Rng rng(6);
+    std::vector<double> xs(4096);
+    double level = 0.0;
+    for (auto& x : xs) x = (level += rng.normal(0.0, 1.0));
+    EXPECT_GT(hurst_exponent(xs), 0.8);
+}
+
+TEST(Hurst, RequiresMinimumLength) {
+    const std::vector<double> xs(16, 1.0);
+    EXPECT_THROW((void)hurst_exponent(xs), std::invalid_argument);
+}
+
+TEST(Stationarity, StableSeriesLowDrift) {
+    Rng rng(7);
+    std::vector<double> xs(2000);
+    for (auto& x : xs) x = rng.normal(10.0, 1.0);
+    EXPECT_LT(stationarity_drift(xs, 4), 0.05);
+}
+
+TEST(Stationarity, TrendingSeriesHighDrift) {
+    std::vector<double> xs(2000);
+    for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = double(i);
+    EXPECT_GT(stationarity_drift(xs, 4), 0.3);
+}
+
+TEST(Stationarity, Validation) {
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW((void)stationarity_drift(xs, 2), std::invalid_argument);
+    EXPECT_THROW((void)stationarity_drift(xs, 1), std::invalid_argument);
+}
+
+TEST(DominantPeriod, FindsSine) {
+    std::vector<double> xs(1000);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = std::sin(2.0 * M_PI * double(i) / 50.0);
+    EXPECT_EQ(dominant_period(xs, 10, 100), 50u);
+}
+
+TEST(DominantPeriod, NoiseGivesZero) {
+    Rng rng(8);
+    std::vector<double> xs(2000);
+    for (auto& x : xs) x = rng.uniform();
+    EXPECT_EQ(dominant_period(xs, 5, 50, 0.3), 0u);
+}
+
+TEST(DominantPeriod, Validation) {
+    const std::vector<double> xs(100, 1.0);
+    EXPECT_THROW((void)dominant_period(xs, 0, 10), std::invalid_argument);
+    EXPECT_THROW((void)dominant_period(xs, 20, 10), std::invalid_argument);
+    EXPECT_THROW((void)dominant_period(xs, 5, 100), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the Rome-style storage profile: characterization, synthesis
+// and the Gulati-style latency predictor, validated against the disk sim.
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/timeseries.hpp"
+#include "workloads/storage_profile.hpp"
+
+namespace {
+
+using namespace kooza::workloads;
+using kooza::sim::Rng;
+using kooza::trace::IoType;
+using kooza::trace::StorageRecord;
+
+/// Hand-built trace: `rate` IOs/s Poisson, `read_frac` reads, `rand_frac`
+/// random jumps over `lbn_space`, fixed `size` bytes.
+std::vector<StorageRecord> synthetic_trace(std::size_t n, double rate,
+                                           double read_frac, double rand_frac,
+                                           std::uint64_t size, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<StorageRecord> out;
+    const std::uint64_t lbn_space = 1u << 22;
+    double t = 0.0;
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += rng.exponential(rate);
+        StorageRecord r;
+        r.time = t;
+        r.request_id = i;
+        r.type = rng.bernoulli(read_frac) ? IoType::kRead : IoType::kWrite;
+        r.size_bytes = size;
+        if (rng.bernoulli(rand_frac))
+            cursor = std::uint64_t(rng.uniform(0.0, double(lbn_space)));
+        r.lbn = cursor;
+        cursor += std::max<std::uint64_t>(1, size / 512);
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(ExtractProfile, RecoversRateAndMix) {
+    const auto trace = synthetic_trace(5000, 100.0, 0.7, 0.5, 8192, 1);
+    const auto p = extract_profile(trace);
+    EXPECT_NEAR(p.request_rate, 100.0, 5.0);
+    EXPECT_NEAR(p.read_fraction, 0.7, 0.03);
+    EXPECT_NEAR(p.randomness, 0.5, 0.03);
+    EXPECT_NEAR(p.size_dist->mean(), 8192.0, 1.0);
+    EXPECT_NEAR(p.burstiness, 1.0, 0.5);  // Poisson arrivals
+}
+
+TEST(ExtractProfile, SequentialWorkloadLowRandomness) {
+    const auto trace = synthetic_trace(2000, 50.0, 1.0, 0.0, 65536, 2);
+    const auto p = extract_profile(trace);
+    EXPECT_LT(p.randomness, 0.01);
+    EXPECT_DOUBLE_EQ(p.read_fraction, 1.0);
+}
+
+TEST(ExtractProfile, Validation) {
+    std::vector<StorageRecord> one(1);
+    EXPECT_THROW(extract_profile(one), std::invalid_argument);
+}
+
+TEST(GenerateTrace, RoundTripsProfileParameters) {
+    const auto original = synthetic_trace(5000, 80.0, 0.6, 0.4, 16384, 3);
+    const auto p = extract_profile(original);
+    Rng rng(4);
+    const auto regen = generate_trace(p, 5000, rng);
+    const auto p2 = extract_profile(regen);
+    EXPECT_NEAR(p2.request_rate, p.request_rate, p.request_rate * 0.15);
+    EXPECT_NEAR(p2.read_fraction, p.read_fraction, 0.05);
+    EXPECT_NEAR(p2.randomness, p.randomness, 0.08);
+    EXPECT_NEAR(p2.size_dist->mean(), p.size_dist->mean(),
+                p.size_dist->mean() * 0.1);
+}
+
+TEST(GenerateTrace, BurstyProfileGivesBurstyTrace) {
+    StorageProfile p;
+    p.request_rate = 100.0;
+    p.read_fraction = 1.0;
+    p.randomness = 0.5;
+    p.burstiness = 10.0;
+    p.size_dist = std::make_unique<kooza::stats::Deterministic>(4096.0);
+    p.mean_seek_fraction = 0.25;
+    p.lbn_space = 1u << 22;
+    Rng rng(5);
+    const auto trace = generate_trace(p, 5000, rng);
+    std::vector<double> arrivals;
+    for (const auto& r : trace) arrivals.push_back(r.time);
+    EXPECT_GT(kooza::stats::index_of_dispersion(arrivals, 0.1), 2.0);
+}
+
+TEST(GenerateTrace, Validation) {
+    StorageProfile p;
+    p.request_rate = 10.0;
+    Rng rng(6);
+    EXPECT_THROW(generate_trace(p, 100, rng), std::invalid_argument);  // no size dist
+    p.size_dist = std::make_unique<kooza::stats::Deterministic>(4096.0);
+    EXPECT_THROW(generate_trace(p, 0, rng), std::invalid_argument);
+}
+
+TEST(ProfileClone, DeepCopies) {
+    StorageProfile p;
+    p.request_rate = 5.0;
+    p.size_dist = std::make_unique<kooza::stats::Deterministic>(1024.0);
+    const auto c = p.clone();
+    EXPECT_DOUBLE_EQ(c.request_rate, 5.0);
+    EXPECT_NE(c.size_dist.get(), p.size_dist.get());
+    EXPECT_DOUBLE_EQ(c.size_dist->mean(), 1024.0);
+    EXPECT_FALSE(c.describe().empty());
+}
+
+TEST(PredictLatency, MatchesSimulatedDiskSequential) {
+    // Sequential reads: latency ~ transfer time, light queueing.
+    const auto trace = synthetic_trace(3000, 50.0, 1.0, 0.0, 262144, 7);
+    const auto p = extract_profile(trace);
+    kooza::hw::DiskParams disk;
+    const double predicted = predict_latency(p, disk);
+    const double measured = measure_latency(trace, disk);
+    EXPECT_NEAR(predicted, measured, measured * 0.35);
+}
+
+TEST(PredictLatency, MatchesSimulatedDiskRandom) {
+    const auto trace = synthetic_trace(3000, 40.0, 0.7, 1.0, 8192, 8);
+    const auto p = extract_profile(trace);
+    kooza::hw::DiskParams disk;
+    const double predicted = predict_latency(p, disk);
+    const double measured = measure_latency(trace, disk);
+    EXPECT_NEAR(predicted, measured, measured * 0.35);
+}
+
+TEST(PredictLatency, RandomSlowerThanSequential) {
+    StorageProfile seq;
+    seq.request_rate = 20.0;
+    seq.randomness = 0.0;
+    seq.burstiness = 1.0;
+    seq.size_dist = std::make_unique<kooza::stats::Deterministic>(65536.0);
+    seq.mean_seek_fraction = 0.0;
+    auto rnd = seq.clone();
+    rnd.randomness = 1.0;
+    rnd.mean_seek_fraction = 0.3;
+    kooza::hw::DiskParams disk;
+    EXPECT_GT(predict_latency(rnd, disk), 2.0 * predict_latency(seq, disk));
+}
+
+TEST(PredictLatency, OverloadRejected) {
+    StorageProfile p;
+    p.request_rate = 1e6;
+    p.randomness = 1.0;
+    p.burstiness = 1.0;
+    p.mean_seek_fraction = 0.3;
+    p.size_dist = std::make_unique<kooza::stats::Deterministic>(65536.0);
+    kooza::hw::DiskParams disk;
+    EXPECT_THROW((void)predict_latency(p, disk), std::invalid_argument);
+}
+
+TEST(PredictLatency, FasterDiskLowerLatency) {
+    StorageProfile p;
+    p.request_rate = 50.0;
+    p.randomness = 0.5;
+    p.burstiness = 1.0;
+    p.mean_seek_fraction = 0.2;
+    p.size_dist = std::make_unique<kooza::stats::Deterministic>(16384.0);
+    kooza::hw::DiskParams slow, fast;
+    fast.min_seek = 50e-6;
+    fast.max_seek = 100e-6;
+    fast.transfer_rate = 500e6;
+    EXPECT_LT(predict_latency(p, fast), predict_latency(p, slow));
+}
+
+}  // namespace

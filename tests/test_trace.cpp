@@ -1,0 +1,265 @@
+// Tests for trace records, Dapper-style spans, TraceSet, CSV IO and
+// request-feature extraction.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/csv.hpp"
+#include "trace/features.hpp"
+#include "trace/records.hpp"
+#include "trace/span.hpp"
+#include "trace/traceset.hpp"
+
+namespace {
+
+using namespace kooza::trace;
+
+TEST(Records, IoTypeRoundTrip) {
+    EXPECT_STREQ(to_string(IoType::kRead), "read");
+    EXPECT_STREQ(to_string(IoType::kWrite), "write");
+    EXPECT_EQ(iotype_from_string("read"), IoType::kRead);
+    EXPECT_EQ(iotype_from_string("write"), IoType::kWrite);
+    EXPECT_THROW((void)iotype_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Records, RequestLatency) {
+    RequestRecord r;
+    r.arrival = 1.5;
+    r.completion = 3.0;
+    EXPECT_DOUBLE_EQ(r.latency(), 1.5);
+}
+
+TEST(SpanTracer, RecordsWhenSampled) {
+    SpanTracer t(1);
+    const auto root = t.start_span(0, 0, "request", 0.0);
+    const auto child = t.start_span(0, root, "disk.io", 0.1);
+    t.annotate(child, 0.15, "seek");
+    t.end_span(child, 0.2);
+    t.end_span(root, 0.3);
+    ASSERT_EQ(t.spans().size(), 2u);
+    EXPECT_EQ(t.spans()[0].name, "disk.io");
+    EXPECT_EQ(t.spans()[0].annotations.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.spans()[1].duration(), 0.3);
+}
+
+TEST(SpanTracer, HeadSamplingDropsWholeTraces) {
+    SpanTracer t(10);
+    for (TraceId id = 0; id < 100; ++id) {
+        const auto s = t.start_span(id, 0, "request", 0.0);
+        t.end_span(s, 1.0);
+    }
+    EXPECT_EQ(t.sampled_trace_count(), 10u);  // ids 0,10,...,90
+    EXPECT_EQ(t.operations_requested(), 200u);
+    EXPECT_EQ(t.operations_recorded(), 20u);
+}
+
+TEST(SpanTracer, UnsampledHandleIsNoop) {
+    SpanTracer t(2);
+    const auto s = t.start_span(1, 0, "request", 0.0);  // id 1 not sampled
+    EXPECT_EQ(s, 0u);
+    EXPECT_NO_THROW(t.annotate(s, 0.5, "x"));
+    EXPECT_NO_THROW(t.end_span(s, 1.0));
+    EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(SpanTracer, UnknownHandleThrows) {
+    SpanTracer t(1);
+    EXPECT_THROW(t.end_span(99, 1.0), std::logic_error);
+    EXPECT_THROW(t.annotate(99, 1.0, "x"), std::logic_error);
+    EXPECT_THROW(SpanTracer(0), std::invalid_argument);
+}
+
+TEST(SpanTracer, ClearResets) {
+    SpanTracer t(1);
+    const auto s = t.start_span(0, 0, "request", 0.0);
+    t.end_span(s, 1.0);
+    t.clear();
+    EXPECT_TRUE(t.spans().empty());
+    EXPECT_EQ(t.operations_requested(), 0u);
+}
+
+std::vector<Span> make_tree_spans() {
+    SpanTracer t(1);
+    const auto root = t.start_span(7, 0, "request", 0.0);
+    const auto rx = t.start_span(7, root, "net.rx", 0.0);
+    t.end_span(rx, 0.1);
+    const auto cpu = t.start_span(7, root, "cpu.verify", 0.1);
+    t.end_span(cpu, 0.2);
+    const auto io = t.start_span(7, root, "disk.io", 0.2);
+    t.end_span(io, 0.8);
+    t.end_span(root, 1.0);
+    return t.spans();
+}
+
+TEST(SpanTree, BuildsAndOrders) {
+    const auto spans = make_tree_spans();
+    SpanTree tree(spans, 7);
+    EXPECT_EQ(tree.root().name, "request");
+    EXPECT_DOUBLE_EQ(tree.total_duration(), 1.0);
+    const auto seq = tree.phase_sequence();
+    // Root sorts first (same start as net.rx but recorded earlier).
+    ASSERT_EQ(seq.size(), 4u);
+    EXPECT_EQ(seq[0], "request");
+    EXPECT_EQ(seq[1], "net.rx");
+    EXPECT_EQ(seq[2], "cpu.verify");
+    EXPECT_EQ(seq[3], "disk.io");
+    const auto durs = tree.phase_durations();
+    EXPECT_NEAR(durs[3], 0.6, 1e-12);
+}
+
+TEST(SpanTree, ChildrenOfRoot) {
+    const auto spans = make_tree_spans();
+    SpanTree tree(spans, 7);
+    EXPECT_EQ(tree.children_of(tree.root().span_id).size(), 3u);
+}
+
+TEST(SpanTree, RenderShowsHierarchy) {
+    const auto spans = make_tree_spans();
+    SpanTree tree(spans, 7);
+    const auto text = tree.render();
+    EXPECT_NE(text.find("request"), std::string::npos);
+    EXPECT_NE(text.find("  net.rx"), std::string::npos);
+}
+
+TEST(SpanTree, MissingTraceThrows) {
+    const auto spans = make_tree_spans();
+    EXPECT_THROW(SpanTree(spans, 99), std::invalid_argument);
+}
+
+TEST(SpanTree, TraceIdsEnumerates) {
+    auto spans = make_tree_spans();
+    auto more = make_tree_spans();
+    for (auto& s : more) s.trace_id = 8;
+    spans.insert(spans.end(), more.begin(), more.end());
+    EXPECT_EQ(SpanTree::trace_ids(spans), (std::vector<TraceId>{7, 8}));
+}
+
+TraceSet make_sample_traceset() {
+    TraceSet ts;
+    // Request 1: a 64 KB read. Network tx 64K, cpu 2 bursts, memory 16K,
+    // storage 64K.
+    ts.requests.push_back({1, IoType::kRead, 0.0, 0.010, 65536});
+    ts.network.push_back({0.009, 1, 65536, NetworkRecord::Direction::kTx, 0.001});
+    ts.cpu.push_back({0.001, 1, 0.0001, 1.0});
+    ts.cpu.push_back({0.008, 1, 0.0001, 1.0});
+    ts.memory.push_back({0.002, 1, 2, 16384, IoType::kRead});
+    ts.storage.push_back({0.003, 1, 1000, 65536, IoType::kRead, 0.005});
+    // Request 2: a write.
+    ts.requests.push_back({2, IoType::kWrite, 0.020, 0.050, 4 << 20});
+    ts.network.push_back({0.020, 2, 4 << 20, NetworkRecord::Direction::kRx, 0.002});
+    ts.cpu.push_back({0.030, 2, 0.0010, 1.0});
+    ts.memory.push_back({0.031, 2, 3, 262144, IoType::kWrite});
+    ts.storage.push_back({0.032, 2, 5000, 4 << 20, IoType::kWrite, 0.01});
+    return ts;
+}
+
+TEST(TraceSet, MergeAndCounts) {
+    auto a = make_sample_traceset();
+    const auto b = make_sample_traceset();
+    const auto before = a.total_records();
+    a.merge(b);
+    EXPECT_EQ(a.total_records(), 2 * before);
+    EXPECT_FALSE(a.empty());
+    a.clear();
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(TraceSet, SortByTime) {
+    TraceSet ts;
+    ts.storage.push_back({5.0, 1, 0, 10, IoType::kRead, 0.0});
+    ts.storage.push_back({1.0, 2, 0, 10, IoType::kRead, 0.0});
+    ts.sort_by_time();
+    EXPECT_DOUBLE_EQ(ts.storage[0].time, 1.0);
+}
+
+TEST(TraceSet, SummaryMentionsCounts) {
+    const auto ts = make_sample_traceset();
+    EXPECT_NE(ts.summary().find("requests=2"), std::string::npos);
+}
+
+TEST(Features, ExtractAggregates) {
+    const auto fs = extract_features(make_sample_traceset());
+    ASSERT_EQ(fs.size(), 2u);
+    // Sorted by arrival: request 1 first.
+    EXPECT_EQ(fs[0].request_id, 1u);
+    EXPECT_EQ(fs[0].network_bytes, 65536u);
+    EXPECT_EQ(fs[0].memory_bytes, 16384u);
+    EXPECT_EQ(fs[0].memory_type, IoType::kRead);
+    EXPECT_EQ(fs[0].storage_bytes, 65536u);
+    EXPECT_EQ(fs[0].storage_type, IoType::kRead);
+    EXPECT_NEAR(fs[0].latency, 0.010, 1e-12);
+    // Per-request CPU utilization = busy / latency = 0.0002 / 0.010.
+    EXPECT_NEAR(fs[0].cpu_utilization, 0.02, 1e-9);
+    EXPECT_EQ(fs[0].first_lbn, 1000u);
+    EXPECT_EQ(fs[0].first_bank, 2u);
+    // Write request.
+    EXPECT_EQ(fs[1].storage_type, IoType::kWrite);
+    EXPECT_EQ(fs[1].memory_type, IoType::kWrite);
+}
+
+TEST(Features, ExtractForSpecificRequest) {
+    const auto ts = make_sample_traceset();
+    const auto f = extract_features_for(ts, 2);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->request_id, 2u);
+    EXPECT_FALSE(extract_features_for(ts, 99).has_value());
+}
+
+TEST(Features, ColumnsAligned) {
+    const auto fs = extract_features(make_sample_traceset());
+    EXPECT_EQ(column_network_bytes(fs).size(), 2u);
+    EXPECT_DOUBLE_EQ(column_latency(fs)[0], 0.010);
+    EXPECT_DOUBLE_EQ(column_arrival(fs)[1], 0.020);
+    EXPECT_DOUBLE_EQ(column_storage_bytes(fs)[1], double(4 << 20));
+}
+
+TEST(Features, ToStringReadable) {
+    const auto fs = extract_features(make_sample_traceset());
+    EXPECT_NE(fs[0].to_string().find("req 1"), std::string::npos);
+}
+
+TEST(Csv, RoundTrip) {
+    auto ts = make_sample_traceset();
+    ts.spans = make_tree_spans();
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_test";
+    std::filesystem::remove_all(dir);
+    write_csv(ts, dir);
+    const auto back = read_csv(dir);
+    EXPECT_EQ(back.storage.size(), ts.storage.size());
+    EXPECT_EQ(back.cpu.size(), ts.cpu.size());
+    EXPECT_EQ(back.memory.size(), ts.memory.size());
+    EXPECT_EQ(back.network.size(), ts.network.size());
+    EXPECT_EQ(back.requests.size(), ts.requests.size());
+    EXPECT_EQ(back.spans.size(), ts.spans.size());
+    EXPECT_EQ(back.storage[0].lbn, ts.storage[0].lbn);
+    EXPECT_EQ(back.storage[0].type, ts.storage[0].type);
+    EXPECT_DOUBLE_EQ(back.requests[1].completion, ts.requests[1].completion);
+    EXPECT_EQ(back.spans[0].name, ts.spans[0].name);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Csv, MissingDirectoryGivesEmpty) {
+    const auto ts = read_csv("/nonexistent/kooza");
+    EXPECT_TRUE(ts.empty());
+}
+
+TEST(Csv, SplitLine) {
+    EXPECT_EQ(split_csv_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split_csv_line(""), (std::vector<std::string>{""}));
+    EXPECT_EQ(split_csv_line("x,"), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(Csv, MalformedRowThrows) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_bad";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "cpu.csv");
+        f << "time,request_id,busy_seconds,utilization\n";
+        f << "1.0,nonsense,0.1,0.5\n";
+    }
+    EXPECT_THROW(read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Edge-case tests for the tracing stack: span-tree pathologies, CSV
+// robustness, and feature extraction on sparse/partial traces.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/csv.hpp"
+#include "trace/features.hpp"
+#include "trace/span.hpp"
+#include "trace/traceset.hpp"
+
+namespace {
+
+using namespace kooza::trace;
+
+TEST(SpanEdges, MultipleRootsPerTraceTolerated) {
+    // A trace with two root spans (e.g. client retried and re-rooted):
+    // the tree picks the first root by start time and still renders.
+    SpanTracer t(1);
+    const auto r1 = t.start_span(5, 0, "request", 0.0);
+    t.end_span(r1, 1.0);
+    const auto r2 = t.start_span(5, 0, "request", 2.0);
+    t.end_span(r2, 3.0);
+    SpanTree tree(t.spans(), 5);
+    EXPECT_EQ(tree.root().start, 0.0);
+    EXPECT_FALSE(tree.render().empty());
+}
+
+TEST(SpanEdges, OrphanParentTreatedAsLeaf) {
+    // A child whose parent was never recorded (partial trace) is still in
+    // the tree's span list; render starts from the root that exists.
+    SpanTracer t(1);
+    const auto root = t.start_span(7, 0, "request", 0.0);
+    const auto orphan = t.start_span(7, 9999, "lost.child", 0.1);
+    t.end_span(orphan, 0.2);
+    t.end_span(root, 1.0);
+    SpanTree tree(t.spans(), 7);
+    EXPECT_EQ(tree.spans().size(), 2u);
+    EXPECT_EQ(tree.children_of(tree.root().span_id).size(), 0u);
+}
+
+TEST(SpanEdges, ZeroDurationSpans) {
+    SpanTracer t(1);
+    const auto s = t.start_span(1, 0, "instant", 5.0);
+    t.end_span(s, 5.0);
+    SpanTree tree(t.spans(), 1);
+    EXPECT_DOUBLE_EQ(tree.total_duration(), 0.0);
+    EXPECT_DOUBLE_EQ(tree.phase_durations()[0], 0.0);
+}
+
+TEST(SpanEdges, AnnotationsSurviveCollection) {
+    SpanTracer t(1);
+    const auto s = t.start_span(2, 0, "request", 0.0);
+    t.annotate(s, 0.5, "midpoint");
+    t.annotate(s, 0.9, "late");
+    t.end_span(s, 1.0);
+    ASSERT_EQ(t.spans()[0].annotations.size(), 2u);
+    EXPECT_EQ(t.spans()[0].annotations[1].message, "late");
+}
+
+TEST(CsvEdges, EmptyTraceSetRoundTrips) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_empty";
+    std::filesystem::remove_all(dir);
+    TraceSet empty;
+    write_csv(empty, dir);
+    const auto back = read_csv(dir);
+    EXPECT_TRUE(back.empty());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, BlankLinesSkipped) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_blank";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv");
+        f << "request_id,type,arrival,completion,bytes\n\n\n";
+        f << "1,read,0.5,1.5,4096\n\n";
+    }
+    const auto ts = read_csv(dir);
+    ASSERT_EQ(ts.requests.size(), 1u);
+    EXPECT_EQ(ts.requests[0].bytes, 4096u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, WrongFieldCountThrows) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_fields";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "storage.csv");
+        f << "time,request_id,lbn,size_bytes,type,latency\n";
+        f << "1.0,1,2,3\n";  // 4 fields, need 6
+    }
+    EXPECT_THROW(read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, BadIoTypeThrows) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_type";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "memory.csv");
+        f << "time,request_id,bank,size_bytes,type\n";
+        f << "1.0,1,0,4096,sideways\n";
+    }
+    EXPECT_THROW(read_csv(dir), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(FeatureEdges, RequestWithoutSubsystemRecords) {
+    // A completed request with no device records (e.g. served entirely
+    // from a cache we don't model) still extracts, with zeroed features.
+    TraceSet ts;
+    ts.requests.push_back({9, IoType::kRead, 1.0, 1.5, 100});
+    const auto fs = extract_features(ts);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].network_bytes, 0u);
+    EXPECT_EQ(fs[0].storage_bytes, 0u);
+    EXPECT_DOUBLE_EQ(fs[0].cpu_utilization, 0.0);
+    EXPECT_DOUBLE_EQ(fs[0].latency, 0.5);
+}
+
+TEST(FeatureEdges, OrphanDeviceRecordsIgnored) {
+    // Device records whose request never completed don't produce feature
+    // rows (the paper's models train on completed requests only).
+    TraceSet ts;
+    ts.storage.push_back({0.1, 77, 0, 4096, IoType::kRead, 0.01});
+    ts.cpu.push_back({0.1, 77, 0.001, 1.0});
+    const auto fs = extract_features(ts);
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(FeatureEdges, TiedMemoryTrafficPrefersRead) {
+    TraceSet ts;
+    ts.requests.push_back({1, IoType::kRead, 0.0, 1.0, 100});
+    ts.memory.push_back({0.1, 1, 0, 512, IoType::kRead});
+    ts.memory.push_back({0.2, 1, 1, 512, IoType::kWrite});
+    const auto fs = extract_features(ts);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].memory_type, IoType::kRead);  // tie -> read
+    EXPECT_EQ(fs[0].memory_bytes, 1024u);
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Minimal flag parsing shared by the kooza_* command-line tools.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kooza::cli {
+
+/// Parses "positional... [--flag value]..." command lines.
+class Args {
+public:
+    Args(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind("--", 0) == 0) {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for flag " + a);
+                flags_[a.substr(2)] = argv[++i];
+            } else {
+                positional_.push_back(std::move(a));
+            }
+        }
+    }
+
+    [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+        return positional_;
+    }
+
+    [[nodiscard]] std::string get(const std::string& name,
+                                  const std::string& fallback) const {
+        auto it = flags_.find(name);
+        return it == flags_.end() ? fallback : it->second;
+    }
+
+    [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                        std::uint64_t fallback) const {
+        auto it = flags_.find(name);
+        return it == flags_.end() ? fallback : std::stoull(it->second);
+    }
+
+    [[nodiscard]] double get_double(const std::string& name, double fallback) const {
+        auto it = flags_.find(name);
+        return it == flags_.end() ? fallback : std::stod(it->second);
+    }
+
+private:
+    std::vector<std::string> positional_;
+    std::map<std::string, std::string> flags_;
+};
+
+}  // namespace kooza::cli

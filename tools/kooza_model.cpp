@@ -1,0 +1,99 @@
+// kooza_model — the full KOOZA pipeline over CSV traces: train a
+// ServerModel, print it, generate a synthetic workload, replay it on the
+// device models, and validate features + latency against the original.
+// Optionally writes the replayed traces back out as CSV.
+//
+// Usage:
+//   kooza_model <trace-dir> [--generate N] [--seed S] [--lbn-ranges N]
+//               [--util-levels N] [--out DIR] [--save MODEL-FILE]
+
+#include <iostream>
+
+#include "cli_util.hpp"
+#include "core/generator.hpp"
+#include "core/replayer.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "core/validator.hpp"
+#include "trace/csv.hpp"
+#include "trace/features.hpp"
+
+int main(int argc, char** argv) {
+    using namespace kooza;
+    try {
+        cli::Args args(argc, argv);
+        if (args.positional().size() != 1) {
+            std::cerr << "usage: kooza_model <trace-dir> [--generate N] [--seed S] "
+                         "[--lbn-ranges N] [--util-levels N] [--out DIR]\n";
+            return 2;
+        }
+        const auto ts = trace::read_csv(args.positional()[0]);
+        if (ts.requests.empty()) {
+            std::cerr << "no completed requests in " << args.positional()[0] << "\n";
+            return 1;
+        }
+
+        core::TrainerConfig tc;
+        tc.workload_name = args.positional()[0];
+        tc.lbn_ranges = std::size_t(args.get_u64("lbn-ranges", 4));
+        tc.util_levels = std::size_t(args.get_u64("util-levels", 4));
+        const auto model = core::Trainer(tc).train(ts);
+        std::cout << model.describe() << "\n";
+
+        const auto save_path = args.get("save", "");
+        if (!save_path.empty()) {
+            core::save_model(model, std::filesystem::path(save_path));
+            std::cout << "saved model to " << save_path
+                      << " (load with kooza_generate)\n";
+        }
+
+        const auto n = std::size_t(args.get_u64("generate", ts.requests.size()));
+        sim::Rng rng(args.get_u64("seed", 42));
+        const auto synthetic = core::Generator(model).generate(n, rng);
+
+        core::ReplayConfig rc;
+        rc.cpu_verify_fraction = model.cpu_verify_fraction();
+        core::Replayer replayer(rc);
+        const auto replayed = replayer.replay(synthetic);
+
+        const auto orig_features = trace::extract_features(ts);
+        const auto synth_features = trace::extract_features(replayed.traces);
+        const auto report = core::compare_features(orig_features, synth_features,
+                                                   "KOOZA synthetic vs original");
+        std::cout << "\n" << report.to_table() << "\n"
+                  << "max feature variation: " << report.max_feature_variation()
+                  << " %\nlatency variation:     " << report.latency_variation()
+                  << " %\n";
+
+        // Per-type breakdown: with a bimodal read/write mix the aggregate
+        // means above also carry mix-sampling noise; the per-type rows are
+        // the model-fidelity signal (the paper's Table 2 is per-request).
+        auto by_type = [](const std::vector<trace::RequestFeatures>& fs,
+                          trace::IoType t) {
+            std::vector<trace::RequestFeatures> out;
+            for (const auto& f : fs)
+                if (f.storage_type == t) out.push_back(f);
+            return out;
+        };
+        for (auto type : {trace::IoType::kRead, trace::IoType::kWrite}) {
+            const auto o = by_type(orig_features, type);
+            const auto s = by_type(synth_features, type);
+            if (o.empty() || s.empty()) continue;
+            std::cout << "\n"
+                      << core::compare_features(
+                             o, s,
+                             std::string("per-type: ") + trace::to_string(type))
+                             .to_table();
+        }
+
+        const auto out = args.get("out", "");
+        if (!out.empty()) {
+            trace::write_csv(replayed.traces, out);
+            std::cout << "wrote replayed synthetic traces to " << out << "\n";
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "kooza_model: " << e.what() << "\n";
+        return 1;
+    }
+}
