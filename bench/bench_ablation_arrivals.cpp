@@ -129,6 +129,7 @@ BENCHMARK(BM_FitArrivalProcess);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -108,6 +108,7 @@ BENCHMARK(BM_FitEchmm)->Arg(2)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -40,7 +40,13 @@ void print_ablation() {
     bench::Table t({12, 12, 14, 12, 14, 12});
     t.row("LbnRanges", "UtilLvls", "SizeKS", "LbnKS", "LatencyErr%", "Params");
     t.rule();
-    for (std::size_t g : {2, 4, 8, 16, 32}) {
+    struct Row {
+        std::size_t g = 0, util_levels = 0, params = 0;
+        double size_ks = 0.0, lbn_ks = 0.0, lat_err = 0.0;
+    };
+    const std::vector<std::size_t> grans{2, 4, 8, 16, 32};
+    const auto rows = bench::sweep(grans.size(), [&](std::size_t i) {
+        const std::size_t g = grans[i];
         core::TrainerConfig tc;
         tc.lbn_ranges = g;
         tc.util_levels = std::max<std::size_t>(2, g / 2);
@@ -54,12 +60,14 @@ void print_ablation() {
         }
         core::Replayer rep(bench::replay_config(cfg, model.cpu_verify_fraction()));
         const double lat = stats::mean(rep.replay(w).latencies);
-        t.row(g, tc.util_levels,
-              bench::fmt(stats::ks_statistic_two_sample(orig_sizes, sizes), 3),
-              bench::fmt(stats::ks_statistic_two_sample(orig_lbns, lbns), 3),
-              bench::fmt(stats::variation_pct(lat, orig_lat), 1),
-              model.parameter_count());
-    }
+        return Row{g, tc.util_levels, model.parameter_count(),
+                   stats::ks_statistic_two_sample(orig_sizes, sizes),
+                   stats::ks_statistic_two_sample(orig_lbns, lbns),
+                   stats::variation_pct(lat, orig_lat)};
+    });
+    for (const auto& r : rows)
+        t.row(r.g, r.util_levels, bench::fmt(r.size_ks, 3), bench::fmt(r.lbn_ks, 3),
+              bench::fmt(r.lat_err, 1), r.params);
     std::cout << "\nExpected shape: LBN fidelity (LbnKS) improves with more ranges\n"
               << "while parameter count grows quadratically — the paper's\n"
               << "detail-vs-complexity trade-off.\n\n";
@@ -81,6 +89,7 @@ BENCHMARK(BM_TrainAtGranularity)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

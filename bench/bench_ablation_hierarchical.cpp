@@ -117,6 +117,7 @@ BENCHMARK(BM_FitHierarchical)->Arg(8)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

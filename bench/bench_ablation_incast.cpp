@@ -79,11 +79,12 @@ void print_ablation() {
     bench::Table t({10, 18, 18, 16});
     t.row("FanIn", "SimLatency", "ReplayLatency", "ReplayDrops");
     t.rule();
-    for (std::size_t fan_in : {2, 4, 8, 16, 32, 64}) {
-        const auto p = run_point(fan_in);
+    const std::vector<std::size_t> fan_ins{2, 4, 8, 16, 32, 64};
+    const auto points = bench::sweep(
+        fan_ins.size(), [&](std::size_t i) { return run_point(fan_ins[i]); });
+    for (const auto& p : points)
         t.row(p.fan_in, bench::fmt_ms(p.sim_latency),
               bench::fmt_ms(p.replay_latency), p.replay_drops);
-    }
     std::cout << "\nExpected shape: latency grows gently until the client buffer\n"
               << "saturates, then collapses (retransmission timeouts) — the incast\n"
               << "cliff — in both the original system and the model replay.\n\n";
@@ -101,6 +102,7 @@ BENCHMARK(BM_IncastSweep)->Arg(4)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header();
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

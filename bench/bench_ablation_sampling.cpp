@@ -31,7 +31,15 @@ void print_ablation() {
           "Fallback");
     t.rule();
 
-    for (std::uint64_t every : {1ull, 10ull, 100ull, 1000ull}) {
+    struct Row {
+        std::uint64_t every = 0, ops = 0;
+        std::size_t spans = 0, variants = 0;
+        double lat_err = 0.0;
+        bool fellback = false;
+    };
+    const std::vector<std::uint64_t> everies{1, 10, 100, 1000};
+    const auto rows = bench::sweep(everies.size(), [&](std::size_t i) {
+        const std::uint64_t every = everies[i];
         gfs::GfsConfig cfg;
         cfg.span_sample_every = every;
         gfs::Cluster cluster(cfg);
@@ -52,13 +60,16 @@ void print_ablation() {
         core::Replayer rep(bench::replay_config(cfg, model.cpu_verify_fraction()));
         const double lat = stats::mean(rep.replay(w).latencies);
 
-        const bool fellback = model.reads().structure.training_traces() == 0;
-        t.row(std::string("1/") + std::to_string(every), ts.spans.size(),
-              cluster.tracer().operations_recorded(),
-              model.reads().structure.variants().size(),
-              bench::fmt(stats::variation_pct(lat, orig_lat), 1),
-              fellback ? "canonical" : "learned");
-    }
+        return Row{every,
+                   cluster.tracer().operations_recorded(),
+                   ts.spans.size(),
+                   model.reads().structure.variants().size(),
+                   stats::variation_pct(lat, orig_lat),
+                   model.reads().structure.training_traces() == 0};
+    });
+    for (const auto& r : rows)
+        t.row(std::string("1/") + std::to_string(r.every), r.spans, r.ops, r.variants,
+              bench::fmt(r.lat_err, 1), r.fellback ? "canonical" : "learned");
     std::cout << "\nExpected shape: recorded span operations drop ~linearly with the\n"
               << "sampling factor while the dominant structure (and hence latency\n"
               << "fidelity) survives aggressive sampling — Dapper's design point.\n\n";
@@ -82,6 +93,7 @@ BENCHMARK(BM_TracedVsUntracedRun)->Arg(1)->Arg(1000);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -38,11 +38,15 @@ void print_ablation() {
     bench::Table t({12, 16, 18, 16, 14});
     t.row("Fleet", "Simulated", "MeanResponse", "CI(95%)", "Savings");
     t.rule();
-    for (std::size_t fleet : {10, 100, 1000, 10000, 100000}) {
+    const std::vector<std::size_t> fleets{10, 100, 1000, 10000, 100000};
+    const auto rows = bench::sweep(fleets.size(), [&](std::size_t i) {
         queueing::SqsSimulator sim(
             {.tasks_per_server = 2000, .target_rel_ci = 0.05, .seed = kSeed});
-        const auto res = sim.run(model, fleet);
-        t.row(fleet, res.servers_simulated, bench::fmt_ms(res.mean_response),
+        return sim.run(model, fleets[i]);
+    });
+    for (std::size_t i = 0; i < fleets.size(); ++i) {
+        const auto& res = rows[i];
+        t.row(fleets[i], res.servers_simulated, bench::fmt_ms(res.mean_response),
               "±" + bench::fmt_ms(res.ci_halfwidth),
               bench::fmt_pct(res.sampling_savings() * 100.0, 1));
     }
@@ -88,6 +92,7 @@ BENCHMARK(BM_SqsFleet)->Arg(100)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_ablation();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -59,6 +59,7 @@ BENCHMARK(BM_TraceOneRequest);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header();
     print_fig1();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -76,6 +76,7 @@ BENCHMARK(BM_TrainFig2Model);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_fig2();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -148,7 +148,15 @@ void print_table1() {
         << " (trained on the same web-search-like GFS trace; seed=" << kSeed << ")\n"
         << "============================================================================\n\n";
     const auto c = make_context();
-    const Scores rows[] = {score_inbreadth(c), score_indepth(c), score_kooza(c)};
+    // The three contenders train and validate independently from the same
+    // (read-only) context — score them across the pool.
+    const auto rows = bench::sweep(3, [&](std::size_t i) {
+        switch (i) {
+            case 0: return score_inbreadth(c);
+            case 1: return score_indepth(c);
+            default: return score_kooza(c);
+        }
+    });
 
     bench::Table t({14, 16, 16, 18, 16, 12});
     t.row("Model", "FeatureKS", "LatencyErr%", "PhaseOrder", "Params(2..16)", "Params");
@@ -201,6 +209,7 @@ BENCHMARK(BM_TrainAllThree);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_table1();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -149,6 +149,7 @@ BENCHMARK(BM_ReplayTable2);
 }  // namespace
 
 int main(int argc, char** argv) {
+    kooza::bench::print_run_header(kSeed);
     print_table2();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -15,9 +15,31 @@
 #include "core/replayer.hpp"
 #include "core/trainer.hpp"
 #include "gfs/cluster.hpp"
+#include "par/pool.hpp"
 #include "workloads/profiles.hpp"
 
 namespace kooza::bench {
+
+/// Reproducibility banner every bench prints before its tables: the run
+/// seed plus the pool size (sweep points run across the pool, so both are
+/// needed to reproduce and to interpret wall-clock numbers).
+inline void print_run_header(std::uint64_t seed) {
+    std::cout << "run: seed=" << seed << " threads=" << par::threads() << "\n";
+}
+
+/// Variant for fully deterministic benches that draw no random numbers.
+inline void print_run_header() {
+    std::cout << "run: seed=none threads=" << par::threads() << "\n";
+}
+
+/// Evaluate `n` independent sweep points across the thread pool; result i
+/// is fn(i), merged by index so tables print in sweep order regardless of
+/// thread count. Points must not share mutable state (give each its own
+/// seeded Rng).
+template <typename Fn>
+auto sweep(std::size_t n, Fn&& fn) {
+    return par::pool().parallel_map(n, std::forward<Fn>(fn));
+}
 
 /// Simulate a workload on a fresh cluster and return its traces.
 inline trace::TraceSet simulate(const workloads::Workload& w,

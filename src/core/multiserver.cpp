@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "par/pool.hpp"
 
 namespace kooza::core {
 
@@ -11,19 +14,23 @@ ClusterModel ClusterModel::train(std::span<const trace::TraceSet> per_server,
                                  TrainerConfig cfg) {
     if (per_server.empty())
         throw std::invalid_argument("ClusterModel::train: no server traces");
-    std::vector<ServerModel> servers;
-    servers.reserve(per_server.size());
-    for (std::size_t i = 0; i < per_server.size(); ++i) {
+    // Per-server fits are independent; run them across the pool and keep
+    // the result of server i in slot i.
+    std::vector<std::optional<ServerModel>> fitted(per_server.size());
+    par::pool().parallel_for(per_server.size(), [&](std::size_t i) {
         TrainerConfig server_cfg = cfg;
         server_cfg.workload_name =
             cfg.workload_name + "/server" + std::to_string(i);
         try {
-            servers.push_back(Trainer(server_cfg).train(per_server[i]));
+            fitted[i] = Trainer(server_cfg).train(per_server[i]);
         } catch (const std::invalid_argument& e) {
             throw std::invalid_argument(
                 "ClusterModel::train: server " + std::to_string(i) + ": " + e.what());
         }
-    }
+    });
+    std::vector<ServerModel> servers;
+    servers.reserve(fitted.size());
+    for (auto& m : fitted) servers.push_back(std::move(*m));
     return ClusterModel(std::move(servers));
 }
 
@@ -32,23 +39,33 @@ SyntheticWorkload ClusterModel::generate(double duration, sim::Rng& rng) const {
         throw std::invalid_argument("ClusterModel::generate: duration must be > 0");
     SyntheticWorkload out;
     out.model_name = "kooza-cluster(" + std::to_string(servers_.size()) + ")";
-    for (std::size_t s = 0; s < servers_.size(); ++s) {
+    // One draw from the caller's stream seeds every per-server shard (via
+    // splitmix64), so instance streams are independent of each other and
+    // of the thread schedule.
+    const std::uint64_t base = rng.engine()();
+    std::vector<std::vector<SyntheticRequest>> streams(servers_.size());
+    par::pool().parallel_for(servers_.size(), [&](std::size_t s) {
         // Generate enough requests to cover the horizon, then trim.
         const double rate = std::max(servers_[s].arrivals().mean_rate(), 1e-9);
         const std::size_t budget =
             std::size_t(std::ceil(rate * duration * 1.3)) + 16;
         Generator gen(servers_[s]);
-        auto stream = gen.generate(budget, rng);
+        sim::Rng server_rng(par::shard_seed(base, s));
+        auto stream = gen.generate(budget, server_rng);
         for (auto& r : stream.requests) {
             if (r.time > duration) break;
             r.server = std::uint32_t(s);
-            out.requests.push_back(std::move(r));
+            streams[s].push_back(std::move(r));
         }
-    }
-    std::sort(out.requests.begin(), out.requests.end(),
-              [](const SyntheticRequest& a, const SyntheticRequest& b) {
-                  return a.time < b.time;
-              });
+    });
+    for (auto& stream : streams)
+        for (auto& r : stream) out.requests.push_back(std::move(r));
+    // stable_sort: equal-time ties keep server-index order, so the merged
+    // stream is a well-defined function of the seed alone.
+    std::stable_sort(out.requests.begin(), out.requests.end(),
+                     [](const SyntheticRequest& a, const SyntheticRequest& b) {
+                         return a.time < b.time;
+                     });
     if (out.requests.empty())
         throw std::runtime_error(
             "ClusterModel::generate: horizon too short for the learned rates");

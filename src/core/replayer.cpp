@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 
+#include "par/pool.hpp"
 #include "sim/engine.hpp"
 
 namespace kooza::core {
@@ -214,11 +216,71 @@ Replayer::Replayer(ReplayConfig cfg) : cfg_(cfg) {
 
 ReplayResult Replayer::replay(const SyntheticWorkload& workload,
                               ReplayMode mode) const {
+    return replay_with_ids(workload, mode, 0);
+}
+
+ReplayResult Replayer::replay_sharded(const SyntheticWorkload& workload,
+                                      ReplayMode mode) const {
+    if (workload.empty())
+        throw std::invalid_argument("Replayer::replay_sharded: empty workload");
+    const std::size_t shards = cfg_.n_servers;
+    if (shards <= 1) return replay(workload, mode);
+
+    // Partition by server tag, preserving arrival order within a shard.
+    std::vector<SyntheticWorkload> parts(shards);
+    for (auto& p : parts) p.model_name = workload.model_name;
+    for (const auto& r : workload.requests) {
+        auto& p = parts[std::size_t(r.server % shards)];
+        p.requests.push_back(r);
+        p.requests.back().server = 0;
+    }
+    // Each shard's request ids start after the previous shard's range, so
+    // merged traces keep globally-unique ids no matter the schedule.
+    std::vector<std::uint64_t> base_id(shards, 0);
+    std::uint64_t next_id = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        base_id[s] = next_id;
+        next_id += parts[s].requests.size();
+    }
+
+    ReplayConfig shard_cfg = cfg_;
+    shard_cfg.n_servers = 1;
+    const Replayer shard_replayer(shard_cfg);
+    std::vector<std::optional<ReplayResult>> results(shards);
+    par::pool().parallel_for(shards, [&](std::size_t s) {
+        if (parts[s].requests.empty()) return;  // idle server: nothing to run
+        results[s] = shard_replayer.replay_with_ids(parts[s], mode, base_id[s]);
+    });
+
+    // Merge by shard index (idle shards count as 0-utilization servers).
+    ReplayResult out;
+    for (std::size_t s = 0; s < shards; ++s) {
+        if (!results[s]) continue;
+        ReplayResult& r = *results[s];
+        out.traces.merge(r.traces);
+        out.latencies.insert(out.latencies.end(), r.latencies.begin(),
+                             r.latencies.end());
+        out.network_drops += r.network_drops;
+        out.network_timeouts += r.network_timeouts;
+        out.unknown_phases += r.unknown_phases;
+        out.mean_cpu_utilization += r.mean_cpu_utilization;
+        out.mean_disk_utilization += r.mean_disk_utilization;
+        out.duration = std::max(out.duration, r.duration);
+    }
+    out.mean_cpu_utilization /= double(shards);
+    out.mean_disk_utilization /= double(shards);
+    out.traces.sort_by_time();
+    return out;
+}
+
+ReplayResult Replayer::replay_with_ids(const SyntheticWorkload& workload,
+                                       ReplayMode mode,
+                                       std::uint64_t base_id) const {
     if (workload.empty())
         throw std::invalid_argument("Replayer::replay: empty workload");
     Runtime rt(cfg_);
     Execution exec(rt, cfg_);
-    std::uint64_t id = 0;
+    std::uint64_t id = base_id;
     for (const auto& r : workload.requests) {
         const std::uint64_t rid = id++;
         const std::size_t server = std::size_t(r.server % rt.servers.size());

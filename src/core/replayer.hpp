@@ -61,9 +61,24 @@ public:
     [[nodiscard]] ReplayResult replay(const SyntheticWorkload& workload,
                                       ReplayMode mode = ReplayMode::kStructured) const;
 
+    /// Sharded replay: requests are partitioned by their `server` tag and
+    /// each server runs as an independent shard with its own sim::Engine
+    /// and TraceSet, executed across the thread pool and merged by shard
+    /// index — so results are bit-identical at any thread count. Unlike
+    /// replay(), shards share nothing: no client-port fan-in contention
+    /// and no cross-server replica forwarding (repl.forward stays on the
+    /// shard). Use replay() when those couplings are the point (incast).
+    [[nodiscard]] ReplayResult replay_sharded(
+        const SyntheticWorkload& workload,
+        ReplayMode mode = ReplayMode::kStructured) const;
+
     [[nodiscard]] const ReplayConfig& config() const noexcept { return cfg_; }
 
 private:
+    [[nodiscard]] ReplayResult replay_with_ids(const SyntheticWorkload& workload,
+                                               ReplayMode mode,
+                                               std::uint64_t base_id) const;
+
     ReplayConfig cfg_;
 };
 

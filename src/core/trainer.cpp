@@ -6,22 +6,25 @@
 #include <set>
 #include <stdexcept>
 
+#include "par/pool.hpp"
 #include "stats/fitting.hpp"
 #include "stats/hypothesis.hpp"
 #include "trace/features.hpp"
 
 namespace kooza::core {
 
-namespace {
-
-/// Canonical GFS phase orders (paper Fig. 1), used only as a fallback when
-/// sampling recorded no span tree for a request type.
 std::vector<std::string> canonical_phases(trace::IoType t) {
     if (t == trace::IoType::kRead)
         return {"net.rx", "cpu.verify", "mem.buffer", "disk.io", "cpu.aggregate",
                 "net.tx"};
-    return {"net.rx", "cpu.verify", "mem.buffer", "disk.io", "cpu.aggregate", "net.tx"};
+    // Write path (gfs::ChunkServer::handle_write): the payload is verified,
+    // buffered and written, then re-enters NET/DISK through the replica
+    // fan-out before the post-I/O aggregate and the ack leaves on net.tx.
+    return {"net.rx",       "cpu.verify",    "mem.buffer", "disk.io",
+            "repl.forward", "cpu.aggregate", "net.tx"};
 }
+
+namespace {
 
 std::uint64_t next_pow2(std::uint64_t x) {
     std::uint64_t p = 1;
@@ -120,29 +123,55 @@ ServerModel Trainer::train(const trace::TraceSet& ts) const {
         const markov::AnnotatedSequence storage_arr[] = {std::move(storage_seq)};
         const markov::AnnotatedSequence memory_arr[] = {std::move(memory_seq)};
         const markov::AnnotatedSequence cpu_arr[] = {std::move(cpu_seq)};
-        auto storage = markov::AnnotatedMarkovChain::fit(
-            storage_arr, lbn_disc->n_states(), cfg_.laplace_alpha, cfg_.ks_threshold);
-        auto memory = markov::AnnotatedMarkovChain::fit(
-            memory_arr, bank_disc->n_states(), cfg_.laplace_alpha, cfg_.ks_threshold);
-        auto cpu = markov::AnnotatedMarkovChain::fit(
-            cpu_arr, util_disc->n_states(), cfg_.laplace_alpha, cfg_.ks_threshold);
-
-        // Structure from span trees of this type's requests.
         std::vector<trace::TraceId> ids;
         for (const auto* f : fs) ids.push_back(f->request_id);
+
+        // The three Markov sub-models and the structure queue are fitted
+        // from disjoint inputs — run them across the pool. Each result
+        // lands in its own slot, so the fit is identical at any thread
+        // count (a nested call from a pool worker just runs inline).
+        std::optional<markov::AnnotatedMarkovChain> storage, memory, cpu;
         std::optional<StructureQueue> structure;
-        try {
-            structure = StructureQueue::fit(ts.spans, ids, cfg_.ks_threshold);
-        } catch (const std::invalid_argument&) {
-            if (!cfg_.fallback_structure) throw;
-            structure = StructureQueue::canonical(canonical_phases(type));
-        }
-        return TypeModel{std::move(storage), std::move(memory), std::move(cpu),
+        par::pool().parallel_for(4, [&](std::size_t task) {
+            switch (task) {
+                case 0:
+                    storage = markov::AnnotatedMarkovChain::fit(
+                        storage_arr, lbn_disc->n_states(), cfg_.laplace_alpha,
+                        cfg_.ks_threshold);
+                    break;
+                case 1:
+                    memory = markov::AnnotatedMarkovChain::fit(
+                        memory_arr, bank_disc->n_states(), cfg_.laplace_alpha,
+                        cfg_.ks_threshold);
+                    break;
+                case 2:
+                    cpu = markov::AnnotatedMarkovChain::fit(
+                        cpu_arr, util_disc->n_states(), cfg_.laplace_alpha,
+                        cfg_.ks_threshold);
+                    break;
+                default:
+                    // Structure from span trees of this type's requests.
+                    try {
+                        structure = StructureQueue::fit(ts.spans, ids, cfg_.ks_threshold);
+                    } catch (const std::invalid_argument&) {
+                        if (!cfg_.fallback_structure) throw;
+                        structure = StructureQueue::canonical(canonical_phases(type));
+                    }
+            }
+        });
+        return TypeModel{std::move(*storage), std::move(*memory), std::move(*cpu),
                          std::move(*structure)};
     };
 
-    auto read_model = build_type_model(trace::IoType::kRead);
-    auto write_model = build_type_model(trace::IoType::kWrite);
+    // Read-type and write-type models are independent given the shared
+    // (read-only) discretizers — fit them concurrently.
+    std::optional<TypeModel> models[2];
+    par::pool().parallel_for(2, [&](std::size_t i) {
+        models[i] =
+            build_type_model(i == 0 ? trace::IoType::kRead : trace::IoType::kWrite);
+    });
+    auto read_model = std::move(models[0]);
+    auto write_model = std::move(models[1]);
 
     return ServerModel(cfg_.workload_name, std::move(arrival_model), read_fraction,
                        std::move(read_model), std::move(write_model),

@@ -10,10 +10,19 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "core/model.hpp"
 #include "trace/traceset.hpp"
 
 namespace kooza::core {
+
+/// Canonical GFS phase order for a request type (paper Fig. 1), the
+/// fallback structure when span sampling recorded no tree for the type.
+/// Reads: rx -> verify -> buffer -> disk -> aggregate -> tx. Writes
+/// additionally re-enter the network/disk path through the replica
+/// fan-out (repl.forward) between the primary disk write and the ack.
+[[nodiscard]] std::vector<std::string> canonical_phases(trace::IoType t);
 
 struct TrainerConfig {
     std::string workload_name = "workload";

@@ -1,0 +1,163 @@
+#include "par/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace kooza::par {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+std::size_t resolve_auto_threads() {
+    if (const char* env = std::getenv("KOOZA_THREADS")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && v > 0) return std::size_t(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : std::size_t(hc);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+    bool stop = false;
+
+    void worker_loop() {
+        t_in_worker = true;
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv.wait(lk, [&] { return stop || !tasks.empty(); });
+                if (stop && tasks.empty()) return;
+                task = std::move(tasks.front());
+                tasks.pop_front();
+            }
+            task();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) : impl_(new Impl) {
+    if (n_threads == 0) n_threads = resolve_auto_threads();
+    for (std::size_t i = 0; i + 1 < n_threads; ++i)
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (auto& w : impl_->workers) w.join();
+    delete impl_;
+}
+
+std::size_t ThreadPool::size() const noexcept { return impl_->workers.size() + 1; }
+
+bool ThreadPool::in_worker() noexcept { return t_in_worker; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (!fn) throw std::invalid_argument("ThreadPool::parallel_for: empty function");
+    // Inline paths: trivial loops, a 1-lane pool, and nested calls from a
+    // worker (the fixed pool must never block a worker on more pool work).
+    if (n == 1 || impl_->workers.empty() || t_in_worker) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    struct ForState {
+        std::atomic<std::size_t> next{0};
+        std::size_t n = 0;
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::mutex mu;
+        std::condition_variable done_cv;
+        std::size_t active_jobs = 0;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->fn = &fn;
+
+    auto run_lane = [](ForState& st) {
+        for (;;) {
+            const std::size_t i = st.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= st.n) return;
+            try {
+                (*st.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(st.mu);
+                if (!st.error) st.error = std::current_exception();
+                // Stop handing out further indices after a failure.
+                st.next.store(st.n, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    const std::size_t jobs = std::min(impl_->workers.size(), n - 1);
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        state->active_jobs = jobs;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            impl_->tasks.emplace_back([state, run_lane] {
+                run_lane(*state);
+                {
+                    std::lock_guard<std::mutex> slk(state->mu);
+                    --state->active_jobs;
+                }
+                state->done_cv.notify_one();
+            });
+        }
+    }
+    impl_->cv.notify_all();
+
+    run_lane(*state);  // the caller is a lane too
+
+    std::unique_lock<std::mutex> lk(state->mu);
+    state->done_cv.wait(lk, [&] { return state->active_jobs == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::size_t g_threads = 0;  // 0 = auto
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+std::size_t threads() noexcept {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    return g_threads != 0 ? g_threads : resolve_auto_threads();
+}
+
+void set_threads(std::size_t n) {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    g_threads = n;
+    g_pool.reset();  // rebuilt at the new size on next pool() call
+}
+
+ThreadPool& pool() {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(g_threads != 0 ? g_threads
+                                                             : resolve_auto_threads());
+    return *g_pool;
+}
+
+}  // namespace kooza::par

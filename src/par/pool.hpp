@@ -1,0 +1,99 @@
+// kooza_par — shard-level parallel execution for the KOOZA pipeline.
+//
+// A fixed-size thread pool plus parallel_for / parallel_map helpers used
+// by the trainer (per-type model fits), the replayer (per-server shards),
+// the SQS fleet sampler and the bench harness. The design invariant is
+// bit-determinism regardless of thread count:
+//
+//  * work items are indexed, and every result lands in the slot of its
+//    index — merging is always "by shard index", never by completion
+//    order;
+//  * any randomness inside a shard comes from a std::mt19937_64 seeded
+//    via shard_seed(run_seed, shard_index) (a splitmix64 mix), so the
+//    stream a shard sees is a pure function of the run seed and its
+//    index, not of which thread picked it up;
+//  * a parallel_for issued from inside a pool worker runs inline, so
+//    nested parallel sections (trainer inside cluster-train inside a
+//    bench sweep) cannot deadlock the fixed pool.
+//
+// The process-wide pool is sized by set_threads() / the KOOZA_THREADS
+// environment variable / std::thread::hardware_concurrency, in that
+// precedence order; the `--threads N` CLI flags route to set_threads().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace kooza::par {
+
+/// splitmix64 mixing step (Steele et al.) — the standard way to expand
+/// one 64-bit seed into well-separated per-shard seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Seed for shard `shard` of a run seeded with `run_seed`. Independent of
+/// thread count and schedule; distinct shards get decorrelated streams
+/// even for adjacent run seeds.
+constexpr std::uint64_t shard_seed(std::uint64_t run_seed,
+                                   std::uint64_t shard) noexcept {
+    return splitmix64(splitmix64(run_seed) ^ splitmix64(0x517cc1b727220a95ULL + shard));
+}
+
+/// Fixed-size thread pool. `parallel_for(n, fn)` runs fn(0..n-1) across
+/// the workers plus the calling thread and blocks until every index has
+/// finished; the first exception thrown by any index is rethrown in the
+/// caller. A pool of size 1 (or n <= 1, or a call from inside a worker)
+/// executes inline in index order.
+class ThreadPool {
+public:
+    /// n_threads counts execution lanes including the caller; 0 means
+    /// std::thread::hardware_concurrency. A pool of size N spawns N-1
+    /// worker threads.
+    explicit ThreadPool(std::size_t n_threads = 0);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Execution lanes (workers + caller).
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// True on a thread currently executing pool work (any pool).
+    [[nodiscard]] static bool in_worker() noexcept;
+
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// parallel_for collecting fn(i) into a vector by index. The result
+    /// type must be default-constructible and move-assignable.
+    template <typename Fn>
+    auto parallel_map(std::size_t n, Fn&& fn)
+        -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+        std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);
+        parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+/// Desired process-wide parallelism (>= 1): the last set_threads() value,
+/// else KOOZA_THREADS, else hardware concurrency.
+[[nodiscard]] std::size_t threads() noexcept;
+
+/// Set the process-wide parallelism (0 = auto) and rebuild the shared
+/// pool at the new size. Not safe to call concurrently with parallel
+/// work; call it at startup (the CLI tools' --threads flag) or between
+/// pipeline stages (tests comparing 1 vs N threads).
+void set_threads(std::size_t n);
+
+/// The process-wide pool, built on first use at threads() lanes.
+[[nodiscard]] ThreadPool& pool();
+
+}  // namespace kooza::par

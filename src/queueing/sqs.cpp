@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "par/pool.hpp"
 #include "sim/rng.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/fitting.hpp"
@@ -76,17 +77,24 @@ SqsResult SqsSimulator::run(const SqsWorkloadModel& model,
     if (rho >= 1.0)
         throw std::invalid_argument("SqsSimulator::run: unstable (rho >= 1)");
 
-    sim::Rng rng(opts_.seed);
     SqsResult out;
     out.servers_requested = n_servers;
 
-    std::vector<double> per_server_mean;
-    double util_sum = 0.0;
-    for (std::size_t s = 0; s < n_servers; ++s) {
-        // One G/G/1 server, simulated directly by Lindley recursion —
-        // orders of magnitude cheaper than a full event-driven run and
-        // exactly equivalent for a single FCFS queue.
-        sim::Rng server_rng = rng.fork();
+    // One G/G/1 server, simulated directly by Lindley recursion — orders
+    // of magnitude cheaper than a full event-driven run and exactly
+    // equivalent for a single FCFS queue. Server s draws from a stream
+    // seeded by shard_seed(seed, s), so its sample path is a function of
+    // (seed, s) only — batches of servers can then run across the thread
+    // pool while the convergence scan below consumes them strictly in
+    // index order, reproducing the sequential sampler bit-for-bit at any
+    // thread count (servers simulated past the stopping index are simply
+    // discarded, not counted).
+    struct ServerSample {
+        double mean_response = 0.0;
+        double utilization = 0.0;
+    };
+    auto simulate_server = [&](std::size_t s) -> ServerSample {
+        sim::Rng server_rng(par::shard_seed(opts_.seed, s));
         double wait = 0.0;
         double response_sum = 0.0;
         double busy_sum = 0.0;
@@ -108,21 +116,37 @@ SqsResult SqsSimulator::run(const SqsWorkloadModel& model,
             clock += gap;
             wait = std::max(0.0, wait + service - gap);
         }
-        per_server_mean.push_back(response_sum / double(counted));
-        util_sum += clock > 0.0 ? std::min(1.0, busy_sum / clock) : 0.0;
-        out.tasks_simulated += opts_.tasks_per_server;
-        ++out.servers_simulated;
+        return {response_sum / double(counted),
+                clock > 0.0 ? std::min(1.0, busy_sum / clock) : 0.0};
+    };
 
-        if (out.servers_simulated >= opts_.min_servers) {
-            const double mean = stats::mean(per_server_mean);
-            const double sd = stats::stddev(per_server_mean);
-            const double half =
-                1.96 * sd / std::sqrt(double(per_server_mean.size()));
-            if (mean > 0.0 && half / mean <= opts_.target_rel_ci) {
-                out.mean_response = mean;
-                out.ci_halfwidth = half;
-                out.utilization = util_sum / double(out.servers_simulated);
-                return out;
+    std::vector<double> per_server_mean;
+    double util_sum = 0.0;
+    const std::size_t batch =
+        std::max<std::size_t>(std::min(par::threads(), n_servers), 1);
+    std::vector<ServerSample> samples;
+    for (std::size_t s0 = 0; s0 < n_servers; s0 += batch) {
+        const std::size_t b = std::min(batch, n_servers - s0);
+        samples.assign(b, ServerSample{});
+        par::pool().parallel_for(
+            b, [&](std::size_t j) { samples[j] = simulate_server(s0 + j); });
+        for (std::size_t j = 0; j < b; ++j) {
+            per_server_mean.push_back(samples[j].mean_response);
+            util_sum += samples[j].utilization;
+            out.tasks_simulated += opts_.tasks_per_server;
+            ++out.servers_simulated;
+
+            if (out.servers_simulated >= opts_.min_servers) {
+                const double mean = stats::mean(per_server_mean);
+                const double sd = stats::stddev(per_server_mean);
+                const double half =
+                    1.96 * sd / std::sqrt(double(per_server_mean.size()));
+                if (mean > 0.0 && half / mean <= opts_.target_rel_ci) {
+                    out.mean_response = mean;
+                    out.ci_halfwidth = half;
+                    out.utilization = util_sum / double(out.servers_simulated);
+                    return out;
+                }
             }
         }
     }

@@ -62,9 +62,11 @@ struct SqsResult {
 };
 
 /// Phase 2: simulate a fleet of homogeneous single-server queues fed by
-/// the workload model, simulating servers one at a time until the 95%
-/// confidence interval of the fleet-mean response time is within
-/// `target_rel_ci` of the mean (or the whole fleet has been simulated).
+/// the workload model, sampling servers (in batches across the thread
+/// pool; server i's stream is seeded from (seed, i) so results are
+/// bit-identical at any thread count) until the 95% confidence interval
+/// of the fleet-mean response time is within `target_rel_ci` of the mean
+/// (or the whole fleet has been simulated).
 class SqsSimulator {
 public:
     struct Options {

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace kooza::sim {
@@ -7,7 +8,8 @@ namespace kooza::sim {
 void Engine::schedule_at(Time at, std::function<void()> action) {
     if (at < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
     if (!action) throw std::invalid_argument("Engine::schedule_at: empty action");
-    queue_.push(Event{at, next_seq_++, std::move(action)});
+    heap_.push_back(Event{at, next_seq_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Engine::schedule_after(Time delay, std::function<void()> action) {
@@ -15,13 +17,16 @@ void Engine::schedule_after(Time delay, std::function<void()> action) {
     schedule_at(now_ + delay, std::move(action));
 }
 
+Event Engine::pop_next() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+}
+
 bool Engine::step() {
-    if (queue_.empty()) return false;
-    // priority_queue::top() returns const&; move out via const_cast is the
-    // standard idiom but UB-adjacent — copy the callable instead. Actions
-    // are cheap to copy (small lambdas) or shared_ptr-captured.
-    Event ev = queue_.top();
-    queue_.pop();
+    if (heap_.empty()) return false;
+    Event ev = pop_next();  // move-only: the action is never copied
     now_ = ev.at;
     ++executed_;
     ev.action();
@@ -38,7 +43,7 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(Time deadline) {
     stopped_ = false;
     std::uint64_t n = 0;
-    while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
+    while (!stopped_ && !heap_.empty() && heap_.front().at <= deadline) {
         step();
         ++n;
     }

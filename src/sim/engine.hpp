@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
@@ -66,15 +65,20 @@ public:
     void stop() noexcept { stopped_ = true; }
 
     /// True if no events are pending.
-    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
 
     /// Number of pending events.
-    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
     /// Total events executed since construction.
     [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
 private:
+    // Binary min-heap on (at, seq) kept in a plain vector, so the next
+    // event can be *moved* out on dispatch (std::priority_queue::top()
+    // only hands back a const&, forcing a std::function copy per event —
+    // the old hottest line of the simulator). (at, seq) is a strict total
+    // order, so dispatch order is independent of the heap layout.
     struct Later {
         bool operator()(const Event& a, const Event& b) const noexcept {
             if (a.at != b.at) return a.at > b.at;
@@ -82,11 +86,14 @@ private:
         }
     };
 
+    /// Remove and return the earliest event (heap must be non-empty).
+    Event pop_next();
+
     Time now_ = 0.0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     bool stopped_ = false;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::vector<Event> heap_;
 };
 
 }  // namespace kooza::sim

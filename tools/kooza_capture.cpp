@@ -4,7 +4,7 @@
 //
 // Usage:
 //   kooza_capture <profile> <output-dir> [--count N] [--rate R]
-//                 [--seed S] [--servers N] [--sample-every N]
+//                 [--seed S] [--servers N] [--sample-every N] [--threads N]
 // Profiles: micro | oltp | websearch | streaming
 
 #include <iostream>
@@ -12,6 +12,7 @@
 
 #include "cli_util.hpp"
 #include "gfs/cluster.hpp"
+#include "par/pool.hpp"
 #include "trace/csv.hpp"
 #include "workloads/profiles.hpp"
 
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
         if (args.positional().size() != 2) {
             std::cerr << "usage: kooza_capture <micro|oltp|websearch|streaming> "
                          "<output-dir> [--count N] [--rate R] [--seed S] "
-                         "[--servers N] [--sample-every N]\n";
+                         "[--servers N] [--sample-every N] [--threads N]\n";
             return 2;
         }
         const auto& profile_name = args.positional()[0];
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
         const auto count = std::size_t(args.get_u64("count", 500));
         const double rate = args.get_double("rate", 20.0);
         const auto seed = args.get_u64("seed", 42);
+        // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
+        par::set_threads(std::size_t(args.get_u64("threads", 0)));
 
         auto profile = make_profile(profile_name, count, rate);
         if (!profile) {
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
         const auto ts = cluster.traces();
         trace::write_csv(ts, out_dir);
         std::cout << "captured " << ts.summary() << "\n"
+                  << "run: seed=" << seed << " threads=" << par::threads() << "\n"
                   << "wrote CSV traces to " << out_dir << "\n";
         return 0;
     } catch (const std::exception& e) {

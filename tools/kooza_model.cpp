@@ -6,6 +6,7 @@
 // Usage:
 //   kooza_model <trace-dir> [--generate N] [--seed S] [--lbn-ranges N]
 //               [--util-levels N] [--out DIR] [--save MODEL-FILE]
+//               [--threads N]
 
 #include <iostream>
 
@@ -15,6 +16,7 @@
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
 #include "core/validator.hpp"
+#include "par/pool.hpp"
 #include "trace/csv.hpp"
 #include "trace/features.hpp"
 
@@ -24,9 +26,12 @@ int main(int argc, char** argv) {
         cli::Args args(argc, argv);
         if (args.positional().size() != 1) {
             std::cerr << "usage: kooza_model <trace-dir> [--generate N] [--seed S] "
-                         "[--lbn-ranges N] [--util-levels N] [--out DIR]\n";
+                         "[--lbn-ranges N] [--util-levels N] [--out DIR] "
+                         "[--save MODEL-FILE] [--threads N]\n";
             return 2;
         }
+        // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
+        par::set_threads(std::size_t(args.get_u64("threads", 0)));
         const auto ts = trace::read_csv(args.positional()[0]);
         if (ts.requests.empty()) {
             std::cerr << "no completed requests in " << args.positional()[0] << "\n";
@@ -38,7 +43,9 @@ int main(int argc, char** argv) {
         tc.lbn_ranges = std::size_t(args.get_u64("lbn-ranges", 4));
         tc.util_levels = std::size_t(args.get_u64("util-levels", 4));
         const auto model = core::Trainer(tc).train(ts);
-        std::cout << model.describe() << "\n";
+        std::cout << model.describe() << "\n"
+                  << "run: seed=" << args.get_u64("seed", 42)
+                  << " threads=" << par::threads() << "\n";
 
         const auto save_path = args.get("save", "");
         if (!save_path.empty()) {
