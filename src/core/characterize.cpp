@@ -100,6 +100,28 @@ CharacterizationReport characterize(const trace::TraceSet& ts, double window) {
         stats::Pca pca(stats::Matrix::from_rows(rows), /*standardize=*/true);
         r.pca_dims_90 = pca.components_for(0.9);
     }
+
+    // Degraded-mode activity from the failures stream.
+    {
+        double failover_wait = 0.0;
+        for (const auto& f : ts.failures) {
+            switch (f.kind) {
+                case trace::FailureRecord::Kind::kCrash: ++r.crashes; break;
+                case trace::FailureRecord::Kind::kRecover: ++r.recoveries; break;
+                case trace::FailureRecord::Kind::kFailover:
+                    ++r.failovers;
+                    failover_wait += f.duration;
+                    break;
+                case trace::FailureRecord::Kind::kRepair: ++r.repairs; break;
+                case trace::FailureRecord::Kind::kRequestFailed:
+                    ++r.failed_requests;
+                    break;
+            }
+        }
+        if (r.failovers > 0) r.mean_failover_wait = failover_wait / double(r.failovers);
+        r.request_success_rate =
+            double(r.requests) / double(r.requests + r.failed_requests);
+    }
     return r;
 }
 
@@ -189,6 +211,14 @@ std::string CharacterizationReport::to_string() const {
        << (heavy_tailed ? " (heavy-tailed)" : "") << "\n"
        << "feature space:   " << pca_dims_90 << "/" << feature_dims
        << " PCA components explain 90% variance\n";
+    if (crashes + recoveries + failovers + repairs + failed_requests > 0) {
+        os << "faults:          " << crashes << " crashes, " << recoveries
+           << " recoveries, " << repairs << " re-replications\n"
+           << "degradation:     " << failovers << " failovers (mean wait "
+           << mean_failover_wait << " s), " << failed_requests
+           << " failed requests (success rate " << request_success_rate * 100.0
+           << "%)\n";
+    }
     return os.str();
 }
 

@@ -47,6 +47,17 @@ struct CharacterizationReport {
     std::size_t feature_dims = 0;     ///< raw feature count
     std::size_t pca_dims_90 = 0;      ///< components for 90% variance
 
+    // Degraded-mode activity, from the failures stream (all zero for a
+    // healthy capture; the report prints this section only when the
+    // stream is non-empty).
+    std::size_t crashes = 0;
+    std::size_t recoveries = 0;
+    std::size_t failovers = 0;          ///< dead-replica timeouts clients paid
+    std::size_t repairs = 0;            ///< committed re-replications
+    std::size_t failed_requests = 0;    ///< requests that exhausted retries
+    double mean_failover_wait = 0.0;    ///< mean backoff per failover, seconds
+    double request_success_rate = 1.0;  ///< completed / (completed + failed)
+
     [[nodiscard]] std::string to_string() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace kooza::gfs {
 
@@ -44,9 +45,32 @@ std::uint64_t Client::lbn_of(ChunkHandle handle, std::uint64_t offset_in_chunk) 
         std::max<std::uint64_t>(1, cfg_.chunk_size / cfg_.disk.block_size);
     if (cfg_.disk.lbn_count <= blocks_per_chunk)
         throw std::invalid_argument("Client: disk smaller than one chunk");
-    const std::uint64_t base =
-        (handle * blocks_per_chunk) % (cfg_.disk.lbn_count - blocks_per_chunk);
+    // Chunks map to disjoint chunk-aligned block ranges: the disk holds
+    // `slots` whole chunks and handles wrap onto aligned slots, so two
+    // live handles never straddle each other's range (the old
+    // `(handle*bpc) % (lbn_count-bpc)` produced overlapping, unaligned
+    // ranges once handles wrapped, corrupting the storage model's
+    // block-range states).
+    const std::uint64_t slots = cfg_.disk.lbn_count / blocks_per_chunk;
+    const std::uint64_t base = (handle % slots) * blocks_per_chunk;
     return base + offset_in_chunk / cfg_.disk.block_size;
+}
+
+double Client::backoff_wait(std::uint32_t step) const {
+    double wait = cfg_.failover_timeout;
+    for (std::uint32_t i = 0; i < step; ++i) {
+        wait *= cfg_.failover_backoff;
+        if (wait >= cfg_.failover_timeout_max) break;
+    }
+    return std::min(wait, cfg_.failover_timeout_max);
+}
+
+void Client::demote_cached_replica(const CacheKey& key, std::uint32_t failed_server) {
+    const auto it = location_cache_.find(key);
+    if (it == location_cache_.end()) return;
+    auto& servers = it->second.servers;
+    const auto pos = std::find(servers.begin(), servers.end(), failed_server);
+    if (pos != servers.end()) std::rotate(pos, pos + 1, servers.end());
 }
 
 void Client::lookup(std::uint64_t request_id, const std::string& file,
@@ -75,9 +99,12 @@ void Client::lookup(std::uint64_t request_id, const std::string& file,
                         request_id, cfg_.control_bytes,
                         [this, file, offset, key, sl, next = std::move(next)](double) {
                             finish_span(tracer_, sl, engine_.now());
-                            const ChunkLocation& loc = master_.lookup(file, offset);
+                            // locate() lists replicas the master believes
+                            // alive first; overwrite (never emplace) so a
+                            // refreshed location replaces a stale one.
+                            const ChunkLocation loc = master_.locate(file, offset);
                             if (cfg_.client_caches_locations)
-                                location_cache_.emplace(key, loc);
+                                location_cache_[key] = loc;
                             next(loc);
                         },
                         /*record=*/false);
@@ -86,40 +113,82 @@ void Client::lookup(std::uint64_t request_id, const std::string& file,
         /*record=*/false);
 }
 
-void Client::dispatch(std::uint64_t request_id, const ChunkLocation& loc,
-                      std::uint64_t offset_in_chunk, std::uint64_t size,
-                      trace::IoType type, trace::SpanId root,
-                      std::shared_ptr<bool> request_failed,
-                      std::function<void()> done) {
-    if (loc.servers.empty()) throw std::logic_error("Client::dispatch: no replicas");
-    try_replica(request_id, loc, offset_in_chunk, size, type, root, 0,
-                std::move(request_failed), std::move(done));
-}
-
-void Client::try_replica(std::uint64_t request_id, ChunkLocation loc,
+void Client::try_replica(std::uint64_t request_id, std::string file,
+                         std::uint64_t chunk_index, ChunkLocation loc,
                          std::uint64_t offset_in_chunk, std::uint64_t size,
                          trace::IoType type, trace::SpanId root, std::size_t attempt,
+                         std::uint32_t round, std::uint32_t backoff_step,
                          std::shared_ptr<bool> request_failed,
                          std::function<void()> done) {
+    if (loc.servers.empty())
+        throw std::logic_error("Client::try_replica: no replicas");
     if (attempt >= loc.servers.size()) {
-        // Every replica is down: the piece (and hence the request) fails.
+        // Every known replica is down. Evict the stale location and, if
+        // retry rounds remain, back off and re-ask the master — it may
+        // have re-replicated the chunk onto live servers by now.
+        if (round < cfg_.client_retry_rounds) {
+            if (cfg_.client_caches_locations)
+                location_cache_.erase(CacheKey(file, chunk_index));
+            const double wait = backoff_wait(backoff_step);
+            const auto sf = begin_span(tracer_, request_id, root, phase::kFailover,
+                                       engine_.now());
+            engine_.schedule_after(
+                wait,
+                [this, request_id, file = std::move(file), chunk_index,
+                 offset_in_chunk, size, type, root, round, backoff_step, sf,
+                 request_failed = std::move(request_failed),
+                 done = std::move(done)]() mutable {
+                    finish_span(tracer_, sf, engine_.now());
+                    const std::uint64_t offset =
+                        chunk_index * master_.chunk_size() + offset_in_chunk;
+                    lookup(request_id, file, offset, root,
+                           [this, request_id, file, chunk_index, offset_in_chunk,
+                            size, type, root, round, backoff_step,
+                            request_failed = std::move(request_failed),
+                            done = std::move(done)](const ChunkLocation& fresh) mutable {
+                               try_replica(request_id, std::move(file), chunk_index,
+                                           fresh, offset_in_chunk, size, type, root,
+                                           0, round + 1, backoff_step + 1,
+                                           std::move(request_failed),
+                                           std::move(done));
+                           });
+                });
+            return;
+        }
+        // Out of retry rounds: the piece (and hence the request) fails.
         *request_failed = true;
         engine_.schedule_after(0.0, std::move(done));
         return;
     }
     ChunkServer* target = servers_.at(loc.servers[attempt]).get();
     if (target->failed()) {
-        // Wait out the RPC timeout, then fail over to the next replica.
+        // Wait out the (backed-off) RPC timeout, demote the dead replica
+        // in the cached location, then fail over to the next replica.
+        const double wait = backoff_wait(backoff_step);
+        ++failovers_;
+        if (sink_ != nullptr) {
+            trace::FailureRecord rec;
+            rec.time = engine_.now();
+            rec.request_id = request_id;
+            rec.server = target->id();
+            rec.kind = trace::FailureRecord::Kind::kFailover;
+            rec.duration = wait;
+            sink_->failures.push_back(rec);
+        }
+        if (cfg_.client_caches_locations)
+            demote_cached_replica(CacheKey(file, chunk_index), loc.servers[attempt]);
         const auto sf =
             begin_span(tracer_, request_id, root, phase::kFailover, engine_.now());
         engine_.schedule_after(
-            cfg_.failover_timeout,
-            [this, request_id, loc = std::move(loc), offset_in_chunk, size, type, root,
-             attempt, sf, request_failed = std::move(request_failed),
+            wait,
+            [this, request_id, file = std::move(file), chunk_index,
+             loc = std::move(loc), offset_in_chunk, size, type, root, attempt, round,
+             backoff_step, sf, request_failed = std::move(request_failed),
              done = std::move(done)]() mutable {
                 finish_span(tracer_, sf, engine_.now());
-                try_replica(request_id, std::move(loc), offset_in_chunk, size, type,
-                            root, attempt + 1, std::move(request_failed),
+                try_replica(request_id, std::move(file), chunk_index, std::move(loc),
+                            offset_in_chunk, size, type, root, attempt + 1, round,
+                            backoff_step + 1, std::move(request_failed),
                             std::move(done));
             });
         return;
@@ -175,6 +244,14 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
         const double now = engine_.now();
         if (*request_failed) {
             ++failed_requests_;
+            if (sink_ != nullptr) {
+                trace::FailureRecord rec;
+                rec.time = now;
+                rec.request_id = request_id;
+                rec.kind = trace::FailureRecord::Kind::kRequestFailed;
+                rec.duration = now - arrival;
+                sink_->failures.push_back(rec);
+            }
             finish_span(tracer_, root, now);
             if (on_done) on_done(-1.0);
             return;
@@ -193,11 +270,13 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
     };
 
     for (const auto& piece : *pieces) {
+        const std::uint64_t chunk_index = piece.offset / master_.chunk_size();
         lookup(request_id, file, piece.offset, root,
-               [this, request_id, piece, type, root, request_failed,
-                finish](const ChunkLocation& loc) {
-                   dispatch(request_id, loc, piece.offset % master_.chunk_size(),
-                            piece.size, type, root, request_failed, finish);
+               [this, request_id, file, chunk_index, piece, type, root,
+                request_failed, finish](const ChunkLocation& loc) {
+                   try_replica(request_id, file, chunk_index, loc,
+                               piece.offset % master_.chunk_size(), piece.size, type,
+                               root, 0, 0, 0, request_failed, finish);
                });
     }
 }

@@ -2,6 +2,15 @@
 // chunk locations at the master (with client-side caching, as GFS clients
 // do), issues them to the primary chunkservers, and records the
 // end-to-end RequestRecord plus the root "request" span.
+//
+// Failover policy (GFS semantics): a dead replica costs an RPC timeout
+// that backs off exponentially across successive failovers of one piece
+// (failover_timeout * failover_backoff^i, capped at failover_timeout_max).
+// A failed primary is demoted to the back of the cached location so later
+// requests do not re-pay its timeout; when every replica of a piece is
+// down the client evicts the cached entry and re-asks the master — which
+// may have re-replicated by then — for up to client_retry_rounds extra
+// rounds before the request fails.
 #pragma once
 
 #include <cstdint>
@@ -58,17 +67,25 @@ public:
         return failed_requests_;
     }
 
+    /// Failover waits this client has paid (dead-replica RPC timeouts).
+    [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+
 private:
+    using CacheKey = std::pair<std::string, std::uint64_t>;  ///< file, chunk index
+
     void lookup(std::uint64_t request_id, const std::string& file, std::uint64_t offset,
                 trace::SpanId root, std::function<void(const ChunkLocation&)> next);
-    void dispatch(std::uint64_t request_id, const ChunkLocation& loc,
-                  std::uint64_t offset_in_chunk, std::uint64_t size, trace::IoType type,
-                  trace::SpanId root, std::shared_ptr<bool> request_failed,
-                  std::function<void()> done);
-    void try_replica(std::uint64_t request_id, ChunkLocation loc,
+    void try_replica(std::uint64_t request_id, std::string file,
+                     std::uint64_t chunk_index, ChunkLocation loc,
                      std::uint64_t offset_in_chunk, std::uint64_t size,
                      trace::IoType type, trace::SpanId root, std::size_t attempt,
+                     std::uint32_t round, std::uint32_t backoff_step,
                      std::shared_ptr<bool> request_failed, std::function<void()> done);
+    /// Move a failed server to the back of the cached location for `key`
+    /// so later requests try live replicas first.
+    void demote_cached_replica(const CacheKey& key, std::uint32_t failed_server);
+    /// Timeout of the step-th failover wait of one piece.
+    [[nodiscard]] double backoff_wait(std::uint32_t step) const;
     [[nodiscard]] std::uint64_t lbn_of(ChunkHandle handle,
                                        std::uint64_t offset_in_chunk) const;
 
@@ -81,8 +98,9 @@ private:
     trace::TraceSet* sink_;
     trace::SpanTracer* tracer_;
     std::unique_ptr<hw::SwitchPort> ingress_;
-    std::map<std::pair<std::string, std::uint64_t>, ChunkLocation> location_cache_;
+    std::map<CacheKey, ChunkLocation> location_cache_;
     std::uint64_t failed_requests_ = 0;
+    std::uint64_t failovers_ = 0;
 };
 
 }  // namespace kooza::gfs

@@ -26,6 +26,27 @@ Cluster::Cluster(GfsConfig cfg, std::size_t n_clients) : cfg_(cfg) {
         clients_.push_back(std::make_unique<Client>(std::uint32_t(c), *engine_, cfg_,
                                                     *master_, *master_node_, servers_,
                                                     sink_.get(), tracer_.get()));
+    if (cfg_.faults.enabled) {
+        injector_ = std::make_unique<FaultInjector>(*engine_, cfg_, *master_, servers_,
+                                                    sink_.get());
+        injector_->schedule(
+            make_fault_plan(cfg_.faults, cfg_.n_chunkservers, cfg_.seed));
+    }
+}
+
+FaultInjector& Cluster::inject_faults(FaultPlan plan) {
+    if (injector_)
+        throw std::logic_error("Cluster::inject_faults: injector already present");
+    injector_ = std::make_unique<FaultInjector>(*engine_, cfg_, *master_, servers_,
+                                                sink_.get());
+    injector_->schedule(std::move(plan));
+    return *injector_;
+}
+
+std::uint64_t Cluster::failovers() const {
+    std::uint64_t n = 0;
+    for (const auto& c : clients_) n += c->failovers();
+    return n;
 }
 
 void Cluster::create_file(const std::string& name, std::uint64_t size) {

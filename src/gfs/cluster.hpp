@@ -11,6 +11,7 @@
 
 #include "gfs/client.hpp"
 #include "gfs/config.hpp"
+#include "gfs/faults.hpp"
 #include "gfs/profiler.hpp"
 #include "sim/engine.hpp"
 #include "trace/records.hpp"
@@ -78,6 +79,17 @@ public:
     /// Requests that exhausted every replica (failure injection).
     [[nodiscard]] std::uint64_t failed_requests() const;
 
+    /// Failover waits clients have paid (dead-replica RPC timeouts).
+    [[nodiscard]] std::uint64_t failovers() const;
+
+    /// Inject an explicit crash/recover schedule. Call before run(); the
+    /// cluster owns the injector. With cfg.faults.enabled the constructor
+    /// already scheduled the auto-generated plan, and this throws.
+    FaultInjector& inject_faults(FaultPlan plan);
+
+    /// The injector, or nullptr when no faults were configured/injected.
+    [[nodiscard]] FaultInjector* fault_injector() noexcept { return injector_.get(); }
+
     /// Attach a GWP-style machine profiler sampling every `interval`
     /// seconds until `horizon`. Call before run(); the cluster owns the
     /// profiler. Only one may be attached.
@@ -93,6 +105,7 @@ private:
     std::unique_ptr<MasterNode> master_node_;
     std::vector<std::unique_ptr<ChunkServer>> servers_;
     std::vector<std::unique_ptr<Client>> clients_;
+    std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<MachineProfiler> profiler_;
     std::vector<double> latencies_;
     std::uint64_t next_request_ = 0;

@@ -18,6 +18,23 @@
 
 namespace kooza::gfs {
 
+/// Fault-injection plan parameters. When `enabled`, the cluster builds a
+/// seed-deterministic per-chunkserver crash/recover schedule: up intervals
+/// are Exponential(1/mtbf) and down intervals Exponential(1/mttr), drawn
+/// from per-server streams keyed on (seed, server) so the plan is
+/// identical at any thread count. An explicit event list can be injected
+/// instead via Cluster::inject_faults.
+struct FaultConfig {
+    bool enabled = false;
+    double mtbf = 20.0;     ///< mean up time per server, seconds
+    double mttr = 5.0;      ///< mean down time per server, seconds
+    double horizon = 60.0;  ///< generate events in [0, horizon)
+    /// Delay between a crash and the master noticing (heartbeat loss) and
+    /// starting re-replication of the chunks that lost a replica.
+    double detection_delay = 0.1;
+    std::uint64_t seed = 0;  ///< 0 = derive from GfsConfig::seed
+};
+
 struct GfsConfig {
     std::size_t n_chunkservers = 1;
     std::size_t replication = 1;   ///< replicas per chunk (1 = no replication)
@@ -50,8 +67,24 @@ struct GfsConfig {
     bool client_caches_locations = true;
 
     /// How long a client waits on an unresponsive chunkserver before
-    /// failing over to the next replica.
+    /// failing over to the next replica (the first-attempt RPC timeout).
     double failover_timeout = 0.5;
+
+    /// Exponential backoff on successive failovers within one request:
+    /// attempt i waits min(failover_timeout * failover_backoff^i,
+    /// failover_timeout_max).
+    double failover_backoff = 2.0;
+    double failover_timeout_max = 4.0;
+
+    /// After exhausting every replica of a piece, the client evicts its
+    /// cached location and re-asks the master (which may have
+    /// re-replicated by then) up to this many extra rounds before the
+    /// request fails. Kept at 1 so a doomed request fails within a few
+    /// seconds of simulated time rather than stalling the workload.
+    std::uint32_t client_retry_rounds = 1;
+
+    /// Chunkserver crash/recover schedule (disabled by default).
+    FaultConfig faults{};
 
     std::uint64_t seed = 123;
 };

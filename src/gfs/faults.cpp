@@ -1,0 +1,139 @@
+#include "gfs/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "par/pool.hpp"
+#include "sim/rng.hpp"
+
+namespace kooza::gfs {
+
+FaultPlan make_fault_plan(const FaultConfig& cfg, std::size_t n_servers,
+                          std::uint64_t cluster_seed) {
+    if (cfg.mtbf <= 0.0 || cfg.mttr <= 0.0)
+        throw std::invalid_argument("make_fault_plan: mtbf/mttr must be > 0");
+    if (cfg.horizon <= 0.0)
+        throw std::invalid_argument("make_fault_plan: horizon must be > 0");
+    const std::uint64_t effective =
+        cfg.seed != 0 ? cfg.seed
+                      : par::splitmix64(cluster_seed ^ 0xFA17B0A7ull);
+    FaultPlan plan;
+    for (std::size_t s = 0; s < n_servers; ++s) {
+        // One decorrelated stream per server, keyed on (seed, server)
+        // only — never on thread count or iteration order.
+        sim::Rng rng(par::shard_seed(effective, s));
+        double t = 0.0;
+        for (;;) {
+            t += rng.exponential(1.0 / cfg.mtbf);
+            if (t >= cfg.horizon) break;
+            plan.push_back(FaultEvent{t, std::uint32_t(s), true});
+            t += rng.exponential(1.0 / cfg.mttr);
+            if (t >= cfg.horizon) break;
+            plan.push_back(FaultEvent{t, std::uint32_t(s), false});
+        }
+    }
+    std::sort(plan.begin(), plan.end(), [](const FaultEvent& a, const FaultEvent& b) {
+        if (a.time != b.time) return a.time < b.time;
+        return a.server < b.server;
+    });
+    return plan;
+}
+
+FaultInjector::FaultInjector(sim::Engine& engine, const GfsConfig& cfg, Master& master,
+                             std::vector<std::unique_ptr<ChunkServer>>& servers,
+                             trace::TraceSet* sink)
+    : engine_(engine), cfg_(cfg), master_(master), servers_(servers), sink_(sink) {}
+
+void FaultInjector::schedule(FaultPlan plan) {
+    if (!plan_.empty())
+        throw std::logic_error("FaultInjector::schedule: plan already scheduled");
+    plan_ = std::move(plan);
+    for (const auto& ev : plan_)
+        engine_.schedule_at(ev.time, [this, ev] { apply(ev); });
+}
+
+void FaultInjector::record(trace::FailureRecord::Kind kind, std::uint32_t server,
+                           std::uint64_t request_id, double duration) {
+    if (sink_ == nullptr) return;
+    trace::FailureRecord rec;
+    rec.time = engine_.now();
+    rec.request_id = request_id;
+    rec.server = server;
+    rec.kind = kind;
+    rec.duration = duration;
+    sink_->failures.push_back(rec);
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+    ChunkServer* server = servers_.at(ev.server).get();
+    if (server->failed() == ev.fail) return;  // plan drift (e.g. manual toggles)
+    server->set_failed(ev.fail);
+    if (ev.fail) {
+        ++crashes_;
+        record(trace::FailureRecord::Kind::kCrash, ev.server, 0, 0.0);
+        // Heartbeat loss: the master notices after detection_delay, then
+        // starts re-replicating the chunks that lost a replica.
+        engine_.schedule_after(cfg_.faults.detection_delay, [this, s = ev.server] {
+            if (servers_.at(s)->failed()) master_.mark_server_down(s);
+            detect_and_repair();
+        });
+    } else {
+        ++recoveries_;
+        record(trace::FailureRecord::Kind::kRecover, ev.server, 0, 0.0);
+        engine_.schedule_after(cfg_.faults.detection_delay, [this, s = ev.server] {
+            if (!servers_.at(s)->failed()) master_.mark_server_up(s);
+        });
+    }
+}
+
+void FaultInjector::detect_and_repair() {
+    for (const auto& task : master_.plan_repairs()) run_repair(task);
+}
+
+std::uint64_t FaultInjector::chunk_base_lbn(ChunkHandle handle) const {
+    // Same chunk -> block-range mapping as Client::lbn_of: the disk holds
+    // `slots` whole chunks, handles wrap onto aligned slots.
+    const std::uint64_t blocks_per_chunk =
+        std::max<std::uint64_t>(1, cfg_.chunk_size / cfg_.disk.block_size);
+    const std::uint64_t slots = cfg_.disk.lbn_count / blocks_per_chunk;
+    return (handle % slots) * blocks_per_chunk;
+}
+
+void FaultInjector::run_repair(const RepairTask& task) {
+    ChunkServer* source = servers_.at(task.source).get();
+    ChunkServer* dest = servers_.at(task.dest).get();
+    if (source->failed() || dest->failed()) {
+        master_.abort_repair(task.handle);
+        return;
+    }
+    const std::uint64_t id = next_repair_id_++;
+    const std::uint64_t lbn = chunk_base_lbn(task.handle);
+    const double started = engine_.now();
+    // Copy path: read the chunk off the source's disk, push it through the
+    // destination's ingress port, write it to the destination's disk. Each
+    // stage emits its usual device record, so repair traffic is part of
+    // the captured workload.
+    source->disk().io(id, lbn, task.bytes, trace::IoType::kRead,
+                      [this, task, dest, id, lbn, started](double) {
+                          dest->ingress().transfer(
+                              id, task.bytes,
+                              [this, task, dest, id, lbn, started](double) {
+                                  dest->disk().io(
+                                      id, lbn, task.bytes, trace::IoType::kWrite,
+                                      [this, task, dest, id, started](double) {
+                                          if (dest->failed()) {
+                                              master_.abort_repair(task.handle);
+                                              return;
+                                          }
+                                          master_.commit_repair(task.handle, task.dead,
+                                                                task.dest);
+                                          ++repairs_;
+                                          record(trace::FailureRecord::Kind::kRepair,
+                                                 task.dest, id,
+                                                 engine_.now() - started);
+                                      });
+                              });
+                      });
+}
+
+}  // namespace kooza::gfs

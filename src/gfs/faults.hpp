@@ -1,0 +1,89 @@
+// Deterministic chunkserver fault injection.
+//
+// A FaultPlan is a time-ordered list of crash/recover events, either built
+// from FaultConfig's MTBF/MTTR distributions (make_fault_plan) or supplied
+// explicitly by tests. The plan is a pure function of (seed, server): each
+// server draws its up/down intervals from a stream keyed with
+// par::shard_seed, so the same seed yields a byte-identical plan — and
+// hence identical traces — at any thread count (DESIGN.md section 6).
+//
+// The FaultInjector applies a plan to a live cluster: it flips chunkserver
+// failure state at the scheduled times, tells the master after the
+// heartbeat detection delay, and executes the master's re-replication
+// plans as real device work (source disk read -> dest ingress transfer ->
+// dest disk write), so repair traffic shows up in the captured traces as
+// background load the way production re-replication does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gfs/chunkserver.hpp"
+#include "gfs/config.hpp"
+#include "gfs/master.hpp"
+#include "sim/engine.hpp"
+#include "trace/traceset.hpp"
+
+namespace kooza::gfs {
+
+/// One scheduled chunkserver state change.
+struct FaultEvent {
+    double time = 0.0;
+    std::uint32_t server = 0;
+    bool fail = true;  ///< true = crash, false = recover
+};
+
+using FaultPlan = std::vector<FaultEvent>;
+
+/// Build the crash/recover schedule for `n_servers` servers from the
+/// config's MTBF/MTTR exponentials. `cluster_seed` is mixed in when
+/// cfg.seed is 0. Events are sorted by (time, server).
+[[nodiscard]] FaultPlan make_fault_plan(const FaultConfig& cfg, std::size_t n_servers,
+                                        std::uint64_t cluster_seed);
+
+/// Repair requests carry ids from this base so they can never collide
+/// with client request ids (which count up from 0); the requests stream
+/// never lists them, so models treat repair device records as background
+/// traffic.
+inline constexpr std::uint64_t kRepairRequestIdBase = 1ull << 62;
+
+/// Applies a FaultPlan to a cluster's servers and master.
+class FaultInjector {
+public:
+    FaultInjector(sim::Engine& engine, const GfsConfig& cfg, Master& master,
+                  std::vector<std::unique_ptr<ChunkServer>>& servers,
+                  trace::TraceSet* sink);
+
+    /// Schedule every event of the plan on the engine. Call before run();
+    /// may be called once per injector.
+    void schedule(FaultPlan plan);
+
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+    [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+    [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+    /// Re-replications that committed (copies that landed on a live dest).
+    [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+
+private:
+    void apply(const FaultEvent& ev);
+    /// Ask the master for repair work and execute it.
+    void detect_and_repair();
+    void run_repair(const RepairTask& task);
+    [[nodiscard]] std::uint64_t chunk_base_lbn(ChunkHandle handle) const;
+    void record(trace::FailureRecord::Kind kind, std::uint32_t server,
+                std::uint64_t request_id, double duration);
+
+    sim::Engine& engine_;
+    const GfsConfig& cfg_;
+    Master& master_;
+    std::vector<std::unique_ptr<ChunkServer>>& servers_;
+    trace::TraceSet* sink_;
+    FaultPlan plan_;
+    std::uint64_t next_repair_id_ = kRepairRequestIdBase;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t repairs_ = 0;
+};
+
+}  // namespace kooza::gfs

@@ -1,5 +1,6 @@
 #include "gfs/master.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace kooza::gfs {
@@ -7,10 +8,23 @@ namespace kooza::gfs {
 Master::Master(std::size_t n_servers, std::size_t replication, std::uint64_t chunk_size)
     : n_servers_(n_servers),
       replication_(std::min(replication, n_servers)),
-      chunk_size_(chunk_size) {
+      chunk_size_(chunk_size),
+      down_(n_servers, false) {
     if (n_servers == 0) throw std::invalid_argument("Master: need >= 1 chunkserver");
     if (replication == 0) throw std::invalid_argument("Master: replication must be >= 1");
     if (chunk_size == 0) throw std::invalid_argument("Master: chunk_size must be > 0");
+}
+
+ChunkHandle Master::allocate_chunk(const std::string& name, std::size_t idx,
+                                   std::vector<ChunkLocation>& locs) {
+    ChunkLocation loc;
+    loc.handle = next_handle_++;
+    for (std::size_t r = 0; r < replication_; ++r)
+        loc.servers.push_back(std::uint32_t((next_server_ + r) % n_servers_));
+    next_server_ = (next_server_ + 1) % n_servers_;
+    chunk_of_.emplace(loc.handle, std::make_pair(name, idx));
+    locs.push_back(std::move(loc));
+    return locs.back().handle;
 }
 
 void Master::create_file(const std::string& name, std::uint64_t size) {
@@ -20,15 +34,8 @@ void Master::create_file(const std::string& name, std::uint64_t size) {
     const std::uint64_t n_chunks = (size + chunk_size_ - 1) / chunk_size_;
     std::vector<ChunkLocation> locs;
     locs.reserve(n_chunks);
-    for (std::uint64_t c = 0; c < n_chunks; ++c) {
-        ChunkLocation loc;
-        loc.handle = next_handle_++;
-        for (std::size_t r = 0; r < replication_; ++r) {
-            loc.servers.push_back(std::uint32_t((next_server_ + r) % n_servers_));
-        }
-        next_server_ = (next_server_ + 1) % n_servers_;
-        locs.push_back(std::move(loc));
-    }
+    for (std::uint64_t c = 0; c < n_chunks; ++c)
+        allocate_chunk(name, std::size_t(c), locs);
     files_.emplace(name, std::move(locs));
     sizes_.emplace(name, size);
 }
@@ -48,14 +55,8 @@ std::uint64_t Master::allocate_append(const std::string& name, std::uint64_t siz
     // Allocate chunks to cover [offset, offset + size).
     const std::uint64_t last_chunk = (offset + size - 1) / chunk_size_;
     auto& locs = fit->second;
-    while (locs.size() <= last_chunk) {
-        ChunkLocation loc;
-        loc.handle = next_handle_++;
-        for (std::size_t r = 0; r < replication_; ++r)
-            loc.servers.push_back(std::uint32_t((next_server_ + r) % n_servers_));
-        next_server_ = (next_server_ + 1) % n_servers_;
-        locs.push_back(std::move(loc));
-    }
+    while (locs.size() <= last_chunk)
+        allocate_chunk(name, locs.size(), locs);
     sizes_[name] = offset + size;
     return offset;
 }
@@ -77,11 +78,98 @@ const ChunkLocation& Master::lookup(const std::string& name, std::uint64_t offse
     return locs[idx];
 }
 
+ChunkLocation Master::locate(const std::string& name, std::uint64_t offset) const {
+    ChunkLocation loc = lookup(name, offset);
+    std::stable_partition(loc.servers.begin(), loc.servers.end(),
+                          [this](std::uint32_t s) { return !down_[s]; });
+    return loc;
+}
+
 const std::vector<ChunkLocation>& Master::chunks(const std::string& name) const {
     auto it = files_.find(name);
     if (it == files_.end())
         throw std::invalid_argument("Master::chunks: unknown file: " + name);
     return it->second;
 }
+
+void Master::mark_server_down(std::uint32_t server) {
+    if (server >= n_servers_)
+        throw std::invalid_argument("Master::mark_server_down: unknown server");
+    down_[server] = true;
+}
+
+void Master::mark_server_up(std::uint32_t server) {
+    if (server >= n_servers_)
+        throw std::invalid_argument("Master::mark_server_up: unknown server");
+    down_[server] = false;
+}
+
+bool Master::server_down(std::uint32_t server) const {
+    return server < n_servers_ && down_[server];
+}
+
+std::uint64_t Master::chunk_payload(const std::string& name, std::size_t idx) const {
+    const std::uint64_t size = sizes_.at(name);
+    const std::uint64_t start = std::uint64_t(idx) * chunk_size_;
+    if (start >= size) return 0;
+    return std::min(chunk_size_, size - start);
+}
+
+std::vector<RepairTask> Master::plan_repairs() {
+    std::vector<RepairTask> tasks;
+    for (const auto& [name, locs] : files_) {
+        for (std::size_t idx = 0; idx < locs.size(); ++idx) {
+            const auto& loc = locs[idx];
+            if (repairing_.count(loc.handle) != 0) continue;
+            // One dead replica per pass: losing several replicas of the
+            // same chunk at once is repaired over successive passes.
+            const auto dead_it =
+                std::find_if(loc.servers.begin(), loc.servers.end(),
+                             [this](std::uint32_t s) { return down_[s]; });
+            if (dead_it == loc.servers.end()) continue;
+            const auto src_it =
+                std::find_if(loc.servers.begin(), loc.servers.end(),
+                             [this](std::uint32_t s) { return !down_[s]; });
+            if (src_it == loc.servers.end()) continue;  // nothing to copy from
+            // Fresh destination: live and not already a replica, scanned
+            // round-robin from the repair cursor.
+            std::uint32_t dest = 0;
+            bool found = false;
+            for (std::size_t probe = 0; probe < n_servers_; ++probe) {
+                const auto cand =
+                    std::uint32_t((repair_cursor_ + probe) % n_servers_);
+                if (down_[cand]) continue;
+                if (std::find(loc.servers.begin(), loc.servers.end(), cand) !=
+                    loc.servers.end())
+                    continue;
+                dest = cand;
+                repair_cursor_ = (std::size_t(cand) + 1) % n_servers_;
+                found = true;
+                break;
+            }
+            if (!found) continue;  // cluster too degraded to re-replicate
+            const std::uint64_t bytes = chunk_payload(name, idx);
+            if (bytes == 0) continue;
+            repairing_.insert(loc.handle);
+            tasks.push_back(RepairTask{loc.handle, *src_it, dest, *dead_it, bytes});
+        }
+    }
+    return tasks;
+}
+
+void Master::commit_repair(ChunkHandle handle, std::uint32_t dead, std::uint32_t dest) {
+    repairing_.erase(handle);
+    const auto it = chunk_of_.find(handle);
+    if (it == chunk_of_.end())
+        throw std::invalid_argument("Master::commit_repair: unknown chunk");
+    auto& loc = files_.at(it->second.first).at(it->second.second);
+    const auto dit = std::find(loc.servers.begin(), loc.servers.end(), dead);
+    if (dit == loc.servers.end())
+        throw std::logic_error("Master::commit_repair: dead replica not listed");
+    *dit = dest;
+    ++re_replications_;
+}
+
+void Master::abort_repair(ChunkHandle handle) { repairing_.erase(handle); }
 
 }  // namespace kooza::gfs

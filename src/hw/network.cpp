@@ -88,11 +88,24 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
             // Give up on further retries but still complete, counting the
             // stall; real TCP would reset — for workload purposes the
             // request finishes with a pathological latency either way.
+            // The record still has to be emitted: the congested transfers
+            // that exhaust their retries are exactly the tail the model
+            // needs, and dropping them silently undercounted incast.
             ++timeouts_;
             engine_.schedule_after(params_.retry_timeout,
-                                   [this, request_id, started, total, on_done] {
+                                   [this, request_id, started, total, record,
+                                    on_done] {
                 ++completed_;
                 const double latency = engine_.now() - started;
+                if (record && sink_ != nullptr) {
+                    trace::NetworkRecord rec;
+                    rec.time = started;
+                    rec.request_id = request_id;
+                    rec.size_bytes = total;
+                    rec.direction = direction_;
+                    rec.latency = latency;
+                    sink_->network.push_back(rec);
+                }
                 if (*on_done) (*on_done)(latency);
             });
             return;

@@ -132,6 +132,13 @@ void write_csv(const TraceSet& ts, const fs::path& dir) {
               << r.completion << ',' << r.bytes << '\n';
     }
     {
+        auto f = open_out(dir / "failures.csv");
+        f << "time,request_id,server,kind,duration\n";
+        for (const auto& r : ts.failures)
+            f << r.time << ',' << r.request_id << ',' << r.server << ','
+              << to_string(r.kind) << ',' << r.duration << '\n';
+    }
+    {
         auto f = open_out(dir / "spans.csv");
         f << "trace_id,span_id,parent_id,name,start,end\n";
         for (const auto& s : ts.spans)
@@ -211,6 +218,20 @@ TraceSet read_csv(const fs::path& dir) {
             rec.completion = r.num(f[3], "completion");
             rec.bytes = r.id(f[4], "bytes");
             ts.requests.push_back(rec);
+        }
+    }
+    {
+        Reader r(dir / "failures.csv");
+        std::vector<std::string> f;
+        while (r.ok() && r.next(f)) {
+            expect_fields(r, f, 5);
+            FailureRecord rec;
+            rec.time = r.num(f[0], "time");
+            rec.request_id = r.id(f[1], "request_id");
+            rec.server = std::uint32_t(r.id(f[2], "server"));
+            rec.kind = failure_kind_from_string(f[3]);
+            rec.duration = r.num(f[4], "duration");
+            ts.failures.push_back(rec);
         }
     }
     {

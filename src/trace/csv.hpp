@@ -3,7 +3,8 @@
 // IISWC traces) play for the papers the survey covers.
 //
 // Layout: one file per stream inside a directory —
-//   storage.csv, cpu.csv, memory.csv, network.csv, requests.csv, spans.csv
+//   storage.csv, cpu.csv, memory.csv, network.csv, requests.csv,
+//   failures.csv, spans.csv
 // Each file has a header row; fields are comma-separated, no quoting
 // (span names and annotations must not contain commas or newlines).
 #pragma once
@@ -16,7 +17,7 @@
 
 namespace kooza::trace {
 
-/// Write all six streams into `dir` (created if missing).
+/// Write every stream into `dir` (created if missing).
 /// Throws std::runtime_error on I/O failure.
 void write_csv(const TraceSet& ts, const std::filesystem::path& dir);
 

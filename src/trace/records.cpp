@@ -18,4 +18,24 @@ const char* to_string(NetworkRecord::Direction d) noexcept {
     return d == NetworkRecord::Direction::kRx ? "rx" : "tx";
 }
 
+const char* to_string(FailureRecord::Kind k) noexcept {
+    switch (k) {
+        case FailureRecord::Kind::kCrash: return "crash";
+        case FailureRecord::Kind::kRecover: return "recover";
+        case FailureRecord::Kind::kFailover: return "failover";
+        case FailureRecord::Kind::kRepair: return "repair";
+        case FailureRecord::Kind::kRequestFailed: return "request_failed";
+    }
+    return "crash";
+}
+
+FailureRecord::Kind failure_kind_from_string(const std::string& s) {
+    if (s == "crash") return FailureRecord::Kind::kCrash;
+    if (s == "recover") return FailureRecord::Kind::kRecover;
+    if (s == "failover") return FailureRecord::Kind::kFailover;
+    if (s == "repair") return FailureRecord::Kind::kRepair;
+    if (s == "request_failed") return FailureRecord::Kind::kRequestFailed;
+    throw std::invalid_argument("failure_kind_from_string: '" + s + "'");
+}
+
 }  // namespace kooza::trace

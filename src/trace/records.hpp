@@ -58,6 +58,30 @@ struct NetworkRecord {
 
 [[nodiscard]] const char* to_string(NetworkRecord::Direction d) noexcept;
 
+/// One failure-path event: a chunkserver crash or recovery, a client
+/// failover wait (with its backoff duration), a master-driven chunk
+/// re-replication, or a request that exhausted every retry. These are the
+/// records that give degraded traces their texture — GFS's "failures are
+/// the norm" operating regime — and let trainers characterize workloads
+/// captured while the cluster was unhealthy.
+struct FailureRecord {
+    enum class Kind : std::uint8_t {
+        kCrash = 0,          ///< chunkserver went down (server field)
+        kRecover = 1,        ///< chunkserver came back (server field)
+        kFailover = 2,       ///< client waited `duration` on a dead replica
+        kRepair = 3,         ///< master re-replicated a chunk onto `server`
+        kRequestFailed = 4,  ///< request gave up after every retry round
+    };
+    double time = 0.0;
+    std::uint64_t request_id = 0;  ///< 0 for server-lifecycle events
+    std::uint32_t server = 0;
+    Kind kind = Kind::kCrash;
+    double duration = 0.0;  ///< backoff wait / repair latency; 0 otherwise
+};
+
+[[nodiscard]] const char* to_string(FailureRecord::Kind k) noexcept;
+[[nodiscard]] FailureRecord::Kind failure_kind_from_string(const std::string& s);
+
 /// End-to-end view of one user request.
 struct RequestRecord {
     std::uint64_t request_id = 0;

@@ -11,12 +11,13 @@ void TraceSet::merge(const TraceSet& other) {
     memory.insert(memory.end(), other.memory.begin(), other.memory.end());
     network.insert(network.end(), other.network.begin(), other.network.end());
     requests.insert(requests.end(), other.requests.begin(), other.requests.end());
+    failures.insert(failures.end(), other.failures.begin(), other.failures.end());
     spans.insert(spans.end(), other.spans.begin(), other.spans.end());
 }
 
 std::size_t TraceSet::total_records() const noexcept {
     return storage.size() + cpu.size() + memory.size() + network.size() +
-           requests.size() + spans.size();
+           requests.size() + failures.size() + spans.size();
 }
 
 void TraceSet::clear() {
@@ -25,6 +26,7 @@ void TraceSet::clear() {
     memory.clear();
     network.clear();
     requests.clear();
+    failures.clear();
     spans.clear();
 }
 
@@ -38,6 +40,7 @@ void TraceSet::sort_by_time() {
                      [](const RequestRecord& a, const RequestRecord& b) {
                          return a.arrival < b.arrival;
                      });
+    std::stable_sort(failures.begin(), failures.end(), by_time);
     std::stable_sort(spans.begin(), spans.end(),
                      [](const Span& a, const Span& b) { return a.start < b.start; });
 }
@@ -46,7 +49,8 @@ std::string TraceSet::summary() const {
     std::ostringstream os;
     os << "storage=" << storage.size() << " cpu=" << cpu.size()
        << " memory=" << memory.size() << " network=" << network.size()
-       << " requests=" << requests.size() << " spans=" << spans.size();
+       << " requests=" << requests.size() << " failures=" << failures.size()
+       << " spans=" << spans.size();
     return os.str();
 }
 

@@ -19,6 +19,7 @@ struct TraceSet {
     std::vector<MemoryRecord> memory;
     std::vector<NetworkRecord> network;
     std::vector<RequestRecord> requests;
+    std::vector<FailureRecord> failures;  ///< crash/recover/failover/repair events
     std::vector<Span> spans;
 
     /// Append everything from `other` (record order is preserved per

@@ -4,9 +4,16 @@
 //
 // Usage:
 //   kooza_capture <profile> <output-dir> [--count N] [--rate R]
-//                 [--seed S] [--servers N] [--sample-every N] [--threads N]
+//                 [--seed S] [--servers N] [--replication N]
+//                 [--sample-every N] [--threads N]
+//                 [--faults R] [--mttr S]
 // Profiles: micro | oltp | websearch | streaming
+//
+// --faults R enables the deterministic fault injector with a per-server
+// failure rate of R crashes/second (MTBF = 1/R); --mttr sets the mean
+// repair time. Failure/retry records land in failures.csv.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
@@ -47,7 +54,8 @@ int main(int argc, char** argv) {
         if (args.positional().size() != 2) {
             std::cerr << "usage: kooza_capture <micro|oltp|websearch|streaming> "
                          "<output-dir> [--count N] [--rate R] [--seed S] "
-                         "[--servers N] [--sample-every N] [--threads N]\n";
+                         "[--servers N] [--replication N] [--sample-every N] "
+                         "[--threads N] [--faults R] [--mttr S]\n";
             return 2;
         }
         const auto& profile_name = args.positional()[0];
@@ -55,6 +63,8 @@ int main(int argc, char** argv) {
         const auto count = std::size_t(args.get_u64("count", 500));
         const double rate = args.get_double("rate", 20.0);
         const auto seed = args.get_u64("seed", 42);
+        const double fault_rate = args.get_double("faults", 0.0);
+        const double mttr = args.get_double("mttr", 5.0);
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
 
@@ -66,15 +76,33 @@ int main(int argc, char** argv) {
 
         gfs::GfsConfig cfg;
         cfg.n_chunkservers = std::size_t(args.get_u64("servers", 1));
+        cfg.replication = std::size_t(args.get_u64("replication", cfg.replication));
         cfg.span_sample_every = args.get_u64("sample-every", 1);
-        gfs::Cluster cluster(cfg);
+        cfg.seed = seed;
+
+        // Generate the schedule first so the fault horizon can cover it.
         sim::Rng rng(seed);
-        profile->generate(rng).install(cluster);
+        const auto schedule = profile->generate(rng);
+        if (fault_rate > 0.0) {
+            cfg.faults.enabled = true;
+            cfg.faults.mtbf = 1.0 / fault_rate;
+            cfg.faults.mttr = mttr;
+            double last = 0.0;
+            for (const auto& r : schedule.requests) last = std::max(last, r.time);
+            cfg.faults.horizon = last + 1.0;
+        }
+
+        gfs::Cluster cluster(cfg);
+        schedule.install(cluster);
         cluster.run();
         const auto ts = cluster.traces();
         trace::write_csv(ts, out_dir);
-        std::cout << "captured " << ts.summary() << "\n"
-                  << "run: seed=" << seed << " threads=" << par::threads() << "\n"
+        std::cout << "captured " << ts.summary() << "\n";
+        if (const auto* inj = cluster.fault_injector())
+            std::cout << "faults: " << inj->crashes() << " crashes, "
+                      << inj->repairs() << " re-replications, "
+                      << cluster.failed_requests() << " failed requests\n";
+        std::cout << "run: seed=" << seed << " threads=" << par::threads() << "\n"
                   << "wrote CSV traces to " << out_dir << "\n";
         return 0;
     } catch (const std::exception& e) {
