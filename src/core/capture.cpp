@@ -1,0 +1,97 @@
+#include "core/capture.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gfs/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace kooza::core {
+
+namespace {
+
+struct CaptureMetrics {
+    obs::Counter& runs = obs::counter("core.capture.runs_total");
+    obs::Counter& requests = obs::counter("core.capture.requests_total");
+    obs::Counter& failed = obs::counter("core.capture.failed_requests_total");
+    // Sim-clock capture span: deterministic, so it stays in golden exports.
+    obs::Histogram& duration_ns =
+        obs::histogram("core.capture.duration_ns", obs::Unit::kNanoseconds);
+};
+
+CaptureMetrics& metrics() {
+    static CaptureMetrics m;
+    return m;
+}
+
+}  // namespace
+
+std::unique_ptr<workloads::Profile> make_profile(const std::string& name,
+                                                 std::size_t count, double rate) {
+    if (name == "micro")
+        return std::make_unique<workloads::MicroProfile>(
+            workloads::MicroProfile::Params{.count = count, .arrival_rate = rate});
+    if (name == "oltp")
+        return std::make_unique<workloads::OltpProfile>(
+            workloads::OltpProfile::Params{.count = count, .base_rate = rate});
+    if (name == "websearch")
+        return std::make_unique<workloads::WebSearchProfile>(
+            workloads::WebSearchProfile::Params{.count = count,
+                                                .arrival_rate = rate});
+    if (name == "streaming")
+        return std::make_unique<workloads::StreamingProfile>(
+            workloads::StreamingProfile::Params{.sessions = count / 20 + 1,
+                                                .session_rate = rate / 10.0});
+    if (name == "logappend")
+        return std::make_unique<workloads::LogAppendProfile>(
+            workloads::LogAppendProfile::Params{.count = count,
+                                                .arrival_rate = rate});
+    return nullptr;
+}
+
+CaptureResult run_capture(const CaptureOptions& opts) {
+    auto profile = make_profile(opts.profile, opts.count, opts.rate);
+    if (!profile)
+        throw std::invalid_argument("run_capture: unknown profile: " + opts.profile);
+
+    gfs::GfsConfig cfg;
+    cfg.n_chunkservers = std::max<std::size_t>(1, opts.n_servers);
+    if (opts.replication != 0) cfg.replication = opts.replication;
+    cfg.span_sample_every = std::max<std::uint64_t>(1, opts.span_sample_every);
+    cfg.seed = opts.seed;
+
+    // Generate the schedule first so the fault horizon can cover it.
+    sim::Rng rng(opts.seed);
+    const auto schedule = profile->generate(rng);
+    if (opts.fault_rate > 0.0) {
+        cfg.faults.enabled = true;
+        cfg.faults.mtbf = 1.0 / opts.fault_rate;
+        cfg.faults.mttr = opts.mttr;
+        double last = 0.0;
+        for (const auto& r : schedule.requests) last = std::max(last, r.time);
+        cfg.faults.horizon = last + 1.0;
+    }
+
+    gfs::Cluster cluster(cfg);
+    schedule.install(cluster);
+    cluster.run();
+
+    CaptureResult res;
+    res.traces = cluster.traces();
+    res.duration = cluster.engine().now();
+    res.completed = cluster.completed();
+    res.failed = cluster.failed_requests();
+    if (const auto* inj = cluster.fault_injector()) {
+        res.crashes = inj->crashes();
+        res.repairs = inj->repairs();
+    }
+
+    metrics().runs.add();
+    metrics().requests.add(res.completed);
+    metrics().failed.add(res.failed);
+    metrics().duration_ns.observe_seconds(res.duration);
+    return res;
+}
+
+}  // namespace kooza::core

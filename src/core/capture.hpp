@@ -1,0 +1,49 @@
+// Capture pipeline stage: run a named workload profile on the GFS
+// simulator and return the traces — the programmatic core of the
+// kooza_capture tool, reusable from tests and benches. Records the
+// capture-level metrics (requests completed/failed, sim-time request
+// latency) under the core.capture.* namespace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gfs/config.hpp"
+#include "trace/traceset.hpp"
+#include "workloads/profiles.hpp"
+
+namespace kooza::core {
+
+struct CaptureOptions {
+    std::string profile = "micro";  ///< micro|oltp|websearch|streaming|logappend
+    std::size_t count = 500;        ///< requests (streaming: sessions = count/20+1)
+    double rate = 20.0;             ///< arrivals/second
+    std::uint64_t seed = 42;
+    std::size_t n_servers = 1;
+    std::size_t replication = 0;  ///< 0 = GfsConfig default
+    std::uint64_t span_sample_every = 1;
+    double fault_rate = 0.0;  ///< crashes/second per server; 0 disables faults
+    double mttr = 5.0;        ///< mean repair seconds (with faults)
+};
+
+struct CaptureResult {
+    trace::TraceSet traces;
+    double duration = 0.0;  ///< simulated seconds until the cluster drained
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t crashes = 0;  ///< 0 unless faults were enabled
+    std::uint64_t repairs = 0;
+};
+
+/// Profile factory shared by run_capture and the tools. Returns nullptr
+/// for an unknown name.
+[[nodiscard]] std::unique_ptr<workloads::Profile> make_profile(
+    const std::string& name, std::size_t count, double rate);
+
+/// Run one capture end to end: build the profile, configure the cluster
+/// (fault horizon covering the schedule when faults are on), run it, and
+/// collect the traces. Throws std::invalid_argument on an unknown profile.
+[[nodiscard]] CaptureResult run_capture(const CaptureOptions& opts);
+
+}  // namespace kooza::core

@@ -5,9 +5,24 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::core {
 
 namespace {
+
+struct GeneratorMetrics {
+    obs::Counter& generated = obs::counter("core.generator.requests_total");
+    obs::Counter& bytes =
+        obs::counter("core.generator.bytes_total", obs::Unit::kBytes);
+    obs::Histogram& synth_wall_ns = obs::histogram(
+        "core.generator.synth_wall_ns", obs::Unit::kNanoseconds, /*wall=*/true);
+};
+
+GeneratorMetrics& metrics() {
+    static GeneratorMetrics m;
+    return m;
+}
 
 std::uint64_t to_bytes(double x) {
     if (!(x > 0.0)) return 512;
@@ -38,6 +53,7 @@ struct ChainCursor {
 SyntheticWorkload Generator::generate(std::size_t count, sim::Rng& rng,
                                       double start) const {
     if (count == 0) throw std::invalid_argument("Generator::generate: count 0");
+    const obs::TimerScope synth_timer(metrics().synth_wall_ns);
     SyntheticWorkload out;
     out.model_name = "kooza:" + model_.workload_name();
     out.requests.reserve(count);
@@ -82,6 +98,8 @@ SyntheticWorkload Generator::generate(std::size_t count, sim::Rng& rng,
         // Structure: phase order for the replayer.
         r.phases = cur.tm.structure.sample(rng);
 
+        metrics().generated.add();
+        metrics().bytes.add(r.storage_bytes);
         out.requests.push_back(std::move(r));
     }
     return out;

@@ -5,12 +5,27 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "par/pool.hpp"
 #include "sim/engine.hpp"
 
 namespace kooza::core {
 
 namespace {
+
+struct ReplayerMetrics {
+    obs::Counter& replayed = obs::counter("core.replayer.requests_total");
+    obs::Counter& unknown = obs::counter("core.replayer.unknown_phases_total");
+    // Simulated-time request latency: integer ns, deterministic at any
+    // thread count (shard engines clock their own requests).
+    obs::Histogram& latency_ns =
+        obs::histogram("core.replayer.request_latency_ns", obs::Unit::kNanoseconds);
+};
+
+ReplayerMetrics& metrics() {
+    static ReplayerMetrics m;
+    return m;
+}
 
 /// One replay server: the chunkserver's device stack without GFS logic.
 struct ServerStack {
@@ -52,6 +67,8 @@ struct Runtime {
         rec.bytes = r.network_bytes;
         traces.requests.push_back(rec);
         latencies.push_back(rec.completion - rec.arrival);
+        metrics().replayed.add();
+        metrics().latency_ns.observe_seconds(rec.completion - rec.arrival);
     }
 };
 
@@ -198,6 +215,7 @@ private:
                 false);
         } else {
             ++rt_.unknown_phases;
+            metrics().unknown.add();
             rt_.engine.schedule_after(0.0, std::move(next));
         }
     }

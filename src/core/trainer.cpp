@@ -6,12 +6,33 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "par/pool.hpp"
 #include "stats/fitting.hpp"
 #include "stats/hypothesis.hpp"
 #include "trace/features.hpp"
 
 namespace kooza::core {
+
+namespace {
+
+// Wall-clock train timings are tagged `wall`: they are real elapsed time,
+// vary run to run, and are excluded from deterministic exports.
+struct TrainerMetrics {
+    obs::Counter& runs = obs::counter("core.trainer.runs_total");
+    obs::Counter& requests = obs::counter("core.trainer.requests_total");
+    obs::Histogram& train_wall_ns = obs::histogram(
+        "core.trainer.train_wall_ns", obs::Unit::kNanoseconds, /*wall=*/true);
+    obs::Histogram& submodel_wall_ns = obs::histogram(
+        "core.trainer.submodel_wall_ns", obs::Unit::kNanoseconds, /*wall=*/true);
+};
+
+TrainerMetrics& trainer_metrics() {
+    static TrainerMetrics m;
+    return m;
+}
+
+}  // namespace
 
 std::vector<std::string> canonical_phases(trace::IoType t) {
     if (t == trace::IoType::kRead)
@@ -40,9 +61,12 @@ Trainer::Trainer(TrainerConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 ServerModel Trainer::train(const trace::TraceSet& ts) const {
+    const obs::TimerScope train_timer(trainer_metrics().train_wall_ns);
     const auto features = trace::extract_features(ts);
     if (features.empty())
         throw std::invalid_argument("Trainer::train: no completed requests in trace");
+    trainer_metrics().runs.add();
+    trainer_metrics().requests.add(features.size());
 
     // ---- Network sub-model: the arrival process. -------------------------
     std::vector<double> arrivals = trace::column_arrival(features);
@@ -133,6 +157,7 @@ ServerModel Trainer::train(const trace::TraceSet& ts) const {
         std::optional<markov::AnnotatedMarkovChain> storage, memory, cpu;
         std::optional<StructureQueue> structure;
         par::pool().parallel_for(4, [&](std::size_t task) {
+            const obs::TimerScope fit_timer(trainer_metrics().submodel_wall_ns);
             switch (task) {
                 case 0:
                     storage = markov::AnnotatedMarkovChain::fit(

@@ -19,7 +19,9 @@ MetricRow row(std::string subsystem, std::string metric, double original,
     r.metric = std::move(metric);
     r.original = original;
     r.synthetic = synthetic;
-    r.variation_pct = stats::variation_pct(synthetic, original);
+    const auto v = stats::variation(synthetic, original);
+    r.variation_pct = v.value;
+    r.absolute = v.absolute;
     r.unit = std::move(unit);
     return r;
 }
@@ -49,15 +51,23 @@ std::string MetricRow::to_string() const {
     std::ostringstream os;
     os << std::left << std::setw(12) << subsystem << std::setw(16) << metric
        << std::right << std::setw(12) << fmt_value(original, unit) << std::setw(12)
-       << fmt_value(synthetic, unit) << std::setw(9) << std::fixed
-       << std::setprecision(2) << variation_pct << "%";
+       << fmt_value(synthetic, unit);
+    if (absolute) {
+        // Zero baseline: no percentage exists, show the deviation in the
+        // row's own unit (e.g. "+16.0 KB" rather than "1638400.00%").
+        os << std::setw(10) << ("+" + fmt_value(variation_pct, unit));
+    } else {
+        os << std::setw(9) << std::fixed << std::setprecision(2) << variation_pct
+           << "%";
+    }
     return os.str();
 }
 
 double ValidationReport::max_feature_variation() const {
     double v = 0.0;
     for (const auto& r : rows)
-        if (r.subsystem != "Performance") v = std::max(v, r.variation_pct);
+        if (r.subsystem != "Performance" && !r.absolute)
+            v = std::max(v, r.variation_pct);
     return v;
 }
 

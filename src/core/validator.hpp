@@ -15,7 +15,11 @@ struct MetricRow {
     std::string metric;     ///< e.g. "Request Size"
     double original = 0.0;
     double synthetic = 0.0;
+    /// Percent deviation when !absolute; deviation in `unit` when absolute.
     double variation_pct = 0.0;
+    /// True when `original` is zero: a relative deviation is meaningless,
+    /// so `variation_pct` holds the absolute difference instead.
+    bool absolute = false;
     std::string unit;
 
     [[nodiscard]] std::string to_string() const;
@@ -25,7 +29,9 @@ struct ValidationReport {
     std::string model_name;
     std::vector<MetricRow> rows;
 
-    /// Largest variation among feature rows (excludes Performance rows).
+    /// Largest relative variation among feature rows. Excludes Performance
+    /// rows and absolute-deviation rows (zero baselines have no percentage
+    /// — mixing byte deviations into a percent max would be meaningless).
     [[nodiscard]] double max_feature_variation() const;
     /// Variation of the Performance/Latency row (0 if absent).
     [[nodiscard]] double latency_variation() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::gfs {
 
 ChunkServer::ChunkServer(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg,
@@ -34,6 +36,21 @@ trace::SpanId begin_span(trace::SpanTracer* t, std::uint64_t trace_id,
 void finish_span(trace::SpanTracer* t, trace::SpanId s, double now) {
     if (t != nullptr) t->end_span(s, now);
 }
+
+struct ServerMetrics {
+    obs::Counter& reads = obs::counter("gfs.server.reads_total");
+    obs::Counter& writes = obs::counter("gfs.server.writes_total");
+    obs::Counter& replica_writes = obs::counter("gfs.server.replica_writes_total");
+    obs::Counter& read_bytes =
+        obs::counter("gfs.server.read_bytes_total", obs::Unit::kBytes);
+    obs::Counter& write_bytes =
+        obs::counter("gfs.server.write_bytes_total", obs::Unit::kBytes);
+};
+
+ServerMetrics& metrics() {
+    static ServerMetrics m;
+    return m;
+}
 }  // namespace
 
 void ChunkServer::verify_and_buffer(std::uint64_t request_id, std::uint64_t size,
@@ -62,6 +79,8 @@ void ChunkServer::handle_read(std::uint64_t request_id, std::uint64_t lbn,
                               std::uint64_t size, trace::SpanId parent,
                               hw::SwitchPort& client_port,
                               std::function<void()> on_done) {
+    metrics().reads.add();
+    metrics().read_bytes.add(size);
     // net.rx: the request header reaches this server's port (control).
     const auto srx = begin_span(tracer_, request_id, parent, phase::kNetRx, engine_.now());
     ingress_->transfer(
@@ -112,6 +131,7 @@ void ChunkServer::handle_read(std::uint64_t request_id, std::uint64_t lbn,
 void ChunkServer::handle_replica_write(std::uint64_t request_id, std::uint64_t lbn,
                                        std::uint64_t size, trace::SpanId parent,
                                        std::function<void()> on_done) {
+    metrics().replica_writes.add();
     verify_and_buffer(request_id, size, trace::IoType::kWrite, parent,
                       [this, request_id, lbn, size, parent,
                        on_done = std::move(on_done)]() mutable {
@@ -131,6 +151,8 @@ void ChunkServer::handle_write(std::uint64_t request_id, std::uint64_t lbn,
                                hw::SwitchPort& client_port,
                                std::vector<ChunkServer*> replicas,
                                std::function<void()> on_done) {
+    metrics().writes.add();
+    metrics().write_bytes.add(size);
     // net.rx: the write payload reaches this server's port.
     const auto srx = begin_span(tracer_, request_id, parent, phase::kNetRx, engine_.now());
     ingress_->transfer(

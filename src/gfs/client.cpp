@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::gfs {
 
 namespace {
@@ -13,6 +15,22 @@ trace::SpanId begin_span(trace::SpanTracer* t, std::uint64_t trace_id,
 }
 void finish_span(trace::SpanTracer* t, trace::SpanId s, double now) {
     if (t != nullptr) t->end_span(s, now);
+}
+
+struct ClientMetrics {
+    obs::Counter& requests = obs::counter("gfs.client.requests_total");
+    obs::Counter& failed = obs::counter("gfs.client.requests_failed_total");
+    obs::Counter& cache_hits = obs::counter("gfs.client.cache_hits_total");
+    obs::Counter& cache_misses = obs::counter("gfs.client.cache_misses_total");
+    obs::Counter& failovers = obs::counter("gfs.client.failovers_total");
+    obs::Counter& retry_rounds = obs::counter("gfs.client.retry_rounds_total");
+    obs::Histogram& latency_ns =
+        obs::histogram("gfs.client.request_latency_ns", obs::Unit::kNanoseconds);
+};
+
+ClientMetrics& metrics() {
+    static ClientMetrics m;
+    return m;
 }
 }  // namespace
 
@@ -81,10 +99,12 @@ void Client::lookup(std::uint64_t request_id, const std::string& file,
     if (cfg_.client_caches_locations) {
         auto it = location_cache_.find(key);
         if (it != location_cache_.end()) {
+            metrics().cache_hits.add();
             next(it->second);
             return;
         }
     }
+    metrics().cache_misses.add();
     // Pay the master round trip: control to master, CPU work, control back.
     const auto sl =
         begin_span(tracer_, request_id, root, phase::kMasterLookup, engine_.now());
@@ -127,6 +147,7 @@ void Client::try_replica(std::uint64_t request_id, std::string file,
         // retry rounds remain, back off and re-ask the master — it may
         // have re-replicated the chunk onto live servers by now.
         if (round < cfg_.client_retry_rounds) {
+            metrics().retry_rounds.add();
             if (cfg_.client_caches_locations)
                 location_cache_.erase(CacheKey(file, chunk_index));
             const double wait = backoff_wait(backoff_step);
@@ -166,6 +187,7 @@ void Client::try_replica(std::uint64_t request_id, std::string file,
         // in the cached location, then fail over to the next replica.
         const double wait = backoff_wait(backoff_step);
         ++failovers_;
+        metrics().failovers.add();
         if (sink_ != nullptr) {
             trace::FailureRecord rec;
             rec.time = engine_.now();
@@ -244,6 +266,7 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
         const double now = engine_.now();
         if (*request_failed) {
             ++failed_requests_;
+            metrics().failed.add();
             if (sink_ != nullptr) {
                 trace::FailureRecord rec;
                 rec.time = now;
@@ -265,6 +288,8 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
             rec.bytes = size;
             sink_->requests.push_back(rec);
         }
+        metrics().requests.add();
+        metrics().latency_ns.observe_seconds(now - arrival);
         finish_span(tracer_, root, now);
         if (on_done) on_done(now - arrival);
     };

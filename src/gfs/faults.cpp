@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "par/pool.hpp"
 #include "sim/rng.hpp"
 
 namespace kooza::gfs {
+
+namespace {
+
+struct FaultMetrics {
+    obs::Counter& crashes = obs::counter("gfs.faults.crashes_total");
+    obs::Counter& recoveries = obs::counter("gfs.faults.recoveries_total");
+    obs::Counter& repairs = obs::counter("gfs.faults.repairs_total");
+    obs::Counter& repair_bytes =
+        obs::counter("gfs.faults.re_replication_bytes_total", obs::Unit::kBytes);
+};
+
+FaultMetrics& metrics() {
+    static FaultMetrics m;
+    return m;
+}
+
+}  // namespace
 
 FaultPlan make_fault_plan(const FaultConfig& cfg, std::size_t n_servers,
                           std::uint64_t cluster_seed) {
@@ -70,6 +88,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
     server->set_failed(ev.fail);
     if (ev.fail) {
         ++crashes_;
+        metrics().crashes.add();
         record(trace::FailureRecord::Kind::kCrash, ev.server, 0, 0.0);
         // Heartbeat loss: the master notices after detection_delay, then
         // starts re-replicating the chunks that lost a replica.
@@ -79,6 +98,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
         });
     } else {
         ++recoveries_;
+        metrics().recoveries.add();
         record(trace::FailureRecord::Kind::kRecover, ev.server, 0, 0.0);
         engine_.schedule_after(cfg_.faults.detection_delay, [this, s = ev.server] {
             if (!servers_.at(s)->failed()) master_.mark_server_up(s);
@@ -128,6 +148,8 @@ void FaultInjector::run_repair(const RepairTask& task) {
                                           master_.commit_repair(task.handle, task.dead,
                                                                 task.dest);
                                           ++repairs_;
+                                          metrics().repairs.add();
+                                          metrics().repair_bytes.add(task.bytes);
                                           record(trace::FailureRecord::Kind::kRepair,
                                                  task.dest, id,
                                                  engine_.now() - started);

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::gfs {
+
+namespace {
+
+struct MasterMetrics {
+    obs::Counter& lookups = obs::counter("gfs.master.lookups_total");
+    obs::Counter& chunks = obs::counter("gfs.master.chunks_allocated_total");
+    obs::Counter& re_replications = obs::counter("gfs.master.re_replications_total");
+    obs::Gauge& servers_down = obs::gauge("gfs.master.servers_down");
+};
+
+MasterMetrics& metrics() {
+    static MasterMetrics m;
+    return m;
+}
+
+}  // namespace
 
 Master::Master(std::size_t n_servers, std::size_t replication, std::uint64_t chunk_size)
     : n_servers_(n_servers),
@@ -17,6 +35,7 @@ Master::Master(std::size_t n_servers, std::size_t replication, std::uint64_t chu
 
 ChunkHandle Master::allocate_chunk(const std::string& name, std::size_t idx,
                                    std::vector<ChunkLocation>& locs) {
+    metrics().chunks.add();
     ChunkLocation loc;
     loc.handle = next_handle_++;
     for (std::size_t r = 0; r < replication_; ++r)
@@ -79,6 +98,7 @@ const ChunkLocation& Master::lookup(const std::string& name, std::uint64_t offse
 }
 
 ChunkLocation Master::locate(const std::string& name, std::uint64_t offset) const {
+    metrics().lookups.add();
     ChunkLocation loc = lookup(name, offset);
     std::stable_partition(loc.servers.begin(), loc.servers.end(),
                           [this](std::uint32_t s) { return !down_[s]; });
@@ -96,12 +116,16 @@ void Master::mark_server_down(std::uint32_t server) {
     if (server >= n_servers_)
         throw std::invalid_argument("Master::mark_server_down: unknown server");
     down_[server] = true;
+    metrics().servers_down.set(
+        double(std::count(down_.begin(), down_.end(), true)));
 }
 
 void Master::mark_server_up(std::uint32_t server) {
     if (server >= n_servers_)
         throw std::invalid_argument("Master::mark_server_up: unknown server");
     down_[server] = false;
+    metrics().servers_down.set(
+        double(std::count(down_.begin(), down_.end(), true)));
 }
 
 bool Master::server_down(std::uint32_t server) const {
@@ -168,6 +192,7 @@ void Master::commit_repair(ChunkHandle handle, std::uint32_t dead, std::uint32_t
         throw std::logic_error("Master::commit_repair: dead replica not listed");
     *dit = dest;
     ++re_replications_;
+    metrics().re_replications.add();
 }
 
 void Master::abort_repair(ChunkHandle handle) { repairing_.erase(handle); }

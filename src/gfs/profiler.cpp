@@ -4,8 +4,22 @@
 #include <stdexcept>
 
 #include "gfs/chunkserver.hpp"
+#include "obs/metrics.hpp"
 
 namespace kooza::gfs {
+
+namespace {
+
+struct ProfilerMetrics {
+    obs::Counter& samples = obs::counter("gfs.profiler.samples_total");
+};
+
+ProfilerMetrics& metrics() {
+    static ProfilerMetrics m;
+    return m;
+}
+
+}  // namespace
 
 MachineProfiler::MachineProfiler(
     sim::Engine& engine, const std::vector<std::unique_ptr<ChunkServer>>& servers,
@@ -15,24 +29,61 @@ MachineProfiler::MachineProfiler(
         throw std::invalid_argument("MachineProfiler: interval must be > 0");
     if (!(horizon > 0.0))
         throw std::invalid_argument("MachineProfiler: horizon must be > 0");
-    engine_.schedule_after(interval_, [this] { tick(); });
+    last_tick_ = engine_.now();
+    prev_cpu_busy_.resize(servers_.size(), 0.0);
+    prev_disk_busy_.resize(servers_.size(), 0.0);
+    prev_disk_ios_.resize(servers_.size(), 0);
+    prev_cpu_bursts_.resize(servers_.size(), 0);
+    // Baseline the cumulative device state so the first interval's delta
+    // covers exactly (attach, attach + interval].
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+        prev_cpu_busy_[s] = servers_[s]->cpu().busy_time();
+        prev_disk_busy_[s] = servers_[s]->disk().busy_time();
+        prev_disk_ios_[s] = servers_[s]->disk().completed();
+        prev_cpu_bursts_[s] = servers_[s]->cpu().completed();
+    }
+    engine_.schedule_after(std::min(interval_, horizon_), [this] { tick(); });
 }
 
 void MachineProfiler::tick() {
     const double now = engine_.now();
-    for (std::uint32_t s = 0; s < servers_.size(); ++s) {
-        auto& srv = *servers_[s];
-        MachineSample m;
-        m.time = now;
-        m.server = s;
-        m.cpu_utilization = srv.cpu().utilization();
-        m.disk_utilization = srv.disk().utilization();
-        m.disk_ios = srv.disk().completed();
-        m.cpu_bursts = srv.cpu().completed();
-        samples_.push_back(m);
+    const double dt = now - last_tick_;
+    if (dt > 0.0) {
+        for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+            auto& srv = *servers_[s];
+            const double cpu_busy = srv.cpu().busy_time();
+            const double disk_busy = srv.disk().busy_time();
+            MachineSample m;
+            m.time = now;
+            m.interval = dt;
+            m.server = s;
+            // Per-interval busy fraction: busy-time delta over the
+            // interval's capacity-seconds. The old code reported the
+            // *cumulative* busy fraction since t=0 here, so a machine that
+            // was hot an hour ago still looked hot now.
+            m.cpu_utilization = std::clamp(
+                (cpu_busy - prev_cpu_busy_[s]) / (double(srv.cpu().cores()) * dt),
+                0.0, 1.0);
+            m.disk_utilization =
+                std::clamp((disk_busy - prev_disk_busy_[s]) / dt, 0.0, 1.0);
+            m.disk_ios = srv.disk().completed() - prev_disk_ios_[s];
+            m.cpu_bursts = srv.cpu().completed() - prev_cpu_bursts_[s];
+            prev_cpu_busy_[s] = cpu_busy;
+            prev_disk_busy_[s] = disk_busy;
+            prev_disk_ios_[s] = srv.disk().completed();
+            prev_cpu_bursts_[s] = srv.cpu().completed();
+            samples_.push_back(m);
+            metrics().samples.add();
+        }
+        last_tick_ = now;
     }
-    if (now + interval_ <= horizon_)
+    if (now + interval_ <= horizon_) {
         engine_.schedule_after(interval_, [this] { tick(); });
+    } else if (now < horizon_) {
+        // Horizon not a multiple of the interval: take one final partial
+        // sample at the horizon itself instead of dropping the tail.
+        engine_.schedule_after(horizon_ - now, [this] { tick(); });
+    }
 }
 
 std::vector<double> MachineProfiler::cpu_series(std::uint32_t server) const {
@@ -50,10 +101,11 @@ std::vector<double> MachineProfiler::disk_series(std::uint32_t server) const {
 }
 
 std::uint32_t MachineProfiler::hottest_server() const {
-    if (samples_.empty()) throw std::logic_error("MachineProfiler: no samples");
-    std::vector<double> last(servers_.size(), 0.0);
-    for (const auto& m : samples_) last[m.server] = m.disk_utilization;
-    return std::uint32_t(std::max_element(last.begin(), last.end()) - last.begin());
+    if (samples_.empty()) return kNone;
+    std::vector<double> peak(servers_.size(), 0.0);
+    for (const auto& m : samples_)
+        peak[m.server] = std::max(peak[m.server], m.disk_utilization);
+    return std::uint32_t(std::max_element(peak.begin(), peak.end()) - peak.begin());
 }
 
 }  // namespace kooza::gfs

@@ -20,21 +20,28 @@ namespace kooza::gfs {
 
 class ChunkServer;
 
-/// One whole-machine sample.
+/// One whole-machine sample covering the interval (time - interval, time].
+/// Utilizations and counts are per-interval (point-in-time load), not
+/// cumulative since the start of the run.
 struct MachineSample {
-    double time = 0.0;
+    double time = 0.0;      ///< end of the sampled interval
+    double interval = 0.0;  ///< interval length (the horizon tick may be partial)
     std::uint32_t server = 0;
-    double cpu_utilization = 0.0;   ///< cumulative busy fraction
+    double cpu_utilization = 0.0;   ///< busy fraction within the interval, [0,1]
     double disk_utilization = 0.0;
-    std::uint64_t disk_ios = 0;      ///< completed so far
+    std::uint64_t disk_ios = 0;     ///< I/Os completed within the interval
     std::uint64_t cpu_bursts = 0;
 };
 
 class MachineProfiler {
 public:
+    /// hottest_server() result when no samples were taken.
+    static constexpr std::uint32_t kNone = UINT32_MAX;
+
     /// Sample every `interval` seconds while the engine runs. Attach
-    /// before Cluster::run(); sampling stops when `horizon` is reached
-    /// (the profiler does not keep an idle engine alive forever).
+    /// before Cluster::run(); sampling stops at `horizon` — when the
+    /// horizon is not a multiple of `interval`, a final partial-interval
+    /// sample is still taken there, so activity in the tail is never lost.
     MachineProfiler(sim::Engine& engine,
                     const std::vector<std::unique_ptr<ChunkServer>>& servers,
                     double interval, double horizon);
@@ -47,8 +54,9 @@ public:
     [[nodiscard]] std::vector<double> cpu_series(std::uint32_t server) const;
     [[nodiscard]] std::vector<double> disk_series(std::uint32_t server) const;
 
-    /// Index of the server with the highest final disk utilization — the
-    /// hot machine a GWP-style fleet study would flag.
+    /// Index of the server with the highest peak interval disk utilization
+    /// — the hot machine a GWP-style fleet study would flag. Returns kNone
+    /// when no samples were taken.
     [[nodiscard]] std::uint32_t hottest_server() const;
 
 private:
@@ -58,6 +66,12 @@ private:
     const std::vector<std::unique_ptr<ChunkServer>>& servers_;
     double interval_;
     double horizon_;
+    double last_tick_ = 0.0;
+    // Cumulative device state at the previous tick, for interval deltas.
+    std::vector<double> prev_cpu_busy_;
+    std::vector<double> prev_disk_busy_;
+    std::vector<std::uint64_t> prev_disk_ios_;
+    std::vector<std::uint64_t> prev_cpu_bursts_;
     std::vector<MachineSample> samples_;
 };
 

@@ -2,7 +2,25 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::hw {
+
+namespace {
+
+struct CpuMetrics {
+    obs::Counter& bursts = obs::counter("hw.cpu.bursts_total");
+    obs::Gauge& queue_depth = obs::gauge("hw.cpu.queue_depth");
+    obs::Histogram& busy_ns =
+        obs::histogram("hw.cpu.busy_ns", obs::Unit::kNanoseconds);
+};
+
+CpuMetrics& metrics() {
+    static CpuMetrics m;
+    return m;
+}
+
+}  // namespace
 
 Cpu::Cpu(sim::Engine& engine, CpuParams params, trace::TraceSet* sink)
     : engine_(engine), params_(params), sink_(sink) {
@@ -20,12 +38,15 @@ void Cpu::execute(std::uint64_t request_id, double busy_seconds,
                   std::function<void()> on_done) {
     if (!(busy_seconds >= 0.0)) throw std::invalid_argument("Cpu::execute: negative work");
     const double issued = engine_.now();
+    metrics().queue_depth.set(double(cores_->queue_length()));
     cores_->acquire([this, request_id, busy_seconds, issued,
                      on_done = std::move(on_done)]() mutable {
         engine_.schedule_after(busy_seconds, [this, request_id, busy_seconds, issued,
                                               on_done = std::move(on_done)] {
             cores_->release();
             ++completed_;
+            metrics().bursts.add();
+            metrics().busy_ns.observe_seconds(busy_seconds);
             if (sink_ != nullptr) {
                 trace::CpuRecord rec;
                 rec.time = issued;

@@ -3,7 +3,28 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::hw {
+
+namespace {
+
+struct DiskMetrics {
+    obs::Counter& ios = obs::counter("hw.disk.io_total");
+    obs::Counter& bytes = obs::counter("hw.disk.bytes_total", obs::Unit::kBytes);
+    obs::Gauge& queue_depth = obs::gauge("hw.disk.queue_depth");
+    obs::Histogram& service_ns =
+        obs::histogram("hw.disk.service_ns", obs::Unit::kNanoseconds);
+    obs::Histogram& latency_ns =
+        obs::histogram("hw.disk.latency_ns", obs::Unit::kNanoseconds);
+};
+
+DiskMetrics& metrics() {
+    static DiskMetrics m;
+    return m;
+}
+
+}  // namespace
 
 double disk_service_time(const DiskParams& p, std::uint64_t prev_lbn, std::uint64_t lbn,
                          std::uint64_t size_bytes) {
@@ -31,9 +52,11 @@ void Disk::io(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size_by
               trace::IoType type, std::function<void(double)> on_done) {
     if (lbn >= params_.lbn_count) throw std::invalid_argument("Disk::io: lbn range");
     const double issued = engine_.now();
+    metrics().queue_depth.set(double(queue_->queue_length()));
     queue_->acquire([this, request_id, lbn, size_bytes, type, issued,
                      on_done = std::move(on_done)]() mutable {
         const double service = disk_service_time(params_, head_, lbn, size_bytes);
+        metrics().service_ns.observe_seconds(service);
         head_ = lbn + size_bytes / params_.block_size;
         if (head_ >= params_.lbn_count) head_ = params_.lbn_count - 1;
         engine_.schedule_after(service, [this, request_id, lbn, size_bytes, type, issued,
@@ -41,6 +64,10 @@ void Disk::io(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size_by
             queue_->release();
             ++completed_;
             const double latency = engine_.now() - issued;
+            auto& m = metrics();
+            m.ios.add();
+            m.bytes.add(size_bytes);
+            m.latency_ns.observe_seconds(latency);
             if (sink_ != nullptr) {
                 trace::StorageRecord rec;
                 rec.time = issued;

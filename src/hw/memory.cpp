@@ -2,7 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::hw {
+
+namespace {
+
+struct MemoryMetrics {
+    obs::Counter& accesses = obs::counter("hw.mem.accesses_total");
+    obs::Counter& bytes = obs::counter("hw.mem.bytes_total", obs::Unit::kBytes);
+};
+
+MemoryMetrics& metrics() {
+    static MemoryMetrics m;
+    return m;
+}
+
+}  // namespace
 
 Memory::Memory(sim::Engine& engine, MemoryParams params, trace::TraceSet* sink)
     : engine_(engine), params_(params), sink_(sink) {
@@ -32,6 +48,8 @@ void Memory::access(std::uint64_t request_id, std::uint32_t bank,
                                          issued, on_done = std::move(on_done)] {
             res.release();
             ++completed_;
+            metrics().accesses.add();
+            metrics().bytes.add(size_bytes);
             if (sink_ != nullptr) {
                 trace::MemoryRecord rec;
                 rec.time = issued;

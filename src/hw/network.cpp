@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::hw {
+
+namespace {
+
+struct NetMetrics {
+    obs::Counter& transfers = obs::counter("hw.net.transfers_total");
+    obs::Counter& bytes = obs::counter("hw.net.bytes_total", obs::Unit::kBytes);
+    obs::Counter& drops = obs::counter("hw.net.drops_total");
+    obs::Counter& timeouts = obs::counter("hw.net.timeouts_total");
+};
+
+NetMetrics& metrics() {
+    static NetMetrics m;
+    return m;
+}
+
+}  // namespace
 
 Link::Link(sim::Engine& engine, LinkParams params,
            trace::NetworkRecord::Direction direction, trace::TraceSet* sink)
@@ -26,6 +44,8 @@ void Link::transfer(std::uint64_t request_id, std::uint64_t size_bytes,
                                    [this, request_id, size_bytes, issued,
                                     on_done = std::move(on_done)] {
                 ++completed_;
+                metrics().transfers.add();
+                metrics().bytes.add(size_bytes);
                 const double latency = engine_.now() - issued;
                 if (sink_ != nullptr) {
                     trace::NetworkRecord rec;
@@ -67,6 +87,8 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
         engine_.schedule_after(params_.propagation,
                                [this, request_id, started, total, record, on_done] {
             ++completed_;
+            metrics().transfers.add();
+            metrics().bytes.add(total);
             const double latency = engine_.now() - started;
             if (record && sink_ != nullptr) {
                 trace::NetworkRecord rec;
@@ -84,6 +106,7 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
     // Buffer check: waiting acquirers approximate buffered frames.
     if (port_->queue_length() >= params_.buffer_frames) {
         ++drops_;
+        metrics().drops.add();
         if (retries >= params_.max_retries) {
             // Give up on further retries but still complete, counting the
             // stall; real TCP would reset — for workload purposes the
@@ -92,6 +115,7 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
             // that exhaust their retries are exactly the tail the model
             // needs, and dropping them silently undercounted incast.
             ++timeouts_;
+            metrics().timeouts.add();
             engine_.schedule_after(params_.retry_timeout,
                                    [this, request_id, started, total, record,
                                     on_done] {
@@ -111,6 +135,7 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
             return;
         }
         ++timeouts_;
+        metrics().timeouts.add();
         engine_.schedule_after(params_.retry_timeout, [this, request_id, remaining,
                                                        started, total, retries, record,
                                                        on_done] {

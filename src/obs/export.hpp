@@ -1,0 +1,42 @@
+// Snapshot serialization: JSON ("kooza.metrics/1" schema) and flat CSV,
+// plus a loader and a human-readable summary used by kooza_inspect.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace kooza::obs {
+
+struct ExportOptions {
+    /// Include wall-clock-derived metrics. Deterministic exports (golden
+    /// files, 1-vs-N comparisons) should set this to false.
+    bool include_wall = true;
+};
+
+/// Serialize a snapshot as JSON. Output is canonical: metrics sorted by
+/// name, fixed key order, doubles printed with %.17g — equal snapshots
+/// produce byte-identical text.
+[[nodiscard]] std::string to_json(const Snapshot& snap, const ExportOptions& opts = {});
+
+/// Serialize a snapshot as flat CSV:
+///   name,kind,unit,wall,value,max,count,sum,buckets
+/// where buckets is "i:n" pairs joined with ';'.
+[[nodiscard]] std::string to_csv(const Snapshot& snap, const ExportOptions& opts = {});
+
+/// Write a snapshot to `path`, picking the format from the extension
+/// (".csv" → CSV, anything else → JSON). Creates parent directories.
+void write_metrics(const Snapshot& snap, const std::filesystem::path& path,
+                   const ExportOptions& opts = {});
+
+/// Parse a file previously written by write_metrics (either format).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Snapshot load_metrics(const std::filesystem::path& path);
+
+/// Human-readable one-metric-per-line summary (kooza_inspect --metrics).
+/// Histogram lines include count, mean, and approximate p50/p99 derived
+/// from the log2 buckets.
+[[nodiscard]] std::string summarize(const Snapshot& snap);
+
+}  // namespace kooza::obs

@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kooza::obs {
+
+const char* to_string(Unit u) noexcept {
+    switch (u) {
+        case Unit::kBytes: return "bytes";
+        case Unit::kNanoseconds: return "ns";
+        case Unit::kCount: break;
+    }
+    return "count";
+}
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+    // Round-robin shard assignment: each new thread takes the next slot.
+    // A thread's slot is fixed for its lifetime, so its updates never
+    // contend with other threads' hot shards (beyond the modulo wrap).
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+}  // namespace detail
+
+const MetricSnapshot* Snapshot::find(std::string_view name) const noexcept {
+    for (const auto& m : metrics)
+        if (m.name == name) return &m;
+    return nullptr;
+}
+
+Registry& Registry::global() {
+    // Leaked on purpose: instrumentation in static-destruction order must
+    // still find live metrics.
+    static Registry* g = new Registry();
+    return *g;
+}
+
+Counter& Registry::counter(std::string_view name, Unit unit) {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e{MetricSnapshot::Kind::kCounter, unit, false,
+                std::make_unique<Counter>(), nullptr, nullptr};
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    } else if (it->second.kind != MetricSnapshot::Kind::kCounter) {
+        throw std::logic_error("obs: metric '" + std::string(name) +
+                               "' already registered with a different kind");
+    }
+    return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Unit unit) {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e{MetricSnapshot::Kind::kGauge, unit, false, nullptr,
+                std::make_unique<Gauge>(), nullptr};
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    } else if (it->second.kind != MetricSnapshot::Kind::kGauge) {
+        throw std::logic_error("obs: metric '" + std::string(name) +
+                               "' already registered with a different kind");
+    }
+    return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Unit unit, bool wall) {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e{MetricSnapshot::Kind::kHistogram, unit, wall, nullptr, nullptr,
+                std::make_unique<Histogram>()};
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    } else if (it->second.kind != MetricSnapshot::Kind::kHistogram) {
+        throw std::logic_error("obs: metric '" + std::string(name) +
+                               "' already registered with a different kind");
+    }
+    return *it->second.histogram;
+}
+
+Snapshot Registry::snapshot() const {
+    std::lock_guard lock(mu_);
+    Snapshot out;
+    out.metrics.reserve(entries_.size());
+    // std::map iterates in name order, which is the export order.
+    for (const auto& [name, e] : entries_) {
+        MetricSnapshot m;
+        m.name = name;
+        m.kind = e.kind;
+        m.unit = e.unit;
+        m.wall = e.wall;
+        switch (e.kind) {
+            case MetricSnapshot::Kind::kCounter:
+                m.value = e.counter->value();
+                break;
+            case MetricSnapshot::Kind::kGauge:
+                m.gauge_value = e.gauge->value();
+                m.gauge_max = e.gauge->max();
+                break;
+            case MetricSnapshot::Kind::kHistogram:
+                m.count = e.histogram->count();
+                m.sum = e.histogram->sum();
+                for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+                    if (auto n = e.histogram->bucket(b); n != 0)
+                        m.buckets.emplace_back(std::uint32_t(b), n);
+                break;
+        }
+        out.metrics.push_back(std::move(m));
+    }
+    return out;
+}
+
+void Registry::reset() {
+    std::lock_guard lock(mu_);
+    for (auto& [name, e] : entries_) {
+        if (e.counter) e.counter->reset();
+        if (e.gauge) e.gauge->reset();
+        if (e.histogram) e.histogram->reset();
+    }
+}
+
+std::size_t Registry::size() const {
+    std::lock_guard lock(mu_);
+    return entries_.size();
+}
+
+Counter& counter(std::string_view name, Unit unit) {
+    return Registry::global().counter(name, unit);
+}
+Gauge& gauge(std::string_view name, Unit unit) {
+    return Registry::global().gauge(name, unit);
+}
+Histogram& histogram(std::string_view name, Unit unit, bool wall) {
+    return Registry::global().histogram(name, unit, wall);
+}
+
+}  // namespace kooza::obs

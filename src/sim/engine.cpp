@@ -3,13 +3,36 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::sim {
+
+namespace {
+
+// Process-wide engine metrics, shared by every Engine (including the
+// per-shard engines of replay_sharded — counters merge commutatively, and
+// the heap-depth gauge's max is interleaving-independent).
+struct EngineMetrics {
+    obs::Counter& scheduled = obs::counter("sim.engine.events_scheduled_total");
+    obs::Counter& dispatched = obs::counter("sim.engine.events_dispatched_total");
+    obs::Gauge& heap_depth = obs::gauge("sim.engine.heap_depth");
+};
+
+EngineMetrics& metrics() {
+    static EngineMetrics m;
+    return m;
+}
+
+}  // namespace
 
 void Engine::schedule_at(Time at, std::function<void()> action) {
     if (at < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
     if (!action) throw std::invalid_argument("Engine::schedule_at: empty action");
     heap_.push_back(Event{at, next_seq_++, std::move(action)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    auto& m = metrics();
+    m.scheduled.add();
+    m.heap_depth.set(double(heap_.size()));
 }
 
 void Engine::schedule_after(Time delay, std::function<void()> action) {
@@ -29,6 +52,7 @@ bool Engine::step() {
     Event ev = pop_next();  // move-only: the action is never copied
     now_ = ev.at;
     ++executed_;
+    metrics().dispatched.add();
     ev.action();
     return true;
 }

@@ -87,9 +87,24 @@ double correlation(std::span<const double> xs, std::span<const double> ys) {
     return sxy / std::sqrt(sxx * syy);
 }
 
+Variation variation(double measured, double baseline) noexcept {
+    Variation v;
+    if (baseline == 0.0) {
+        // The old code returned |measured| * 100 here — a 16 KB synthetic
+        // size against a 0-byte original printed as 1,638,400%. There is
+        // no meaningful relative deviation from zero, so report the
+        // absolute difference in the quantity's own unit instead.
+        if (measured == 0.0) return v;
+        v.value = std::abs(measured);
+        v.absolute = true;
+        return v;
+    }
+    v.value = std::abs(measured - baseline) / std::abs(baseline) * 100.0;
+    return v;
+}
+
 double variation_pct(double measured, double baseline) noexcept {
-    if (baseline == 0.0) return std::abs(measured - baseline) * 100.0;
-    return std::abs(measured - baseline) / std::abs(baseline) * 100.0;
+    return variation(measured, baseline).value;
 }
 
 std::string Summary::to_string() const {

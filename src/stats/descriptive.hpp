@@ -50,9 +50,24 @@ struct Summary {
 /// side has zero variance. Throws on length mismatch.
 [[nodiscard]] double correlation(std::span<const double> xs, std::span<const double> ys);
 
-/// Relative difference |a-b| / |b| as a percentage, the metric Table 2 of
-/// the paper reports ("Variation"). Returns absolute difference * 100 when
-/// the baseline b is zero.
+/// Deviation of `measured` from a `baseline`, the metric Table 2 of the
+/// paper reports ("Variation"). With a nonzero baseline the deviation is
+/// relative: `value` is |measured-baseline| / |baseline| as a percentage
+/// and `absolute` is false. A zero baseline makes a relative measure
+/// meaningless, so the deviation is then the absolute difference
+/// |measured| in the quantity's own unit and `absolute` is true; 0 vs 0
+/// is no deviation (0%, relative).
+struct Variation {
+    double value = 0.0;
+    bool absolute = false;
+};
+
+[[nodiscard]] Variation variation(double measured, double baseline) noexcept;
+
+/// Shim over variation(): returns just `.value` — a percentage for
+/// nonzero baselines, the absolute deviation for zero baselines. Callers
+/// that can meet a zero baseline should use variation() and check
+/// `.absolute` instead of interpreting this as a percentage.
 [[nodiscard]] double variation_pct(double measured, double baseline) noexcept;
 
 }  // namespace kooza::stats

@@ -4,11 +4,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace kooza::trace {
 
 namespace {
 
 namespace fs = std::filesystem;
+
+struct CsvMetrics {
+    obs::Counter& rows = obs::counter("trace.csv.rows_total");
+    obs::Counter& bad_rows = obs::counter("trace.csv.bad_rows_total");
+};
+
+CsvMetrics& metrics() {
+    static CsvMetrics m;
+    return m;
+}
 
 std::ofstream open_out(const fs::path& p) {
     std::ofstream f(p);
@@ -18,6 +30,7 @@ std::ofstream open_out(const fs::path& p) {
 }
 
 [[noreturn]] void bad_row(const fs::path& p, std::size_t line, const char* why) {
+    metrics().bad_rows.add();
     std::ostringstream os;
     os << "read_csv: " << p.string() << ":" << line << ": " << why;
     throw std::runtime_error(os.str());
@@ -48,23 +61,36 @@ struct Reader {
                 continue;
             }
             fields = split_csv_line(line);
+            metrics().rows.add();
             return true;
         }
         return false;
     }
 
     double num(const std::string& s, const char* what) {
+        std::size_t pos = 0;
+        double v = 0.0;
         try {
-            return std::stod(s);
+            v = std::stod(s, &pos);
         } catch (const std::exception&) {
             bad_row(path, line_no, what);
         }
+        // stod happily parses a valid prefix ("1.5GB" -> 1.5, "1,000"
+        // split upstream into "1"), silently truncating corrupt data.
+        // Require the whole field to be consumed.
+        if (pos != s.size()) bad_row(path, line_no, what);
+        return v;
     }
     std::uint64_t id(const std::string& s, const char* what) {
+        // IDs and sizes are unsigned decimal fields. stoull alone accepted
+        // leading whitespace, trailing junk, and even "-1" (wrapping to
+        // 2^64-1), so corrupt rows round-tripped as huge valid-looking ids.
+        if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+            bad_row(path, line_no, what);
         try {
             return std::stoull(s);
         } catch (const std::exception&) {
-            bad_row(path, line_no, what);
+            bad_row(path, line_no, what);  // out of range for uint64
         }
     }
 };

@@ -1,0 +1,69 @@
+// Golden-file check on the deterministic metrics export: a fixed-seed
+// capture must serialize to exactly the JSON committed under
+// tests/golden/. Any drift — a renamed metric, a changed count, a
+// serialization tweak — fails loudly here instead of silently changing
+// what downstream dashboards and the paper tables read.
+//
+// To regenerate after an intentional change:
+//   KOOZA_REGEN_GOLDEN=1 ./tests/test_metrics_golden
+// then review the diff and commit the new golden file.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/capture.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace kooza;
+
+std::filesystem::path golden_path() {
+    return std::filesystem::path(KOOZA_GOLDEN_DIR) / "capture_micro_metrics.json";
+}
+
+std::string read_file(const std::filesystem::path& p) {
+    std::ifstream f(p);
+    if (!f) return {};
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+TEST(MetricsGolden, FixedSeedCaptureMatchesCommittedJson) {
+    // The global registry may carry counts from other tests in this
+    // binary; zero it so the export reflects exactly this run.
+    obs::Registry::global().reset();
+
+    core::CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 200;
+    opts.seed = 7;
+    opts.n_servers = 3;
+    (void)core::run_capture(opts);
+
+    const auto json = obs::to_json(obs::Registry::global().snapshot(),
+                                   {.include_wall = false});
+
+    if (std::getenv("KOOZA_REGEN_GOLDEN") != nullptr) {
+        std::ofstream f(golden_path());
+        ASSERT_TRUE(bool(f)) << "cannot write " << golden_path();
+        f << json;
+        GTEST_SKIP() << "regenerated " << golden_path();
+    }
+
+    const auto expected = read_file(golden_path());
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << golden_path()
+        << " — run with KOOZA_REGEN_GOLDEN=1 to create it";
+    EXPECT_EQ(json, expected)
+        << "metrics export drifted from " << golden_path()
+        << "; if intentional, regenerate with KOOZA_REGEN_GOLDEN=1";
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+// kooza_obs: registry semantics, export round-trips, and the determinism
+// contract — the same work exports a byte-identical snapshot at any
+// thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace kooza;
+
+TEST(Counter, AddAndReset) {
+    obs::Registry reg;
+    auto& c = reg.counter("c");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksValueAndMax) {
+    obs::Registry reg;
+    auto& g = reg.gauge("g");
+    g.set(3.0);
+    g.set(7.0);
+    g.set(2.0);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);   // last write
+    EXPECT_DOUBLE_EQ(g.max(), 7.0);     // high-water mark survives
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_DOUBLE_EQ(g.max(), 0.0);
+}
+
+TEST(Histogram, Log2Buckets) {
+    EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucket_of(1ull << 63), 64u);
+
+    obs::Registry reg;
+    auto& h = reg.histogram("h");
+    h.observe(0);
+    h.observe(3);
+    h.observe(3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 6u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Histogram, ObserveSecondsConvertsAndClamps) {
+    obs::Registry reg;
+    auto& h = reg.histogram("h", obs::Unit::kNanoseconds);
+    h.observe_seconds(1.5);    // 1.5e9 ns
+    h.observe_seconds(-0.25);  // negative clamps to 0
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.sum(), 1500000000u);
+    EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(TimerScope, SimClockScopesNest) {
+    obs::Registry reg;
+    auto& h = reg.histogram("t", obs::Unit::kNanoseconds);
+    double now = 0.0;
+    const auto clock = [&now] { return now; };
+    {
+        obs::TimerScope outer(h, clock);
+        now = 1.0;
+        {
+            obs::TimerScope inner(h, clock);
+            now = 1.5;
+        }  // inner spans 0.5 s
+        now = 2.0;
+    }  // outer spans 2.0 s
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.sum(), 500000000u + 2000000000u);
+}
+
+TEST(Registry, FindOrCreateIsIdempotent) {
+    obs::Registry reg;
+    auto& a = reg.counter("x.total");
+    auto& b = reg.counter("x.total");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+    // Same name, different kind: a programming error, not a new metric.
+    EXPECT_THROW((void)reg.gauge("x.total"), std::logic_error);
+    EXPECT_THROW((void)reg.histogram("x.total"), std::logic_error);
+}
+
+TEST(Registry, SnapshotSortedByName) {
+    obs::Registry reg;
+    reg.counter("b").add(2);
+    reg.counter("a").add(1);
+    reg.gauge("c").set(3.0);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.metrics.size(), 3u);
+    EXPECT_EQ(snap.metrics[0].name, "a");
+    EXPECT_EQ(snap.metrics[1].name, "b");
+    EXPECT_EQ(snap.metrics[2].name, "c");
+    ASSERT_NE(snap.find("b"), nullptr);
+    EXPECT_EQ(snap.find("b")->value, 2u);
+    EXPECT_EQ(snap.find("nope"), nullptr);
+}
+
+TEST(Registry, ResetKeepsReferencesValid) {
+    obs::Registry reg;
+    auto& c = reg.counter("c");
+    c.add(5);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(1);  // cached reference still live after reset
+    EXPECT_EQ(reg.snapshot().find("c")->value, 1u);
+}
+
+// Fixed total work split across T threads; integer shard merges commute,
+// so every T must export byte-identical canonical JSON.
+std::string json_after_work(unsigned n_threads) {
+    obs::Registry reg;
+    auto& ops = reg.counter("t.ops_total");
+    auto& bytes = reg.counter("t.bytes_total", obs::Unit::kBytes);
+    auto& lat = reg.histogram("t.latency_ns", obs::Unit::kNanoseconds);
+    constexpr unsigned kTotal = 8000;
+    const unsigned per_thread = kTotal / n_threads;
+    // Each thread takes a disjoint slice of the same global index range,
+    // so the multiset of observed samples is independent of n_threads.
+    auto work = [&](unsigned t) {
+        for (unsigned i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+            ops.add();
+            bytes.add(512);
+            lat.observe(i % 17);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < n_threads; ++t) threads.emplace_back(work, t);
+    for (auto& t : threads) t.join();
+    return obs::to_json(reg.snapshot());
+}
+
+TEST(Determinism, ByteIdenticalJsonAcrossThreadCounts) {
+    const auto one = json_after_work(1);
+    EXPECT_EQ(one, json_after_work(2));
+    EXPECT_EQ(one, json_after_work(8));
+}
+
+TEST(Export, WallMetricsExcludable) {
+    obs::Registry reg;
+    reg.counter("sim.steps").add(3);
+    reg.histogram("train.wall_ns", obs::Unit::kNanoseconds, /*wall=*/true)
+        .observe(100);
+    const auto snap = reg.snapshot();
+    const auto full = obs::to_json(snap);
+    EXPECT_NE(full.find("train.wall_ns"), std::string::npos);
+    const auto det = obs::to_json(snap, {.include_wall = false});
+    EXPECT_EQ(det.find("train.wall_ns"), std::string::npos);
+    EXPECT_NE(det.find("sim.steps"), std::string::npos);
+}
+
+TEST(Export, JsonAndCsvRoundTrip) {
+    obs::Registry reg;
+    reg.counter("rt.ops_total").add(7);
+    reg.counter("rt.bytes_total", obs::Unit::kBytes).add(4096);
+    auto& g = reg.gauge("rt.depth");
+    g.set(5.0);
+    g.set(2.5);
+    auto& h = reg.histogram("rt.latency_ns", obs::Unit::kNanoseconds);
+    h.observe(0);
+    h.observe(1000);
+    h.observe(1000000);
+    const auto snap = reg.snapshot();
+
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_obs_rt";
+    std::filesystem::remove_all(dir);
+    for (const char* name : {"m.json", "m.csv"}) {
+        obs::write_metrics(snap, dir / name);
+        const auto back = obs::load_metrics(dir / name);
+        ASSERT_EQ(back.metrics.size(), snap.metrics.size()) << name;
+        const auto* c = back.find("rt.bytes_total");
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->value, 4096u);
+        EXPECT_EQ(c->unit, obs::Unit::kBytes);
+        const auto* gg = back.find("rt.depth");
+        ASSERT_NE(gg, nullptr);
+        EXPECT_DOUBLE_EQ(gg->gauge_value, 2.5);
+        EXPECT_DOUBLE_EQ(gg->gauge_max, 5.0);
+        const auto* hh = back.find("rt.latency_ns");
+        ASSERT_NE(hh, nullptr);
+        EXPECT_EQ(hh->count, 3u);
+        EXPECT_EQ(hh->sum, 1001000u);
+        EXPECT_EQ(hh->buckets, snap.find("rt.latency_ns")->buckets);
+        // Loading must preserve the canonical form exactly.
+        EXPECT_EQ(obs::to_json(back), obs::to_json(snap)) << name;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Export, LoadRejectsMalformedInput) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_obs_bad";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "bad.json");
+        f << "{ \"schema\": \"other/9\" }";
+    }
+    EXPECT_THROW((void)obs::load_metrics(dir / "bad.json"), std::runtime_error);
+    EXPECT_THROW((void)obs::load_metrics(dir / "missing.json"), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+// End-to-end: one capture run must register metrics from every layer the
+// export contract names — sim engine, hw devices, gfs, core pipeline.
+TEST(Integration, CaptureCoversAllSubsystems) {
+    core::CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 50;
+    opts.seed = 3;
+    opts.n_servers = 2;
+    const auto res = core::run_capture(opts);
+    EXPECT_GT(res.completed, 0u);
+
+    const auto snap = obs::Registry::global().snapshot();
+    auto covered = [&](const std::string& prefix) {
+        for (const auto& m : snap.metrics)
+            if (m.name.rfind(prefix, 0) == 0 &&
+                (m.value > 0 || m.count > 0 || m.gauge_max > 0))
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(covered("sim."));
+    EXPECT_TRUE(covered("hw."));
+    EXPECT_TRUE(covered("gfs."));
+    EXPECT_TRUE(covered("core.capture."));
+}
+
+}  // namespace

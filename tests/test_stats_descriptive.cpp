@@ -99,8 +99,30 @@ TEST(Descriptive, VariationPct) {
     EXPECT_DOUBLE_EQ(variation_pct(110.0, 100.0), 10.0);
     EXPECT_DOUBLE_EQ(variation_pct(90.0, 100.0), 10.0);
     EXPECT_DOUBLE_EQ(variation_pct(5.0, 5.0), 0.0);
-    // Zero baseline: absolute difference scaled to percent.
-    EXPECT_DOUBLE_EQ(variation_pct(0.02, 0.0), 2.0);
+    // Zero baseline: absolute deviation in the quantity's own unit, not a
+    // fake percentage.
+    EXPECT_DOUBLE_EQ(variation_pct(0.02, 0.0), 0.02);
+}
+
+TEST(Descriptive, VariationStruct) {
+    const auto rel = variation(110.0, 100.0);
+    EXPECT_FALSE(rel.absolute);
+    EXPECT_DOUBLE_EQ(rel.value, 10.0);
+
+    // 0 vs 0 deviates by nothing: 0%, still a relative measure.
+    const auto zero = variation(0.0, 0.0);
+    EXPECT_FALSE(zero.absolute);
+    EXPECT_DOUBLE_EQ(zero.value, 0.0);
+
+    // Nonzero vs zero baseline: absolute difference, flagged as such. The
+    // old behavior reported 16 KB vs 0 B as 1,638,400%.
+    const auto abs = variation(16384.0, 0.0);
+    EXPECT_TRUE(abs.absolute);
+    EXPECT_DOUBLE_EQ(abs.value, 16384.0);
+
+    const auto neg = variation(-3.0, 0.0);
+    EXPECT_TRUE(neg.absolute);
+    EXPECT_DOUBLE_EQ(neg.value, 3.0);
 }
 
 TEST(Histogram, BinsAndClamping) {

@@ -164,6 +164,58 @@ TEST(CsvEdges, BadIoTypeThrows) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(CsvEdges, TrailingJunkOnNumberThrows) {
+    // stod parses a valid prefix, so "0.5sec" used to load silently as
+    // 0.5 — corrupt data round-tripped as clean.
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_junknum";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv");
+        f << "request_id,type,arrival,completion,bytes\n";
+        f << "1,read,0.5sec,1.5,4096\n";
+    }
+    EXPECT_THROW(read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, NegativeIdThrows) {
+    // stoull accepts a leading '-' and wraps: "-1" used to load as
+    // 18446744073709551615 instead of being rejected.
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_negid";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv");
+        f << "request_id,type,arrival,completion,bytes\n";
+        f << "-1,read,0.5,1.5,4096\n";
+    }
+    EXPECT_THROW(read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, JunkIdThrows) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_junkid";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv");
+        f << "request_id,type,arrival,completion,bytes\n";
+        f << "1,read,0.5,1.5,4096 B\n";
+    }
+    EXPECT_THROW(read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, EmptyNumericFieldThrows) {
+    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_emptyfield";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir / "requests.csv");
+        f << "request_id,type,arrival,completion,bytes\n";
+        f << "1,read,0.5,1.5,\n";
+    }
+    EXPECT_THROW(read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(FeatureEdges, RequestWithoutSubsystemRecords) {
     // A completed request with no device records (e.g. served entirely
     // from a cache we don't model) still extracts, with zeroed features.

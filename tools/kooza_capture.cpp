@@ -6,104 +6,77 @@
 //   kooza_capture <profile> <output-dir> [--count N] [--rate R]
 //                 [--seed S] [--servers N] [--replication N]
 //                 [--sample-every N] [--threads N]
-//                 [--faults R] [--mttr S]
-// Profiles: micro | oltp | websearch | streaming
+//                 [--faults R] [--mttr S] [--metrics FILE]
+// Profiles: micro | oltp | websearch | streaming | logappend
 //
 // --faults R enables the deterministic fault injector with a per-server
 // failure rate of R crashes/second (MTBF = 1/R); --mttr sets the mean
 // repair time. Failure/retry records land in failures.csv.
+//
+// --metrics FILE exports the run's metrics registry after the capture.
+// ".csv" writes CSV; any other extension writes canonical JSON plus a
+// sibling ".csv". Wall-clock metrics are excluded, so a fixed seed
+// produces byte-identical JSON at any --threads value.
 
-#include <algorithm>
 #include <iostream>
-#include <memory>
 
 #include "cli_util.hpp"
-#include "gfs/cluster.hpp"
+#include "core/capture.hpp"
+#include "obs/export.hpp"
 #include "par/pool.hpp"
 #include "trace/csv.hpp"
-#include "workloads/profiles.hpp"
-
-namespace {
-
-using namespace kooza;
-
-std::unique_ptr<workloads::Profile> make_profile(const std::string& name,
-                                                 std::size_t count, double rate) {
-    if (name == "micro")
-        return std::make_unique<workloads::MicroProfile>(
-            workloads::MicroProfile::Params{.count = count, .arrival_rate = rate});
-    if (name == "oltp")
-        return std::make_unique<workloads::OltpProfile>(
-            workloads::OltpProfile::Params{.count = count, .base_rate = rate});
-    if (name == "websearch")
-        return std::make_unique<workloads::WebSearchProfile>(
-            workloads::WebSearchProfile::Params{.count = count,
-                                                .arrival_rate = rate});
-    if (name == "streaming")
-        return std::make_unique<workloads::StreamingProfile>(
-            workloads::StreamingProfile::Params{.sessions = count / 20 + 1,
-                                                .session_rate = rate / 10.0});
-    return nullptr;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+    using namespace kooza;
     try {
         cli::Args args(argc, argv);
         if (args.positional().size() != 2) {
-            std::cerr << "usage: kooza_capture <micro|oltp|websearch|streaming> "
+            std::cerr << "usage: kooza_capture "
+                         "<micro|oltp|websearch|streaming|logappend> "
                          "<output-dir> [--count N] [--rate R] [--seed S] "
                          "[--servers N] [--replication N] [--sample-every N] "
-                         "[--threads N] [--faults R] [--mttr S]\n";
+                         "[--threads N] [--faults R] [--mttr S] "
+                         "[--metrics FILE]\n";
             return 2;
         }
-        const auto& profile_name = args.positional()[0];
         const auto& out_dir = args.positional()[1];
-        const auto count = std::size_t(args.get_u64("count", 500));
-        const double rate = args.get_double("rate", 20.0);
-        const auto seed = args.get_u64("seed", 42);
-        const double fault_rate = args.get_double("faults", 0.0);
-        const double mttr = args.get_double("mttr", 5.0);
+        core::CaptureOptions opts;
+        opts.profile = args.positional()[0];
+        opts.count = std::size_t(args.get_u64("count", 500));
+        opts.rate = args.get_double("rate", 20.0);
+        opts.seed = args.get_u64("seed", 42);
+        opts.n_servers = std::size_t(args.get_u64("servers", 1));
+        opts.replication = std::size_t(args.get_u64("replication", 0));
+        opts.span_sample_every = args.get_u64("sample-every", 1);
+        opts.fault_rate = args.get_double("faults", 0.0);
+        opts.mttr = args.get_double("mttr", 5.0);
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
 
-        auto profile = make_profile(profile_name, count, rate);
-        if (!profile) {
-            std::cerr << "unknown profile: " << profile_name << "\n";
-            return 2;
-        }
-
-        gfs::GfsConfig cfg;
-        cfg.n_chunkservers = std::size_t(args.get_u64("servers", 1));
-        cfg.replication = std::size_t(args.get_u64("replication", cfg.replication));
-        cfg.span_sample_every = args.get_u64("sample-every", 1);
-        cfg.seed = seed;
-
-        // Generate the schedule first so the fault horizon can cover it.
-        sim::Rng rng(seed);
-        const auto schedule = profile->generate(rng);
-        if (fault_rate > 0.0) {
-            cfg.faults.enabled = true;
-            cfg.faults.mtbf = 1.0 / fault_rate;
-            cfg.faults.mttr = mttr;
-            double last = 0.0;
-            for (const auto& r : schedule.requests) last = std::max(last, r.time);
-            cfg.faults.horizon = last + 1.0;
-        }
-
-        gfs::Cluster cluster(cfg);
-        schedule.install(cluster);
-        cluster.run();
-        const auto ts = cluster.traces();
-        trace::write_csv(ts, out_dir);
-        std::cout << "captured " << ts.summary() << "\n";
-        if (const auto* inj = cluster.fault_injector())
-            std::cout << "faults: " << inj->crashes() << " crashes, "
-                      << inj->repairs() << " re-replications, "
-                      << cluster.failed_requests() << " failed requests\n";
-        std::cout << "run: seed=" << seed << " threads=" << par::threads() << "\n"
+        const auto res = core::run_capture(opts);
+        trace::write_csv(res.traces, out_dir);
+        std::cout << "captured " << res.traces.summary() << "\n";
+        if (opts.fault_rate > 0.0)
+            std::cout << "faults: " << res.crashes << " crashes, " << res.repairs
+                      << " re-replications, " << res.failed
+                      << " failed requests\n";
+        std::cout << "run: seed=" << opts.seed << " threads=" << par::threads()
+                  << "\n"
                   << "wrote CSV traces to " << out_dir << "\n";
+
+        const auto metrics_path = args.get("metrics", "");
+        if (!metrics_path.empty()) {
+            const auto snap = obs::Registry::global().snapshot();
+            // No wall-clock metrics: the export must be reproducible
+            // across machines and thread counts.
+            const obs::ExportOptions eo{.include_wall = false};
+            std::filesystem::path p(metrics_path);
+            obs::write_metrics(snap, p, eo);
+            if (p.extension() != ".csv")
+                obs::write_metrics(
+                    snap, std::filesystem::path(p).replace_extension(".csv"), eo);
+            std::cout << "wrote metrics to " << metrics_path << "\n";
+        }
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "kooza_capture: " << e.what() << "\n";

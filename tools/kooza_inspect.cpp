@@ -3,12 +3,18 @@
 // (burstiness, self-similarity, stationarity, distribution families, PCA
 // dimensionality).
 //
-// Usage: kooza_inspect <trace-dir> [--window SECONDS]
+// Usage: kooza_inspect <trace-dir> [--window SECONDS] [--metrics FILE]
+//        kooza_inspect --metrics FILE
+//
+// --metrics FILE loads a metrics export (JSON or CSV, as written by
+// kooza_capture/kooza_model --metrics) and prints a human-readable
+// summary. With no trace directory it summarizes just the metrics file.
 
 #include <iostream>
 
 #include "cli_util.hpp"
 #include "core/characterize.hpp"
+#include "obs/export.hpp"
 #include "trace/csv.hpp"
 #include "trace/features.hpp"
 
@@ -16,26 +22,41 @@ int main(int argc, char** argv) {
     using namespace kooza;
     try {
         cli::Args args(argc, argv);
-        if (args.positional().size() != 1) {
-            std::cerr << "usage: kooza_inspect <trace-dir> [--window SECONDS]\n";
+        const auto metrics_path = args.get("metrics", "");
+        if (args.positional().size() != 1 &&
+            !(args.positional().empty() && !metrics_path.empty())) {
+            std::cerr << "usage: kooza_inspect <trace-dir> [--window SECONDS] "
+                         "[--metrics FILE]\n"
+                         "       kooza_inspect --metrics FILE\n";
             return 2;
         }
-        const auto ts = trace::read_csv(args.positional()[0]);
-        if (ts.empty()) {
-            std::cerr << "no trace records found in " << args.positional()[0] << "\n";
-            return 1;
+        if (!args.positional().empty()) {
+            const auto ts = trace::read_csv(args.positional()[0]);
+            if (ts.empty()) {
+                std::cerr << "no trace records found in " << args.positional()[0]
+                          << "\n";
+                return 1;
+            }
+            std::cout << "inventory: " << ts.summary() << "\n\n";
+            const auto features = trace::extract_features(ts);
+            std::cout << "first requests:\n";
+            for (std::size_t i = 0; i < std::min<std::size_t>(5, features.size());
+                 ++i)
+                std::cout << "  " << features[i].to_string() << "\n";
+            std::cout << "\ncharacterization:\n"
+                      << core::characterize(ts, args.get_double("window", 0.5))
+                             .to_string();
+            try {
+                std::cout << "\n" << core::correlation_report(ts).to_string();
+            } catch (const std::invalid_argument&) {
+                // Too few requests for a correlation study; skip quietly.
+            }
         }
-        std::cout << "inventory: " << ts.summary() << "\n\n";
-        const auto features = trace::extract_features(ts);
-        std::cout << "first requests:\n";
-        for (std::size_t i = 0; i < std::min<std::size_t>(5, features.size()); ++i)
-            std::cout << "  " << features[i].to_string() << "\n";
-        std::cout << "\ncharacterization:\n"
-                  << core::characterize(ts, args.get_double("window", 0.5)).to_string();
-        try {
-            std::cout << "\n" << core::correlation_report(ts).to_string();
-        } catch (const std::invalid_argument&) {
-            // Too few requests for a correlation study; skip quietly.
+        if (!metrics_path.empty()) {
+            const auto snap = obs::load_metrics(metrics_path);
+            if (!args.positional().empty()) std::cout << "\n";
+            std::cout << "metrics (" << metrics_path << "):\n"
+                      << obs::summarize(snap);
         }
         return 0;
     } catch (const std::exception& e) {

@@ -6,7 +6,11 @@
 // Usage:
 //   kooza_model <trace-dir> [--generate N] [--seed S] [--lbn-ranges N]
 //               [--util-levels N] [--out DIR] [--save MODEL-FILE]
-//               [--threads N]
+//               [--threads N] [--metrics FILE]
+//
+// --metrics FILE exports the pipeline's metrics registry (train/generate/
+// replay counters and timers) after the run; ".csv" selects CSV,
+// anything else canonical JSON.
 
 #include <iostream>
 
@@ -16,6 +20,7 @@
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
 #include "core/validator.hpp"
+#include "obs/export.hpp"
 #include "par/pool.hpp"
 #include "trace/csv.hpp"
 #include "trace/features.hpp"
@@ -27,7 +32,7 @@ int main(int argc, char** argv) {
         if (args.positional().size() != 1) {
             std::cerr << "usage: kooza_model <trace-dir> [--generate N] [--seed S] "
                          "[--lbn-ranges N] [--util-levels N] [--out DIR] "
-                         "[--save MODEL-FILE] [--threads N]\n";
+                         "[--save MODEL-FILE] [--threads N] [--metrics FILE]\n";
             return 2;
         }
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
@@ -97,6 +102,14 @@ int main(int argc, char** argv) {
         if (!out.empty()) {
             trace::write_csv(replayed.traces, out);
             std::cout << "wrote replayed synthetic traces to " << out << "\n";
+        }
+
+        const auto metrics_path = args.get("metrics", "");
+        if (!metrics_path.empty()) {
+            // Wall timers (train/generate durations) stay in: this export
+            // is for inspecting a run, not for golden comparisons.
+            obs::write_metrics(obs::Registry::global().snapshot(), metrics_path);
+            std::cout << "wrote metrics to " << metrics_path << "\n";
         }
         return 0;
     } catch (const std::exception& e) {
