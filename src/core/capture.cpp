@@ -87,6 +87,9 @@ CaptureResult run_capture(const CaptureOptions& opts) {
         res.repairs = inj->repairs();
     }
 
+    if (!opts.out_dir.empty())
+        trace::write_traces(res.traces, opts.out_dir, opts.format);
+
     metrics().runs.add();
     metrics().requests.add(res.completed);
     metrics().failed.add(res.failed);

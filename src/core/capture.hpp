@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gfs/config.hpp"
+#include "trace/io.hpp"
 #include "trace/traceset.hpp"
 #include "workloads/profiles.hpp"
 
@@ -25,6 +26,10 @@ struct CaptureOptions {
     std::uint64_t span_sample_every = 1;
     double fault_rate = 0.0;  ///< crashes/second per server; 0 disables faults
     double mttr = 5.0;        ///< mean repair seconds (with faults)
+    /// Non-empty: persist the captured traces there in `format`
+    /// (kooza.trace/1 binary streams through trace::BinaryWriter).
+    std::string out_dir;
+    trace::Format format = trace::Format::kCsv;
 };
 
 struct CaptureResult {
@@ -42,8 +47,9 @@ struct CaptureResult {
     const std::string& name, std::size_t count, double rate);
 
 /// Run one capture end to end: build the profile, configure the cluster
-/// (fault horizon covering the schedule when faults are on), run it, and
-/// collect the traces. Throws std::invalid_argument on an unknown profile.
+/// (fault horizon covering the schedule when faults are on), run it,
+/// collect the traces and, when `out_dir` is set, persist them in the
+/// requested format. Throws std::invalid_argument on an unknown profile.
 [[nodiscard]] CaptureResult run_capture(const CaptureOptions& opts);
 
 }  // namespace kooza::core

@@ -1,0 +1,556 @@
+#include "trace/binary.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+// The column payloads are written and bulk-loaded as native integers;
+// the on-disk spec is little-endian, so a big-endian port would need
+// byte-swapping loads here.
+static_assert(std::endian::native == std::endian::little,
+              "kooza.trace/1 I/O assumes a little-endian host");
+
+namespace kooza::trace {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BinMetrics {
+    obs::Counter& rows = obs::counter("trace.bin.rows_total");
+    obs::Counter& files_written = obs::counter("trace.bin.files_written_total");
+    obs::Counter& bytes_written =
+        obs::counter("trace.bin.bytes_written_total", obs::Unit::kBytes);
+    obs::Counter& bad_files = obs::counter("trace.bin.bad_files_total");
+    obs::Counter& missing_files = obs::counter("trace.bin.missing_files_total");
+};
+
+BinMetrics& metrics() {
+    static BinMetrics m;
+    return m;
+}
+
+/// Column value widths, used for both packing and validation.
+enum class Col : std::uint8_t { kF64, kU64, kU32, kU8 };
+
+constexpr std::size_t width(Col c) noexcept {
+    switch (c) {
+        case Col::kF64:
+        case Col::kU64: return 8;
+        case Col::kU32: return 4;
+        case Col::kU8: return 1;
+    }
+    return 0;
+}
+
+/// Per-stream schema: id, file stem, column spec string (hashed into the
+/// header — any layout change must bump it) and column widths.
+struct StreamSchema {
+    std::uint32_t id;
+    const char* stem;
+    const char* spec;
+    std::vector<Col> cols;
+};
+
+const std::array<StreamSchema, 7>& schemas() {
+    static const std::array<StreamSchema, 7> s{{
+        {0, "storage",
+         "time:f64,request_id:u64,lbn:u64,size_bytes:u64,type:u8,latency:f64",
+         {Col::kF64, Col::kU64, Col::kU64, Col::kU64, Col::kU8, Col::kF64}},
+        {1, "cpu", "time:f64,request_id:u64,busy_seconds:f64,utilization:f64",
+         {Col::kF64, Col::kU64, Col::kF64, Col::kF64}},
+        {2, "memory", "time:f64,request_id:u64,bank:u32,size_bytes:u64,type:u8",
+         {Col::kF64, Col::kU64, Col::kU32, Col::kU64, Col::kU8}},
+        {3, "network",
+         "time:f64,request_id:u64,size_bytes:u64,direction:u8,latency:f64",
+         {Col::kF64, Col::kU64, Col::kU64, Col::kU8, Col::kF64}},
+        {4, "requests", "request_id:u64,type:u8,arrival:f64,completion:f64,bytes:u64",
+         {Col::kU64, Col::kU8, Col::kF64, Col::kF64, Col::kU64}},
+        {5, "failures",
+         "time:f64,request_id:u64,server:u32,kind:u8,duration:f64",
+         {Col::kF64, Col::kU64, Col::kU32, Col::kU8, Col::kF64}},
+        {6, "spans",
+         "trace_id:u64,span_id:u64,parent_id:u64,name:strtab32,start:f64,end:f64",
+         {Col::kU64, Col::kU64, Col::kU64, Col::kU32, Col::kF64, Col::kF64}},
+    }};
+    return s;
+}
+
+/// FNV-1a 64-bit over the schema spec string.
+std::uint64_t schema_hash(const char* spec) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char* p = spec; *p; ++p) {
+        h ^= std::uint8_t(*p);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) { b.push_back(v); }
+
+template <typename T>
+void put(std::vector<std::uint8_t>& b, T v) {
+    const auto old = b.size();
+    b.resize(old + sizeof(T));
+    std::memcpy(b.data() + old, &v, sizeof(T));
+}
+
+void put_f64(std::vector<std::uint8_t>& b, double v) {
+    put(b, std::bit_cast<std::uint64_t>(v));
+}
+
+[[noreturn]] void bad_file(const fs::path& p, const std::string& why) {
+    metrics().bad_files.add();
+    throw std::runtime_error("read_binary: " + p.string() + ": " + why);
+}
+
+/// Fixed-size serialized header: magic + version + stream id + schema
+/// hash + record count, then its CRC.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+std::vector<std::uint8_t> make_header(const StreamSchema& s, std::uint64_t count) {
+    std::vector<std::uint8_t> h;
+    h.insert(h.end(), std::begin(kBinaryMagic), std::end(kBinaryMagic));
+    put(h, kBinaryVersion);
+    put(h, s.id);
+    put(h, schema_hash(s.spec));
+    put(h, count);
+    put(h, crc32(h.data(), h.size()));
+    return h;
+}
+
+/// Cursor over a fully-loaded stream file.
+struct FileView {
+    fs::path path;
+    std::vector<std::uint8_t> data;
+    std::size_t pos = 0;
+
+    void need(std::size_t n, const char* what) const {
+        if (pos + n > data.size())
+            bad_file(path, std::string("truncated file (") + what + ")");
+    }
+    template <typename T>
+    T take() {
+        T v;
+        std::memcpy(&v, data.data() + pos, sizeof(T));
+        pos += sizeof(T);
+        return v;
+    }
+    /// One CRC-checked section: u64 length + payload + u32 crc. Returns
+    /// the payload's offset; `pos` advances past the section.
+    std::size_t take_section(const char* what, std::size_t expected_len) {
+        need(8, what);
+        const auto len = take<std::uint64_t>();
+        if (expected_len != std::size_t(-1) && len != expected_len)
+            bad_file(path, std::string(what) + ": unexpected section length");
+        need(std::size_t(len) + 4, what);
+        const auto off = pos;
+        pos += std::size_t(len);
+        const auto stored = take<std::uint32_t>();
+        if (crc32(data.data() + off, std::size_t(len)) != stored)
+            bad_file(path, std::string(what) + ": CRC32 mismatch (corrupt section)");
+        return off;
+    }
+};
+
+FileView load_file(const fs::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    if (!f) bad_file(p, "cannot open");
+    FileView v{p, {}, 0};
+    f.seekg(0, std::ios::end);
+    v.data.resize(std::size_t(f.tellg()));
+    f.seekg(0);
+    // One bulk read; columns are then loaded by pointer from the buffer.
+    f.read(reinterpret_cast<char*>(v.data.data()),
+           std::streamsize(v.data.size()));
+    if (!f) bad_file(p, "short read");
+    return v;
+}
+
+/// Validate header; returns the record count.
+std::uint64_t read_header(FileView& v, const StreamSchema& s) {
+    v.need(kHeaderBytes + 4, "header");
+    if (std::memcmp(v.data.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0)
+        bad_file(v.path, "bad magic (not a kooza.trace/1 file)");
+    const auto stored_crc = [&] {
+        std::uint32_t c;
+        std::memcpy(&c, v.data.data() + kHeaderBytes, 4);
+        return c;
+    }();
+    if (crc32(v.data.data(), kHeaderBytes) != stored_crc)
+        bad_file(v.path, "header CRC32 mismatch");
+    v.pos = sizeof(kBinaryMagic);
+    if (const auto ver = v.take<std::uint32_t>(); ver != kBinaryVersion)
+        bad_file(v.path, "unsupported version " + std::to_string(ver));
+    if (const auto id = v.take<std::uint32_t>(); id != s.id)
+        bad_file(v.path, "stream id mismatch (file renamed?)");
+    if (v.take<std::uint64_t>() != schema_hash(s.spec))
+        bad_file(v.path, "schema hash mismatch");
+    const auto count = v.take<std::uint64_t>();
+    v.pos += 4;  // header crc
+    return count;
+}
+
+/// Columns of one loaded stream: payload offsets in file order.
+struct Columns {
+    FileView view;
+    std::uint64_t count = 0;
+    std::vector<std::size_t> offsets;
+
+    template <typename T>
+    T get(std::size_t col, std::size_t row) const {
+        T v;
+        std::memcpy(&v, view.data.data() + offsets[col] + row * sizeof(T),
+                    sizeof(T));
+        return v;
+    }
+    double f64(std::size_t col, std::size_t row) const {
+        return std::bit_cast<double>(get<std::uint64_t>(col, row));
+    }
+    /// Enum columns mirror the CSV readers' strictness: a byte outside
+    /// the enum's range is corruption, not a default value.
+    std::uint8_t enum8(std::size_t col, std::size_t row, std::uint8_t max,
+                       const char* what) const {
+        const auto v = get<std::uint8_t>(col, row);
+        if (v > max)
+            bad_file(view.path, "record " + std::to_string(row) +
+                                    ": invalid " + what + " value " +
+                                    std::to_string(v));
+        return v;
+    }
+};
+
+Columns load_stream(const fs::path& dir, const StreamSchema& s) {
+    Columns c{load_file(dir / (std::string(s.stem) + ".bin")), 0, {}};
+    c.count = read_header(c.view, s);
+    c.offsets.reserve(s.cols.size());
+    for (std::size_t i = 0; i < s.cols.size(); ++i)
+        c.offsets.push_back(c.view.take_section(
+            "column", std::size_t(c.count) * width(s.cols[i])));
+    metrics().rows.add(c.count);
+    return c;
+}
+
+/// The spans string table: the final section of spans.bin.
+std::vector<std::string> load_string_table(Columns& c) {
+    const auto off = c.view.take_section("string table", std::size_t(-1));
+    const auto end = c.view.pos - 4;  // section payload ends before its crc
+    std::size_t p = off;
+    auto need = [&](std::size_t n) {
+        if (p + n > end) bad_file(c.view.path, "string table truncated");
+    };
+    need(4);
+    std::uint32_t n;
+    std::memcpy(&n, c.view.data.data() + p, 4);
+    p += 4;
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        need(4);
+        std::uint32_t len;
+        std::memcpy(&len, c.view.data.data() + p, 4);
+        p += 4;
+        need(len);
+        names.emplace_back(reinterpret_cast<const char*>(c.view.data.data() + p),
+                           len);
+        p += len;
+    }
+    if (p != end) bad_file(c.view.path, "string table has trailing bytes");
+    return names;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+    // Slicing-by-8: table[0] is the classic byte-at-a-time table; table[s]
+    // advances a byte s extra positions through the shift register, so the
+    // main loop folds 8 payload bytes per iteration. Same polynomial and
+    // check value as the byte-wise form (crc32("123456789") == 0xCBF43926).
+    static const auto tables = [] {
+        std::array<std::array<std::uint32_t, 256>, 8> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (std::size_t s = 1; s < 8; ++s)
+            for (std::uint32_t i = 0; i < 256; ++i)
+                t[s][i] = t[0][t[s - 1][i] & 0xFF] ^ (t[s - 1][i] >> 8);
+        return t;
+    }();
+    const auto& t = tables;
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (len >= 8) {
+        std::uint32_t lo, hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= c;
+        c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+            t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+            t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+        p += 8;
+        len -= 8;
+    }
+    while (len-- > 0) c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+BinaryWriter::BinaryWriter(std::filesystem::path dir) : dir_(std::move(dir)) {
+    streams_.resize(schemas().size());
+    for (const auto& s : schemas())
+        streams_[s.id].columns.resize(s.cols.size());
+}
+
+BinaryWriter::~BinaryWriter() {
+    // Callers should finish() explicitly (it can throw); the destructor
+    // only covers the non-exceptional forgot-to-finish path.
+    if (!finished_) {
+        try {
+            finish();
+        } catch (...) {
+        }
+    }
+}
+
+void BinaryWriter::append(const TraceSet& chunk) {
+    if (finished_)
+        throw std::logic_error("BinaryWriter::append: writer already finished");
+    auto& st = streams_;
+    for (const auto& r : chunk.storage) {
+        auto& s = st[0];
+        put_f64(s.columns[0].bytes, r.time);
+        put(s.columns[1].bytes, r.request_id);
+        put(s.columns[2].bytes, r.lbn);
+        put(s.columns[3].bytes, r.size_bytes);
+        put_u8(s.columns[4].bytes, std::uint8_t(r.type));
+        put_f64(s.columns[5].bytes, r.latency);
+        ++s.count;
+    }
+    for (const auto& r : chunk.cpu) {
+        auto& s = st[1];
+        put_f64(s.columns[0].bytes, r.time);
+        put(s.columns[1].bytes, r.request_id);
+        put_f64(s.columns[2].bytes, r.busy_seconds);
+        put_f64(s.columns[3].bytes, r.utilization);
+        ++s.count;
+    }
+    for (const auto& r : chunk.memory) {
+        auto& s = st[2];
+        put_f64(s.columns[0].bytes, r.time);
+        put(s.columns[1].bytes, r.request_id);
+        put(s.columns[2].bytes, r.bank);
+        put(s.columns[3].bytes, r.size_bytes);
+        put_u8(s.columns[4].bytes, std::uint8_t(r.type));
+        ++s.count;
+    }
+    for (const auto& r : chunk.network) {
+        auto& s = st[3];
+        put_f64(s.columns[0].bytes, r.time);
+        put(s.columns[1].bytes, r.request_id);
+        put(s.columns[2].bytes, r.size_bytes);
+        put_u8(s.columns[3].bytes, std::uint8_t(r.direction));
+        put_f64(s.columns[4].bytes, r.latency);
+        ++s.count;
+    }
+    for (const auto& r : chunk.requests) {
+        auto& s = st[4];
+        put(s.columns[0].bytes, r.request_id);
+        put_u8(s.columns[1].bytes, std::uint8_t(r.type));
+        put_f64(s.columns[2].bytes, r.arrival);
+        put_f64(s.columns[3].bytes, r.completion);
+        put(s.columns[4].bytes, r.bytes);
+        ++s.count;
+    }
+    for (const auto& r : chunk.failures) {
+        auto& s = st[5];
+        put_f64(s.columns[0].bytes, r.time);
+        put(s.columns[1].bytes, r.request_id);
+        put(s.columns[2].bytes, r.server);
+        put_u8(s.columns[3].bytes, std::uint8_t(r.kind));
+        put_f64(s.columns[4].bytes, r.duration);
+        ++s.count;
+    }
+    for (const auto& sp : chunk.spans) {
+        auto& s = st[6];
+        put(s.columns[0].bytes, sp.trace_id);
+        put(s.columns[1].bytes, sp.span_id);
+        put(s.columns[2].bytes, sp.parent_id);
+        auto [it, inserted] =
+            name_ix_.try_emplace(sp.name, std::uint32_t(names_.size()));
+        if (inserted) names_.push_back(sp.name);
+        put(s.columns[3].bytes, it->second);
+        put_f64(s.columns[4].bytes, sp.start);
+        put_f64(s.columns[5].bytes, sp.end);
+        ++s.count;
+    }
+    records_ += chunk.total_records();
+}
+
+void BinaryWriter::write_stream_file(std::size_t stream_id) const {
+    const auto& schema = schemas()[stream_id];
+    const auto& stream = streams_[stream_id];
+    const auto path = dir_ / (std::string(schema.stem) + ".bin");
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        throw std::runtime_error("BinaryWriter: cannot open " + path.string());
+
+    std::uint64_t written = 0;
+    auto emit = [&](const std::vector<std::uint8_t>& bytes) {
+        f.write(reinterpret_cast<const char*>(bytes.data()),
+                std::streamsize(bytes.size()));
+        written += bytes.size();
+    };
+    auto emit_section = [&](const std::vector<std::uint8_t>& payload) {
+        std::vector<std::uint8_t> frame;
+        put(frame, std::uint64_t(payload.size()));
+        emit(frame);
+        emit(payload);
+        std::vector<std::uint8_t> tail;
+        put(tail, crc32(payload.data(), payload.size()));
+        emit(tail);
+    };
+
+    emit(make_header(schema, stream.count));
+    for (const auto& col : stream.columns) emit_section(col.bytes);
+    if (schema.id == 6) {
+        std::vector<std::uint8_t> tab;
+        put(tab, std::uint32_t(names_.size()));
+        for (const auto& n : names_) {
+            put(tab, std::uint32_t(n.size()));
+            tab.insert(tab.end(), n.begin(), n.end());
+        }
+        emit_section(tab);
+    }
+    if (!f) throw std::runtime_error("BinaryWriter: write failed: " + path.string());
+    metrics().files_written.add();
+    metrics().bytes_written.add(written);
+}
+
+void BinaryWriter::finish() {
+    if (finished_) return;
+    fs::create_directories(dir_);
+    for (std::size_t id = 0; id < streams_.size(); ++id) write_stream_file(id);
+    finished_ = true;
+}
+
+void write_binary(const TraceSet& ts, const std::filesystem::path& dir) {
+    BinaryWriter w(dir);
+    w.append(ts);
+    w.finish();
+}
+
+TraceSet read_binary(const std::filesystem::path& dir) {
+    // All seven stream files are required: a capture always writes the
+    // full set, so an absent file is a partial/deleted capture, not a
+    // quiet workload.
+    for (const auto& s : schemas()) {
+        const auto p = dir / (std::string(s.stem) + ".bin");
+        if (!fs::exists(p)) {
+            metrics().missing_files.add();
+            throw std::runtime_error("read_binary: missing stream file " +
+                                     p.string() + " (partial capture?)");
+        }
+    }
+
+    TraceSet ts;
+    {
+        const auto c = load_stream(dir, schemas()[0]);
+        ts.storage.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& r = ts.storage[i];
+            r.time = c.f64(0, i);
+            r.request_id = c.get<std::uint64_t>(1, i);
+            r.lbn = c.get<std::uint64_t>(2, i);
+            r.size_bytes = c.get<std::uint64_t>(3, i);
+            r.type = IoType(c.enum8(4, i, 1, "io type"));
+            r.latency = c.f64(5, i);
+        }
+    }
+    {
+        const auto c = load_stream(dir, schemas()[1]);
+        ts.cpu.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& r = ts.cpu[i];
+            r.time = c.f64(0, i);
+            r.request_id = c.get<std::uint64_t>(1, i);
+            r.busy_seconds = c.f64(2, i);
+            r.utilization = c.f64(3, i);
+        }
+    }
+    {
+        const auto c = load_stream(dir, schemas()[2]);
+        ts.memory.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& r = ts.memory[i];
+            r.time = c.f64(0, i);
+            r.request_id = c.get<std::uint64_t>(1, i);
+            r.bank = c.get<std::uint32_t>(2, i);
+            r.size_bytes = c.get<std::uint64_t>(3, i);
+            r.type = IoType(c.enum8(4, i, 1, "io type"));
+        }
+    }
+    {
+        const auto c = load_stream(dir, schemas()[3]);
+        ts.network.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& r = ts.network[i];
+            r.time = c.f64(0, i);
+            r.request_id = c.get<std::uint64_t>(1, i);
+            r.size_bytes = c.get<std::uint64_t>(2, i);
+            r.direction = NetworkRecord::Direction(c.enum8(3, i, 1, "direction"));
+            r.latency = c.f64(4, i);
+        }
+    }
+    {
+        const auto c = load_stream(dir, schemas()[4]);
+        ts.requests.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& r = ts.requests[i];
+            r.request_id = c.get<std::uint64_t>(0, i);
+            r.type = IoType(c.enum8(1, i, 1, "io type"));
+            r.arrival = c.f64(2, i);
+            r.completion = c.f64(3, i);
+            r.bytes = c.get<std::uint64_t>(4, i);
+        }
+    }
+    {
+        const auto c = load_stream(dir, schemas()[5]);
+        ts.failures.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& r = ts.failures[i];
+            r.time = c.f64(0, i);
+            r.request_id = c.get<std::uint64_t>(1, i);
+            r.server = c.get<std::uint32_t>(2, i);
+            r.kind = FailureRecord::Kind(c.enum8(3, i, 4, "failure kind"));
+            r.duration = c.f64(4, i);
+        }
+    }
+    {
+        auto c = load_stream(dir, schemas()[6]);
+        const auto names = load_string_table(c);
+        ts.spans.resize(c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+            auto& sp = ts.spans[i];
+            sp.trace_id = c.get<std::uint64_t>(0, i);
+            sp.span_id = c.get<std::uint64_t>(1, i);
+            sp.parent_id = c.get<std::uint64_t>(2, i);
+            const auto ix = c.get<std::uint32_t>(3, i);
+            if (ix >= names.size())
+                bad_file(c.view.path, "record " + std::to_string(i) +
+                                          ": name index out of range");
+            sp.name = names[ix];
+            sp.start = c.f64(4, i);
+            sp.end = c.f64(5, i);
+        }
+    }
+    return ts;
+}
+
+}  // namespace kooza::trace

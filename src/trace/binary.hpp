@@ -1,0 +1,95 @@
+// kooza.trace/1 — versioned binary columnar persistence for TraceSets,
+// the fast path next to the human-readable CSV layout (csv.hpp).
+//
+// Layout: one file per stream inside a directory —
+//   storage.bin, cpu.bin, memory.bin, network.bin, requests.bin,
+//   failures.bin, spans.bin
+// Each file is:
+//   [header]   magic "KOOZATR1", u32 version, u32 stream id,
+//              u64 schema hash (FNV-1a over the column spec string),
+//              u64 record count, u32 CRC32 of the header bytes
+//   [columns]  one section per column, in schema order: u64 byte length,
+//              the column's values packed little-endian fixed-width
+//              (f64 as IEEE-754 bits, u64/u32/u8), u32 CRC32 of the bytes
+//   [strings]  spans.bin only: a final section holding the deduplicated
+//              span-name table (u32 count, then u32 length + bytes each);
+//              the name column stores u32 indices into it
+// Every section is CRC-checked on read, enum columns are range-checked
+// (the strictness mirror of the CSV readers), and doubles round-trip
+// bit-exactly — including NaN payloads — which text formats cannot
+// guarantee.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/traceset.hpp"
+
+namespace kooza::trace {
+
+/// First 8 bytes of every kooza.trace/1 stream file.
+inline constexpr char kBinaryMagic[8] = {'K', 'O', 'O', 'Z', 'A', 'T', 'R', '1'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+/// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-section
+/// checksum. Exposed so tests can corrupt-then-refit sections.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// Buffered streaming writer: append record chunks as they are captured
+/// (no full-TraceSet materialization required by the caller), then
+/// finish() to lay the files down. Columns are buffered per stream, so
+/// the output is byte-identical however the records were chunked.
+class BinaryWriter {
+public:
+    explicit BinaryWriter(std::filesystem::path dir);
+    BinaryWriter(const BinaryWriter&) = delete;
+    BinaryWriter& operator=(const BinaryWriter&) = delete;
+    ~BinaryWriter();
+
+    /// Append every record in `chunk` to the per-stream column buffers.
+    /// Throws std::logic_error after finish().
+    void append(const TraceSet& chunk);
+
+    /// Write all seven stream files (directory created if missing).
+    /// Idempotent; throws std::runtime_error on I/O failure.
+    void finish();
+
+    [[nodiscard]] std::uint64_t records_appended() const noexcept {
+        return records_;
+    }
+
+private:
+    struct Column {
+        std::vector<std::uint8_t> bytes;
+    };
+    struct Stream {
+        std::vector<Column> columns;
+        std::uint64_t count = 0;
+    };
+
+    void write_stream_file(std::size_t stream_id) const;
+
+    std::filesystem::path dir_;
+    std::vector<Stream> streams_;                  ///< indexed by stream id
+    std::vector<std::string> names_;               ///< span-name string table
+    std::map<std::string, std::uint32_t> name_ix_; ///< dedup index into names_
+    std::uint64_t records_ = 0;
+    bool finished_ = false;
+};
+
+/// One-shot convenience: write `ts` as kooza.trace/1 into `dir`.
+void write_binary(const TraceSet& ts, const std::filesystem::path& dir);
+
+/// Read a TraceSet previously written by BinaryWriter. Every stream file
+/// must be present (a partial capture fails loudly and counts
+/// trace.bin.missing_files_total); header, schema hash and per-section
+/// CRCs are validated and enum columns range-checked. Throws
+/// std::runtime_error with the offending file on any mismatch.
+[[nodiscard]] TraceSet read_binary(const std::filesystem::path& dir);
+
+}  // namespace kooza::trace

@@ -15,6 +15,7 @@ namespace fs = std::filesystem;
 struct CsvMetrics {
     obs::Counter& rows = obs::counter("trace.csv.rows_total");
     obs::Counter& bad_rows = obs::counter("trace.csv.bad_rows_total");
+    obs::Counter& missing_files = obs::counter("trace.csv.missing_files_total");
 };
 
 CsvMetrics& metrics() {
@@ -42,8 +43,16 @@ struct Reader {
     std::size_t line_no = 0;
     bool header_skipped = false;
 
-    explicit Reader(const fs::path& p) : path(p), file(p) {}
-    [[nodiscard]] bool ok() const { return bool(file); }
+    explicit Reader(const fs::path& p) : path(p), file(p) {
+        // A capture always writes the full stream set, so an absent file
+        // is a partial/deleted capture — failing quietly here used to
+        // make it masquerade as a workload with an empty stream.
+        if (!file) {
+            metrics().missing_files.add();
+            throw std::runtime_error("read_csv: missing stream file " +
+                                     p.string() + " (partial capture?)");
+        }
+    }
 
     /// Next data row split into fields; empty optional-equivalent when EOF.
     bool next(std::vector<std::string>& fields) {
@@ -167,9 +176,19 @@ void write_csv(const TraceSet& ts, const fs::path& dir) {
     {
         auto f = open_out(dir / "spans.csv");
         f << "trace_id,span_id,parent_id,name,start,end\n";
-        for (const auto& s : ts.spans)
-            f << s.trace_id << ',' << s.span_id << ',' << s.parent_id << ',' << s.name
-              << ',' << s.start << ',' << s.end << '\n';
+        for (const auto& s : ts.spans) {
+            // The format has no quoting, so a ',' / CR / LF in a span name
+            // would silently shift every following field on read-back.
+            // Reject at the source; kooza.trace/1 (binary.hpp) stores
+            // names in a string table and takes arbitrary bytes.
+            if (s.name.find_first_of(",\r\n") != std::string::npos)
+                throw std::runtime_error(
+                    "write_csv: span name contains ',' or a line break "
+                    "(unrepresentable in spans.csv, use --format=bin): '" +
+                    s.name + "'");
+            f << s.trace_id << ',' << s.span_id << ',' << s.parent_id << ','
+              << s.name << ',' << s.start << ',' << s.end << '\n';
+        }
     }
 }
 
@@ -178,7 +197,7 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "storage.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 6);
             StorageRecord rec;
             rec.time = r.num(f[0], "time");
@@ -193,7 +212,7 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "cpu.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 4);
             CpuRecord rec;
             rec.time = r.num(f[0], "time");
@@ -206,7 +225,7 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "memory.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 5);
             MemoryRecord rec;
             rec.time = r.num(f[0], "time");
@@ -220,14 +239,19 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "network.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 5);
             NetworkRecord rec;
             rec.time = r.num(f[0], "time");
             rec.request_id = r.id(f[1], "request_id");
             rec.size_bytes = r.id(f[2], "size_bytes");
-            rec.direction = f[3] == "rx" ? NetworkRecord::Direction::kRx
-                                         : NetworkRecord::Direction::kTx;
+            // Strict enum parse: anything but "rx"/"tx" used to silently
+            // map to kTx, so corrupt rows skewed the traffic direction mix.
+            try {
+                rec.direction = direction_from_string(f[3]);
+            } catch (const std::invalid_argument&) {
+                bad_row(r.path, r.line_no, "direction");
+            }
             rec.latency = r.num(f[4], "latency");
             ts.network.push_back(rec);
         }
@@ -235,7 +259,7 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "requests.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 5);
             RequestRecord rec;
             rec.request_id = r.id(f[0], "request_id");
@@ -249,7 +273,7 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "failures.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 5);
             FailureRecord rec;
             rec.time = r.num(f[0], "time");
@@ -263,7 +287,7 @@ TraceSet read_csv(const fs::path& dir) {
     {
         Reader r(dir / "spans.csv");
         std::vector<std::string> f;
-        while (r.ok() && r.next(f)) {
+        while (r.next(f)) {
             expect_fields(r, f, 6);
             Span s;
             s.trace_id = r.id(f[0], "trace_id");

@@ -18,12 +18,15 @@
 namespace kooza::trace {
 
 /// Write every stream into `dir` (created if missing).
-/// Throws std::runtime_error on I/O failure.
+/// Throws std::runtime_error on I/O failure, or when a span name contains
+/// a ',' or line break (unrepresentable without quoting — the binary
+/// format's string table has no such restriction).
 void write_csv(const TraceSet& ts, const std::filesystem::path& dir);
 
-/// Read a TraceSet previously written by write_csv. Missing stream files
-/// are treated as empty streams; a malformed row throws std::runtime_error
-/// with the file and line number.
+/// Read a TraceSet previously written by write_csv. Every stream file
+/// must be present — a missing file means a partial capture and throws
+/// (counted in trace.csv.missing_files_total); a malformed row throws
+/// std::runtime_error with the file and line number.
 [[nodiscard]] TraceSet read_csv(const std::filesystem::path& dir);
 
 /// Split one CSV line on commas (no quoting/escaping).

@@ -1,0 +1,46 @@
+#include "trace/io.hpp"
+
+#include <stdexcept>
+
+#include "trace/binary.hpp"
+#include "trace/csv.hpp"
+
+namespace kooza::trace {
+
+namespace fs = std::filesystem;
+
+const char* to_string(Format f) noexcept {
+    return f == Format::kBinary ? "bin" : "csv";
+}
+
+std::optional<Format> format_from_string(const std::string& s) {
+    if (s == "csv") return Format::kCsv;
+    if (s == "bin" || s == "binary") return Format::kBinary;
+    return std::nullopt;
+}
+
+Format detect_format(const fs::path& dir) {
+    for (const auto* stem : kStreamStems)
+        if (fs::exists(dir / (std::string(stem) + ".bin"))) return Format::kBinary;
+    for (const auto* stem : kStreamStems)
+        if (fs::exists(dir / (std::string(stem) + ".csv"))) return Format::kCsv;
+    throw std::runtime_error("detect_format: " + dir.string() +
+                             " holds no trace streams (neither .bin nor .csv)");
+}
+
+TraceSet read_traces(const fs::path& dir, Format f) {
+    return f == Format::kBinary ? read_binary(dir) : read_csv(dir);
+}
+
+TraceSet read_traces(const fs::path& dir) {
+    return read_traces(dir, detect_format(dir));
+}
+
+void write_traces(const TraceSet& ts, const fs::path& dir, Format f) {
+    if (f == Format::kBinary)
+        write_binary(ts, dir);
+    else
+        write_csv(ts, dir);
+}
+
+}  // namespace kooza::trace

@@ -18,6 +18,12 @@ const char* to_string(NetworkRecord::Direction d) noexcept {
     return d == NetworkRecord::Direction::kRx ? "rx" : "tx";
 }
 
+NetworkRecord::Direction direction_from_string(const std::string& s) {
+    if (s == "rx") return NetworkRecord::Direction::kRx;
+    if (s == "tx") return NetworkRecord::Direction::kTx;
+    throw std::invalid_argument("direction_from_string: '" + s + "'");
+}
+
 const char* to_string(FailureRecord::Kind k) noexcept {
     switch (k) {
         case FailureRecord::Kind::kCrash: return "crash";

@@ -57,6 +57,7 @@ struct NetworkRecord {
 };
 
 [[nodiscard]] const char* to_string(NetworkRecord::Direction d) noexcept;
+[[nodiscard]] NetworkRecord::Direction direction_from_string(const std::string& s);
 
 /// One failure-path event: a chunkserver crash or recovery, a client
 /// failover wait (with its backoff duration), a master-driven chunk

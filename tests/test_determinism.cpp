@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/generator.hpp"
@@ -15,6 +17,8 @@
 #include "gfs/cluster.hpp"
 #include "par/pool.hpp"
 #include "queueing/sqs.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
 #include "workloads/profiles.hpp"
 
 namespace {
@@ -130,6 +134,36 @@ TEST(Determinism, ClusterModelGenerateIdenticalAcrossThreadCounts) {
         EXPECT_EQ(a.requests[i].lbn, b.requests[i].lbn);
         EXPECT_EQ(a.requests[i].phases, b.requests[i].phases);
     }
+}
+
+TEST(Determinism, BinaryTraceFilesByteIdenticalAcrossThreadCounts) {
+    // A fixed-seed capture written as kooza.trace/1 must produce
+    // byte-identical .bin files at any thread count — the on-disk
+    // extension of the existing trace/metrics determinism contract.
+    namespace fs = std::filesystem;
+    ThreadGuard guard;
+    auto slurp = [](const fs::path& p) {
+        std::ifstream f(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+    };
+    auto capture_to = [&](std::size_t threads, const fs::path& dir) {
+        par::set_threads(threads);
+        fs::remove_all(dir);
+        trace::write_binary(capture_micro(33), dir);
+    };
+    const auto dir_1 = fs::temp_directory_path() / "kooza_det_bin_t1";
+    const auto dir_n = fs::temp_directory_path() / "kooza_det_bin_t8";
+    capture_to(1, dir_1);
+    capture_to(8, dir_n);
+    for (const auto* stem : trace::kStreamStems) {
+        const auto name = std::string(stem) + ".bin";
+        const auto a = slurp(dir_1 / name);
+        EXPECT_FALSE(a.empty()) << name;
+        EXPECT_EQ(a, slurp(dir_n / name)) << name;
+    }
+    fs::remove_all(dir_1);
+    fs::remove_all(dir_n);
 }
 
 TEST(Determinism, SqsSamplingIdenticalAcrossThreadCounts) {

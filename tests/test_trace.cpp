@@ -239,9 +239,10 @@ TEST(Csv, RoundTrip) {
     std::filesystem::remove_all(dir);
 }
 
-TEST(Csv, MissingDirectoryGivesEmpty) {
-    const auto ts = read_csv("/nonexistent/kooza");
-    EXPECT_TRUE(ts.empty());
+TEST(Csv, MissingDirectoryThrows) {
+    // A partial or absent capture must fail loudly, not read as a quiet
+    // workload with empty streams.
+    EXPECT_THROW((void)read_csv("/nonexistent/kooza"), std::runtime_error);
 }
 
 TEST(Csv, SplitLine) {
@@ -252,7 +253,8 @@ TEST(Csv, SplitLine) {
 
 TEST(Csv, MalformedRowThrows) {
     const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_bad";
-    std::filesystem::create_directories(dir);
+    std::filesystem::remove_all(dir);
+    write_csv(TraceSet{}, dir);
     {
         std::ofstream f(dir / "cpu.csv");
         f << "time,request_id,busy_seconds,utilization\n";

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+#include "trace/binary.hpp"
 #include "trace/csv.hpp"
 #include "trace/features.hpp"
 #include "trace/span.hpp"
@@ -13,6 +15,15 @@
 namespace {
 
 using namespace kooza::trace;
+
+/// Strict read_csv requires the full stream set; lay down an empty
+/// capture first so a test can overwrite just the stream it targets.
+std::filesystem::path full_dir(const char* name) {
+    const auto dir = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(dir);
+    write_csv(TraceSet{}, dir);
+    return dir;
+}
 
 TEST(SpanEdges, MultipleRootsPerTraceTolerated) {
     // A trace with two root spans (e.g. client retried and re-rooted):
@@ -70,8 +81,7 @@ TEST(CsvEdges, EmptyTraceSetRoundTrips) {
 }
 
 TEST(CsvEdges, BlankLinesSkipped) {
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_blank";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_blank");
     {
         std::ofstream f(dir / "requests.csv");
         f << "request_id,type,arrival,completion,bytes\n\n\n";
@@ -87,8 +97,7 @@ TEST(CsvEdges, LeadingBlankLineKeepsHeader) {
     // A blank first line used to demote the real header (matched by
     // line number, not content) to a data row, so the first record was
     // parsed from the header text and threw.
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_lead";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_lead");
     {
         std::ofstream f(dir / "requests.csv");
         f << "\n\nrequest_id,type,arrival,completion,bytes\n";
@@ -107,8 +116,7 @@ TEST(CsvEdges, CrlfLineEndingsRoundTrip) {
     // Traces exported on Windows (or via git with autocrlf) carry \r\n;
     // the stray '\r' used to ride on the last field and break exact-match
     // parsing of enum columns like the I/O type.
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_crlf";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_crlf");
     {
         std::ofstream f(dir / "requests.csv", std::ios::binary);
         f << "request_id,type,arrival,completion,bytes\r\n";
@@ -141,8 +149,7 @@ TEST(CsvEdges, SplitCsvLineStripsTrailingCr) {
 }
 
 TEST(CsvEdges, WrongFieldCountThrows) {
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_fields";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_fields");
     {
         std::ofstream f(dir / "storage.csv");
         f << "time,request_id,lbn,size_bytes,type,latency\n";
@@ -153,8 +160,7 @@ TEST(CsvEdges, WrongFieldCountThrows) {
 }
 
 TEST(CsvEdges, BadIoTypeThrows) {
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_type";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_type");
     {
         std::ofstream f(dir / "memory.csv");
         f << "time,request_id,bank,size_bytes,type\n";
@@ -167,8 +173,7 @@ TEST(CsvEdges, BadIoTypeThrows) {
 TEST(CsvEdges, TrailingJunkOnNumberThrows) {
     // stod parses a valid prefix, so "0.5sec" used to load silently as
     // 0.5 — corrupt data round-tripped as clean.
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_junknum";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_junknum");
     {
         std::ofstream f(dir / "requests.csv");
         f << "request_id,type,arrival,completion,bytes\n";
@@ -181,8 +186,7 @@ TEST(CsvEdges, TrailingJunkOnNumberThrows) {
 TEST(CsvEdges, NegativeIdThrows) {
     // stoull accepts a leading '-' and wraps: "-1" used to load as
     // 18446744073709551615 instead of being rejected.
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_negid";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_negid");
     {
         std::ofstream f(dir / "requests.csv");
         f << "request_id,type,arrival,completion,bytes\n";
@@ -193,8 +197,7 @@ TEST(CsvEdges, NegativeIdThrows) {
 }
 
 TEST(CsvEdges, JunkIdThrows) {
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_junkid";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_junkid");
     {
         std::ofstream f(dir / "requests.csv");
         f << "request_id,type,arrival,completion,bytes\n";
@@ -205,8 +208,7 @@ TEST(CsvEdges, JunkIdThrows) {
 }
 
 TEST(CsvEdges, EmptyNumericFieldThrows) {
-    const auto dir = std::filesystem::temp_directory_path() / "kooza_csv_emptyfield";
-    std::filesystem::create_directories(dir);
+    const auto dir = full_dir("kooza_csv_emptyfield");
     {
         std::ofstream f(dir / "requests.csv");
         f << "request_id,type,arrival,completion,bytes\n";
@@ -237,6 +239,79 @@ TEST(FeatureEdges, OrphanDeviceRecordsIgnored) {
     ts.cpu.push_back({0.1, 77, 0.001, 1.0});
     const auto fs = extract_features(ts);
     EXPECT_TRUE(fs.empty());
+}
+
+TEST(CsvEdges, MissingStreamFileFailsLoudly) {
+    // Deleting one stream file (say storage.csv) used to read back as an
+    // empty stream — a partial capture masquerading as a quiet workload.
+    const auto dir = full_dir("kooza_csv_missing");
+    std::filesystem::remove(dir / "storage.csv");
+    const auto& missing =
+        kooza::obs::counter("trace.csv.missing_files_total");
+    const auto before = missing.value();
+    EXPECT_THROW(
+        {
+            try {
+                (void)read_csv(dir);
+            } catch (const std::runtime_error& e) {
+                EXPECT_NE(std::string(e.what()).find("storage.csv"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_EQ(missing.value(), before + 1);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEdges, UnknownDirectionThrows) {
+    // Anything but "rx"/"tx" used to silently parse as kTx.
+    const auto dir = full_dir("kooza_csv_direction");
+    {
+        std::ofstream f(dir / "network.csv");
+        f << "time,request_id,size_bytes,direction,latency\n";
+        f << "1.0,1,4096,sideways,0.01\n";
+    }
+    EXPECT_THROW((void)read_csv(dir), std::runtime_error);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Records, DirectionFromStringStrict) {
+    EXPECT_EQ(direction_from_string("rx"), NetworkRecord::Direction::kRx);
+    EXPECT_EQ(direction_from_string("tx"), NetworkRecord::Direction::kTx);
+    EXPECT_THROW((void)direction_from_string("sideways"), std::invalid_argument);
+    EXPECT_THROW((void)direction_from_string(""), std::invalid_argument);
+    EXPECT_THROW((void)direction_from_string("TX"), std::invalid_argument);
+}
+
+TEST(CsvEdges, SpanNameWithCommaRejectedOnWrite) {
+    // spans.csv has no quoting: a ',' (or stray CR) in a span name used
+    // to shift every following field on read-back. The writer now
+    // rejects such names; the binary string table is immune.
+    const auto base = std::filesystem::temp_directory_path();
+    for (const auto* name : {"disk,io", "net\rrx", "cpu\nverify"}) {
+        TraceSet ts;
+        Span s;
+        s.trace_id = 1;
+        s.span_id = 2;
+        s.parent_id = 0;
+        s.name = name;
+        s.start = 0.5;
+        s.end = 1.5;
+        ts.spans.push_back(s);
+        const auto csv_dir = base / "kooza_csv_spanname";
+        std::filesystem::remove_all(csv_dir);
+        EXPECT_THROW(write_csv(ts, csv_dir), std::runtime_error) << name;
+        // Same names round-trip exactly through kooza.trace/1.
+        const auto bin_dir = base / "kooza_bin_spanname";
+        std::filesystem::remove_all(bin_dir);
+        write_binary(ts, bin_dir);
+        const auto back = read_binary(bin_dir);
+        ASSERT_EQ(back.spans.size(), 1u) << name;
+        EXPECT_EQ(back.spans[0].name, name);
+        std::filesystem::remove_all(csv_dir);
+        std::filesystem::remove_all(bin_dir);
+    }
 }
 
 TEST(FeatureEdges, TiedMemoryTrafficPrefersRead) {

@@ -1,11 +1,12 @@
 // kooza_capture — run a workload profile on the GFS simulator and write
-// the captured traces (per-subsystem records + spans) as CSV, the format
-// kooza_inspect and kooza_model consume.
+// the captured traces (per-subsystem records + spans) in the format
+// kooza_inspect and kooza_model consume: human-readable CSV (default) or
+// the kooza.trace/1 binary columnar fast path (--format bin).
 //
 // Usage:
 //   kooza_capture <profile> <output-dir> [--count N] [--rate R]
 //                 [--seed S] [--servers N] [--replication N]
-//                 [--sample-every N] [--threads N]
+//                 [--sample-every N] [--threads N] [--format csv|bin]
 //                 [--faults R] [--mttr S] [--metrics FILE]
 // Profiles: micro | oltp | websearch | streaming | logappend
 //
@@ -24,7 +25,7 @@
 #include "core/capture.hpp"
 #include "obs/export.hpp"
 #include "par/pool.hpp"
-#include "trace/csv.hpp"
+#include "trace/io.hpp"
 
 int main(int argc, char** argv) {
     using namespace kooza;
@@ -35,11 +36,16 @@ int main(int argc, char** argv) {
                          "<micro|oltp|websearch|streaming|logappend> "
                          "<output-dir> [--count N] [--rate R] [--seed S] "
                          "[--servers N] [--replication N] [--sample-every N] "
-                         "[--threads N] [--faults R] [--mttr S] "
-                         "[--metrics FILE]\n";
+                         "[--threads N] [--format csv|bin] [--faults R] "
+                         "[--mttr S] [--metrics FILE]\n";
             return 2;
         }
         const auto& out_dir = args.positional()[1];
+        const auto fmt = trace::format_from_string(args.get("format", "csv"));
+        if (!fmt) {
+            std::cerr << "kooza_capture: --format must be csv or bin\n";
+            return 2;
+        }
         core::CaptureOptions opts;
         opts.profile = args.positional()[0];
         opts.count = std::size_t(args.get_u64("count", 500));
@@ -50,11 +56,12 @@ int main(int argc, char** argv) {
         opts.span_sample_every = args.get_u64("sample-every", 1);
         opts.fault_rate = args.get_double("faults", 0.0);
         opts.mttr = args.get_double("mttr", 5.0);
+        opts.out_dir = out_dir;
+        opts.format = *fmt;
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
 
         const auto res = core::run_capture(opts);
-        trace::write_csv(res.traces, out_dir);
         std::cout << "captured " << res.traces.summary() << "\n";
         if (opts.fault_rate > 0.0)
             std::cout << "faults: " << res.crashes << " crashes, " << res.repairs
@@ -62,7 +69,8 @@ int main(int argc, char** argv) {
                       << " failed requests\n";
         std::cout << "run: seed=" << opts.seed << " threads=" << par::threads()
                   << "\n"
-                  << "wrote CSV traces to " << out_dir << "\n";
+                  << "wrote " << trace::to_string(*fmt) << " traces to "
+                  << out_dir << "\n";
 
         const auto metrics_path = args.get("metrics", "");
         if (!metrics_path.empty()) {

@@ -1,11 +1,12 @@
 // kooza_generate — load a saved KOOZA model (from kooza_model --save),
 // generate a synthetic workload, replay it on the device models and write
-// the resulting traces as CSV. This is the deployment half of the paper's
-// methodology: the model file stands in for the application.
+// the resulting traces (--out, in --format csv|bin). This is the
+// deployment half of the paper's methodology: the model file stands in
+// for the application.
 //
 // Usage:
 //   kooza_generate <model-file> [--count N] [--seed S] [--servers N]
-//                  [--out DIR]
+//                  [--out DIR] [--format csv|bin]
 
 #include <iostream>
 
@@ -14,8 +15,8 @@
 #include "core/replayer.hpp"
 #include "core/serialize.hpp"
 #include "stats/descriptive.hpp"
-#include "trace/csv.hpp"
 #include "trace/features.hpp"
+#include "trace/io.hpp"
 
 int main(int argc, char** argv) {
     using namespace kooza;
@@ -23,7 +24,12 @@ int main(int argc, char** argv) {
         cli::Args args(argc, argv);
         if (args.positional().size() != 1) {
             std::cerr << "usage: kooza_generate <model-file> [--count N] [--seed S] "
-                         "[--servers N] [--out DIR]\n";
+                         "[--servers N] [--out DIR] [--format csv|bin]\n";
+            return 2;
+        }
+        const auto fmt = trace::format_from_string(args.get("format", "csv"));
+        if (!fmt) {
+            std::cerr << "kooza_generate: --format must be csv or bin\n";
             return 2;
         }
         const auto model = core::load_model(
@@ -52,8 +58,9 @@ int main(int argc, char** argv) {
 
         const auto out = args.get("out", "");
         if (!out.empty()) {
-            trace::write_csv(res.traces, out);
-            std::cout << "wrote synthetic traces to " << out << "\n";
+            trace::write_traces(res.traces, out, *fmt);
+            std::cout << "wrote synthetic traces to " << out << " ("
+                      << trace::to_string(*fmt) << ")\n";
         }
         return 0;
     } catch (const std::exception& e) {

@@ -1,10 +1,15 @@
-// kooza_inspect — load a CSV trace directory and print its inventory,
-// per-request feature summary and the full characterization report
-// (burstiness, self-similarity, stationarity, distribution families, PCA
-// dimensionality).
+// kooza_inspect — load a trace directory (CSV or kooza.trace/1 binary,
+// auto-detected) and print its inventory, per-request feature summary and
+// the full characterization report (burstiness, self-similarity,
+// stationarity, distribution families, PCA dimensionality).
 //
 // Usage: kooza_inspect <trace-dir> [--window SECONDS] [--metrics FILE]
+//        kooza_inspect <trace-dir> --convert OUT-DIR [--format csv|bin]
 //        kooza_inspect --metrics FILE
+//
+// --convert re-writes the directory's traces into OUT-DIR in --format
+// (default csv — the interop path back from a binary capture to the
+// human-readable layout) and skips the characterization report.
 //
 // --metrics FILE loads a metrics export (JSON or CSV, as written by
 // kooza_capture/kooza_model --metrics) and prints a human-readable
@@ -15,23 +20,42 @@
 #include "cli_util.hpp"
 #include "core/characterize.hpp"
 #include "obs/export.hpp"
-#include "trace/csv.hpp"
 #include "trace/features.hpp"
+#include "trace/io.hpp"
 
 int main(int argc, char** argv) {
     using namespace kooza;
     try {
         cli::Args args(argc, argv);
         const auto metrics_path = args.get("metrics", "");
+        const auto convert_dir = args.get("convert", "");
         if (args.positional().size() != 1 &&
             !(args.positional().empty() && !metrics_path.empty())) {
             std::cerr << "usage: kooza_inspect <trace-dir> [--window SECONDS] "
                          "[--metrics FILE]\n"
+                         "       kooza_inspect <trace-dir> --convert OUT-DIR "
+                         "[--format csv|bin]\n"
                          "       kooza_inspect --metrics FILE\n";
             return 2;
         }
+        if (!args.positional().empty() && !convert_dir.empty()) {
+            const auto fmt = trace::format_from_string(args.get("format", "csv"));
+            if (!fmt) {
+                std::cerr << "kooza_inspect: --format must be csv or bin\n";
+                return 2;
+            }
+            const auto& in_dir = args.positional()[0];
+            const auto in_fmt = trace::detect_format(in_dir);
+            const auto ts = trace::read_traces(in_dir, in_fmt);
+            trace::write_traces(ts, convert_dir, *fmt);
+            std::cout << "inventory: " << ts.summary() << "\n"
+                      << "converted " << in_dir << " ("
+                      << trace::to_string(in_fmt) << ") -> " << convert_dir
+                      << " (" << trace::to_string(*fmt) << ")\n";
+            return 0;
+        }
         if (!args.positional().empty()) {
-            const auto ts = trace::read_csv(args.positional()[0]);
+            const auto ts = trace::read_traces(args.positional()[0]);
             if (ts.empty()) {
                 std::cerr << "no trace records found in " << args.positional()[0]
                           << "\n";

@@ -1,12 +1,13 @@
-// kooza_model — the full KOOZA pipeline over CSV traces: train a
-// ServerModel, print it, generate a synthetic workload, replay it on the
-// device models, and validate features + latency against the original.
-// Optionally writes the replayed traces back out as CSV.
+// kooza_model — the full KOOZA pipeline over trace dirs (CSV or
+// kooza.trace/1 binary, auto-detected): train a ServerModel, print it,
+// generate a synthetic workload, replay it on the device models, and
+// validate features + latency against the original. Optionally writes
+// the replayed traces back out (--out, in --format csv|bin).
 //
 // Usage:
 //   kooza_model <trace-dir> [--generate N] [--seed S] [--lbn-ranges N]
-//               [--util-levels N] [--out DIR] [--save MODEL-FILE]
-//               [--threads N] [--metrics FILE]
+//               [--util-levels N] [--out DIR] [--format csv|bin]
+//               [--save MODEL-FILE] [--threads N] [--metrics FILE]
 //
 // --metrics FILE exports the pipeline's metrics registry (train/generate/
 // replay counters and timers) after the run; ".csv" selects CSV,
@@ -22,8 +23,8 @@
 #include "core/validator.hpp"
 #include "obs/export.hpp"
 #include "par/pool.hpp"
-#include "trace/csv.hpp"
 #include "trace/features.hpp"
+#include "trace/io.hpp"
 
 int main(int argc, char** argv) {
     using namespace kooza;
@@ -32,12 +33,18 @@ int main(int argc, char** argv) {
         if (args.positional().size() != 1) {
             std::cerr << "usage: kooza_model <trace-dir> [--generate N] [--seed S] "
                          "[--lbn-ranges N] [--util-levels N] [--out DIR] "
-                         "[--save MODEL-FILE] [--threads N] [--metrics FILE]\n";
+                         "[--format csv|bin] [--save MODEL-FILE] [--threads N] "
+                         "[--metrics FILE]\n";
+            return 2;
+        }
+        const auto fmt = trace::format_from_string(args.get("format", "csv"));
+        if (!fmt) {
+            std::cerr << "kooza_model: --format must be csv or bin\n";
             return 2;
         }
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
-        const auto ts = trace::read_csv(args.positional()[0]);
+        const auto ts = trace::read_traces(args.positional()[0]);
         if (ts.requests.empty()) {
             std::cerr << "no completed requests in " << args.positional()[0] << "\n";
             return 1;
@@ -100,8 +107,9 @@ int main(int argc, char** argv) {
 
         const auto out = args.get("out", "");
         if (!out.empty()) {
-            trace::write_csv(replayed.traces, out);
-            std::cout << "wrote replayed synthetic traces to " << out << "\n";
+            trace::write_traces(replayed.traces, out, *fmt);
+            std::cout << "wrote replayed synthetic traces to " << out << " ("
+                      << trace::to_string(*fmt) << ")\n";
         }
 
         const auto metrics_path = args.get("metrics", "");
