@@ -1,11 +1,14 @@
 #include "core/capture.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "gfs/cluster.hpp"
 #include "obs/metrics.hpp"
 #include "sim/rng.hpp"
+#include "trace/streaming.hpp"
 
 namespace kooza::core {
 
@@ -28,10 +31,17 @@ CaptureMetrics& metrics() {
 }  // namespace
 
 std::unique_ptr<workloads::Profile> make_profile(const std::string& name,
-                                                 std::size_t count, double rate) {
-    if (name == "micro")
-        return std::make_unique<workloads::MicroProfile>(
-            workloads::MicroProfile::Params{.count = count, .arrival_rate = rate});
+                                                 std::size_t count, double rate,
+                                                 std::uint64_t read_size,
+                                                 std::uint64_t write_size,
+                                                 double read_fraction) {
+    if (name == "micro") {
+        workloads::MicroProfile::Params p{.count = count, .arrival_rate = rate};
+        if (read_size > 0) p.read_size = read_size;
+        if (write_size > 0) p.write_size = write_size;
+        if (read_fraction >= 0.0) p.read_fraction = read_fraction;
+        return std::make_unique<workloads::MicroProfile>(p);
+    }
     if (name == "oltp")
         return std::make_unique<workloads::OltpProfile>(
             workloads::OltpProfile::Params{.count = count, .base_rate = rate});
@@ -50,35 +60,79 @@ std::unique_ptr<workloads::Profile> make_profile(const std::string& name,
     return nullptr;
 }
 
+namespace {
+
+/// Feeds the request schedule into the cluster one request at a time: a
+/// pump event at request i's issue time submits it and pulls request
+/// i+1. Pending engine events stay O(in-flight) instead of O(schedule),
+/// which is what keeps a multi-million-request capture's memory flat.
+/// Used in both capture modes so they run the identical event sequence.
+struct SchedulePump {
+    gfs::Cluster& cluster;
+    std::unique_ptr<workloads::ScheduleStream> stream;
+
+    void start() {
+        for (const auto& [name, size] : stream->files())
+            cluster.create_file(name, size);
+        arm(stream->next());
+    }
+
+    void arm(std::optional<gfs::RequestSpec> spec) {
+        if (!spec) return;
+        cluster.engine().schedule_at(spec->time,
+                                     [this, spec = std::move(*spec)]() mutable {
+                                         cluster.submit(spec);
+                                         arm(stream->next());
+                                     });
+    }
+};
+
+}  // namespace
+
 CaptureResult run_capture(const CaptureOptions& opts) {
-    auto profile = make_profile(opts.profile, opts.count, opts.rate);
+    auto profile = make_profile(opts.profile, opts.count, opts.rate, opts.read_size,
+                                opts.write_size, opts.read_fraction);
     if (!profile)
         throw std::invalid_argument("run_capture: unknown profile: " + opts.profile);
+    if (opts.stream && opts.out_dir.empty())
+        throw std::invalid_argument("run_capture: stream mode needs out_dir");
 
     gfs::GfsConfig cfg;
     cfg.n_chunkservers = std::max<std::size_t>(1, opts.n_servers);
     if (opts.replication != 0) cfg.replication = opts.replication;
     cfg.span_sample_every = std::max<std::uint64_t>(1, opts.span_sample_every);
     cfg.seed = opts.seed;
-
-    // Generate the schedule first so the fault horizon can cover it.
-    sim::Rng rng(opts.seed);
-    const auto schedule = profile->generate(rng);
+    cfg.collect_latencies = opts.collect_latencies;
     if (opts.fault_rate > 0.0) {
         cfg.faults.enabled = true;
         cfg.faults.mtbf = 1.0 / opts.fault_rate;
         cfg.faults.mttr = opts.mttr;
-        double last = 0.0;
-        for (const auto& r : schedule.requests) last = std::max(last, r.time);
-        cfg.faults.horizon = last + 1.0;
+        // horizon 0: faults follow the run until the cluster drains, so
+        // requests still in flight after the last arrival keep seeing
+        // crashes (the old `last arrival + 1s` horizon left the drain
+        // artificially fault-free).
+        cfg.faults.horizon = 0.0;
     }
 
-    gfs::Cluster cluster(cfg);
-    schedule.install(cluster);
+    std::unique_ptr<trace::StreamingSink> streaming;
+    if (opts.stream) {
+        trace::StreamingSink::Options so;
+        so.dir = opts.out_dir;
+        so.chunk_records = std::max<std::size_t>(1, opts.chunk_records);
+        streaming = std::make_unique<trace::StreamingSink>(
+            so, 1 + cfg.n_chunkservers);
+    }
+
+    gfs::Cluster cluster(cfg, 1, streaming.get());
+    if (streaming) {
+        sim::Engine& eng = cluster.engine();
+        streaming->set_clock([&eng] { return eng.now(); });
+    }
+    SchedulePump pump{cluster, profile->open_stream(sim::Rng(opts.seed))};
+    pump.start();
     cluster.run();
 
     CaptureResult res;
-    res.traces = cluster.traces();
     res.duration = cluster.engine().now();
     res.completed = cluster.completed();
     res.failed = cluster.failed_requests();
@@ -87,11 +141,24 @@ CaptureResult run_capture(const CaptureOptions& opts) {
         res.repairs = inj->repairs();
     }
 
-    if (!opts.out_dir.empty())
-        trace::write_traces(res.traces, opts.out_dir, opts.format);
+    if (streaming) {
+        streaming->finish();
+        res.records = streaming->records_seen();
+    } else {
+        // Move the records out instead of copying: `traces = traces()`
+        // briefly doubled peak memory at exactly the worst moment.
+        res.traces = cluster.take_traces();
+        res.records = res.traces.total_records();
+        if (!opts.out_dir.empty())
+            trace::write_traces(res.traces, opts.out_dir, opts.format);
+    }
 
     metrics().runs.add();
-    metrics().requests.add(res.completed);
+    // Every request that ran through the capture counts, completed or
+    // failed; failures additionally increment the failed counter. (The
+    // old completed-only count made requests_total undercount under
+    // fault injection.)
+    metrics().requests.add(res.completed + res.failed);
     metrics().failed.add(res.failed);
     metrics().duration_ns.observe_seconds(res.duration);
     return res;

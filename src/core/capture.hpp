@@ -30,26 +30,49 @@ struct CaptureOptions {
     /// (kooza.trace/1 binary streams through trace::BinaryWriter).
     std::string out_dir;
     trace::Format format = trace::Format::kCsv;
+
+    /// Stream records to `out_dir` (kooza.trace/1 binary) as the
+    /// simulation emits them instead of materializing a TraceSet: peak
+    /// memory stays flat in the horizon. Requires a non-empty out_dir;
+    /// the result's `traces` member is left empty. The files are
+    /// byte-identical to a materialized capture of the same options
+    /// written with write_traces.
+    bool stream = false;
+    /// Records buffered per stream before a streamed chunk is flushed.
+    std::size_t chunk_records = std::size_t(1) << 16;
+    /// Keep Cluster's O(requests) latency vector (disable at scale).
+    bool collect_latencies = true;
+
+    /// Micro-profile size knobs (bench_scale uses switch-friendly sizes
+    /// instead of the 4 MB default writes). 0 / negative = profile default.
+    std::uint64_t read_size = 0;
+    std::uint64_t write_size = 0;
+    double read_fraction = -1.0;
 };
 
 struct CaptureResult {
-    trace::TraceSet traces;
+    trace::TraceSet traces;  ///< empty in stream mode (records on disk)
     double duration = 0.0;  ///< simulated seconds until the cluster drained
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
     std::uint64_t crashes = 0;  ///< 0 unless faults were enabled
     std::uint64_t repairs = 0;
+    std::uint64_t records = 0;  ///< total records captured (either mode)
 };
 
 /// Profile factory shared by run_capture and the tools. Returns nullptr
-/// for an unknown name.
+/// for an unknown name. read_size/write_size/read_fraction override the
+/// micro profile's request sizes when positive.
 [[nodiscard]] std::unique_ptr<workloads::Profile> make_profile(
-    const std::string& name, std::size_t count, double rate);
+    const std::string& name, std::size_t count, double rate,
+    std::uint64_t read_size = 0, std::uint64_t write_size = 0,
+    double read_fraction = -1.0);
 
 /// Run one capture end to end: build the profile, configure the cluster
-/// (fault horizon covering the schedule when faults are on), run it,
-/// collect the traces and, when `out_dir` is set, persist them in the
-/// requested format. Throws std::invalid_argument on an unknown profile.
+/// (with faults following the run to drain), pump the request schedule
+/// through it, collect the traces and, when `out_dir` is set, persist
+/// them in the requested format (or stream them as they are emitted with
+/// opts.stream). Throws std::invalid_argument on an unknown profile.
 [[nodiscard]] CaptureResult run_capture(const CaptureOptions& opts);
 
 }  // namespace kooza::core

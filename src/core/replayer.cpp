@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "par/pool.hpp"
 #include "sim/engine.hpp"
+#include "trace/sink.hpp"
 
 namespace kooza::core {
 
@@ -34,7 +35,7 @@ struct ServerStack {
     std::unique_ptr<hw::Memory> memory;
     std::unique_ptr<hw::SwitchPort> ingress;
 
-    ServerStack(sim::Engine& eng, const ReplayConfig& cfg, trace::TraceSet* sink) {
+    ServerStack(sim::Engine& eng, const ReplayConfig& cfg, trace::Sink* sink) {
         disk = std::make_unique<hw::Disk>(eng, cfg.disk, sink);
         cpu = std::make_unique<hw::Cpu>(eng, cfg.cpu, sink);
         memory = std::make_unique<hw::Memory>(eng, cfg.memory, sink);
@@ -46,6 +47,7 @@ struct ServerStack {
 struct Runtime {
     sim::Engine engine;
     trace::TraceSet traces;
+    trace::MemorySink sink{traces};
     std::vector<std::unique_ptr<ServerStack>> servers;
     std::unique_ptr<hw::SwitchPort> client_port;
     std::vector<double> latencies;
@@ -53,9 +55,9 @@ struct Runtime {
 
     explicit Runtime(const ReplayConfig& cfg) {
         for (std::size_t s = 0; s < cfg.n_servers; ++s)
-            servers.push_back(std::make_unique<ServerStack>(engine, cfg, &traces));
+            servers.push_back(std::make_unique<ServerStack>(engine, cfg, &sink));
         client_port = std::make_unique<hw::SwitchPort>(
-            engine, cfg.net, trace::NetworkRecord::Direction::kTx, &traces);
+            engine, cfg.net, trace::NetworkRecord::Direction::kTx, &sink);
     }
 
     void finish_request(std::uint64_t id, const SyntheticRequest& r, double arrival) {

@@ -12,14 +12,47 @@ namespace kooza::core {
 StructureQueue StructureQueue::fit(const std::vector<trace::Span>& spans,
                                    std::span<const trace::TraceId> trace_ids,
                                    double ks_threshold) {
+    StructureAccumulator acc;
+    acc.observe(spans);
+    return acc.fit(trace_ids, ks_threshold);
+}
+
+void StructureAccumulator::observe(const trace::Span& s) {
+    spans_[s.trace_id].push_back(s);
+    ++n_spans_;
+}
+
+void StructureAccumulator::observe(const std::vector<trace::Span>& spans) {
+    for (const auto& s : spans) observe(s);
+}
+
+void StructureAccumulator::merge(StructureAccumulator&& other) {
+    for (auto& [id, vec] : other.spans_) {
+        auto& mine = spans_[id];
+        if (mine.empty())
+            mine = std::move(vec);
+        else
+            mine.insert(mine.end(), std::make_move_iterator(vec.begin()),
+                        std::make_move_iterator(vec.end()));
+    }
+    n_spans_ += other.n_spans_;
+    other.spans_.clear();
+    other.n_spans_ = 0;
+}
+
+StructureQueue StructureAccumulator::fit(std::span<const trace::TraceId> trace_ids,
+                                         double ks_threshold) const {
     std::set<trace::TraceId> wanted(trace_ids.begin(), trace_ids.end());
-    // Sequence -> count; phase -> durations.
+    // Sequence -> count; phase -> durations. Buckets iterate in ascending
+    // trace-id order, matching SpanTree::trace_ids over a flat vector
+    // (SpanTree itself re-sorts by (start, span id), a total order, so
+    // the buffered arrival order is irrelevant).
     std::map<std::vector<std::string>, std::size_t> counts;
     std::map<std::string, std::vector<double>> durations;
     std::size_t used = 0;
-    for (trace::TraceId id : trace::SpanTree::trace_ids(spans)) {
+    for (const auto& [id, vec] : spans_) {
         if (wanted.find(id) == wanted.end()) continue;
-        trace::SpanTree tree(spans, id);
+        trace::SpanTree tree(vec, id);
         std::vector<std::string> seq;
         for (const auto& s : tree.spans()) {
             if (s.parent_id == 0) continue;  // skip the root "request" span
@@ -33,21 +66,19 @@ StructureQueue StructureQueue::fit(const std::vector<trace::Span>& spans,
     if (used == 0)
         throw std::invalid_argument("StructureQueue::fit: no usable span trees");
 
-    StructureQueue q;
-    q.trained_on_ = used;
+    // Assemble through from_parts: it re-sorts by count and renormalizes
+    // probabilities from counts, reproducing the historical fit exactly.
+    std::vector<StructureQueue::Variant> variants;
     for (auto& [seq, n] : counts) {
-        Variant v;
+        StructureQueue::Variant v;
         v.phases = seq;
         v.count = n;
-        v.probability = double(n) / double(used);
-        q.variants_.push_back(std::move(v));
+        variants.push_back(std::move(v));
     }
-    std::sort(q.variants_.begin(), q.variants_.end(),
-              [](const Variant& a, const Variant& b) { return a.count > b.count; });
-    for (const auto& v : q.variants_) q.weights_.push_back(double(v.count));
+    std::map<std::string, std::unique_ptr<stats::Distribution>> fitted;
     for (auto& [name, vals] : durations)
-        q.durations_[name] = stats::fit_or_empirical(vals, ks_threshold);
-    return q;
+        fitted[name] = stats::fit_or_empirical(vals, ks_threshold);
+    return StructureQueue::from_parts(std::move(variants), std::move(fitted), used);
 }
 
 StructureQueue StructureQueue::from_parts(

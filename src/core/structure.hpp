@@ -85,4 +85,31 @@ private:
     std::size_t trained_on_ = 0;
 };
 
+/// Chunk-feedable span collector behind StructureQueue::fit. Spans arrive
+/// in any order, one record or one chunk at a time, and are bucketed per
+/// trace; fit() then reassembles the trees in ascending trace-id order —
+/// the same order SpanTree::trace_ids yields — so a queue fitted from
+/// chunked reads is identical to one fitted from the full span vector.
+/// Memory is O(buffered spans): captures bound it with span sampling
+/// (GfsConfig::span_sample_every), not with record caps.
+class StructureAccumulator {
+public:
+    void observe(const trace::Span& s);
+    void observe(const std::vector<trace::Span>& spans);
+    void merge(StructureAccumulator&& other);
+
+    /// Distinct trace ids buffered so far.
+    [[nodiscard]] std::size_t trace_count() const noexcept { return spans_.size(); }
+    [[nodiscard]] std::size_t span_count() const noexcept { return n_spans_; }
+
+    /// Fit a queue from the buffered trees whose ids are in `trace_ids`.
+    /// Same semantics and failure mode as StructureQueue::fit.
+    [[nodiscard]] StructureQueue fit(std::span<const trace::TraceId> trace_ids,
+                                     double ks_threshold = 0.08) const;
+
+private:
+    std::map<trace::TraceId, std::vector<trace::Span>> spans_;
+    std::size_t n_spans_ = 0;
+};
+
 }  // namespace kooza::core

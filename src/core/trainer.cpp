@@ -10,6 +10,7 @@
 #include "par/pool.hpp"
 #include "stats/fitting.hpp"
 #include "stats/hypothesis.hpp"
+#include "trace/binary.hpp"
 #include "trace/features.hpp"
 
 namespace kooza::core {
@@ -60,9 +61,87 @@ Trainer::Trainer(TrainerConfig cfg) : cfg_(std::move(cfg)) {
         throw std::invalid_argument("Trainer: state-space sizes must be >= 1");
 }
 
+struct Trainer::TrainInputs {
+    std::vector<trace::RequestFeatures> features;
+    std::uint64_t max_lbn = 0;    ///< over every storage record
+    std::uint32_t max_bank = 0;   ///< over every memory record
+    double verify_sum = 0.0;      ///< cpu.verify span seconds
+    double verify_total = 0.0;    ///< cpu.verify + cpu.aggregate seconds
+    StructureAccumulator structure;
+};
+
 ServerModel Trainer::train(const trace::TraceSet& ts) const {
+    TrainInputs in;
+    in.features = trace::extract_features(ts);
+    for (const auto& r : ts.storage) in.max_lbn = std::max(in.max_lbn, r.lbn);
+    for (const auto& r : ts.memory) in.max_bank = std::max(in.max_bank, r.bank);
+    for (const auto& s : ts.spans) {
+        if (s.name == "cpu.verify") in.verify_sum += s.duration();
+        if (s.name == "cpu.verify" || s.name == "cpu.aggregate")
+            in.verify_total += s.duration();
+    }
+    in.structure.observe(ts.spans);
+    return train_impl(std::move(in));
+}
+
+ServerModel Trainer::train_streaming(const std::filesystem::path& dir,
+                                     std::size_t chunk_rows) const {
+    if (chunk_rows == 0)
+        throw std::invalid_argument(
+            "Trainer::train_streaming: chunk_rows must be >= 1");
+    trace::ChunkedReader reader(dir);
+    TrainInputs in;
+    trace::FeatureAccumulator facc;
+    trace::TraceSet chunk;
+    const auto for_chunks = [&](trace::StreamId s, auto&& fn) {
+        const std::uint64_t total = reader.rows(s);
+        for (std::uint64_t off = 0; off < total; off += chunk_rows) {
+            chunk = trace::TraceSet{};
+            reader.read_rows(s, off,
+                             std::min<std::uint64_t>(chunk_rows, total - off), chunk);
+            fn(chunk);
+        }
+    };
+    // Stream feed order mirrors FeatureAccumulator::observe(TraceSet) —
+    // network, cpu, memory, storage, requests — so the per-request
+    // accumulation is identical to the in-memory pass. (The failures
+    // stream carries no model features.)
+    for_chunks(trace::StreamId::kNetwork, [&](const trace::TraceSet& c) {
+        for (const auto& r : c.network) facc.observe(r);
+    });
+    for_chunks(trace::StreamId::kCpu, [&](const trace::TraceSet& c) {
+        for (const auto& r : c.cpu) facc.observe(r);
+    });
+    for_chunks(trace::StreamId::kMemory, [&](const trace::TraceSet& c) {
+        for (const auto& r : c.memory) {
+            facc.observe(r);
+            in.max_bank = std::max(in.max_bank, r.bank);
+        }
+    });
+    for_chunks(trace::StreamId::kStorage, [&](const trace::TraceSet& c) {
+        for (const auto& r : c.storage) {
+            facc.observe(r);
+            in.max_lbn = std::max(in.max_lbn, r.lbn);
+        }
+    });
+    for_chunks(trace::StreamId::kRequests, [&](const trace::TraceSet& c) {
+        for (const auto& r : c.requests) facc.observe(r);
+    });
+    for_chunks(trace::StreamId::kSpans, [&](const trace::TraceSet& c) {
+        for (const auto& s : c.spans) {
+            if (s.name == "cpu.verify") in.verify_sum += s.duration();
+            if (s.name == "cpu.verify" || s.name == "cpu.aggregate")
+                in.verify_total += s.duration();
+        }
+        in.structure.observe(c.spans);
+    });
+    in.features = facc.finish();
+    return train_impl(std::move(in));
+}
+
+ServerModel Trainer::train_impl(TrainInputs in) const {
     const obs::TimerScope train_timer(trainer_metrics().train_wall_ns);
-    const auto features = trace::extract_features(ts);
+    const auto& features = in.features;
     if (features.empty())
         throw std::invalid_argument("Trainer::train: no completed requests in trace");
     trainer_metrics().runs.add();
@@ -91,17 +170,9 @@ ServerModel Trainer::train(const trace::TraceSet& ts) const {
 
     // ---- State spaces. ---------------------------------------------------
     std::uint64_t lbn_space = cfg_.lbn_space;
-    if (lbn_space == 0) {
-        std::uint64_t max_lbn = 0;
-        for (const auto& r : ts.storage) max_lbn = std::max(max_lbn, r.lbn);
-        lbn_space = next_pow2(max_lbn + 1);
-    }
+    if (lbn_space == 0) lbn_space = next_pow2(in.max_lbn + 1);
     std::size_t banks = cfg_.banks;
-    if (banks == 0) {
-        std::uint32_t max_bank = 0;
-        for (const auto& r : ts.memory) max_bank = std::max(max_bank, r.bank);
-        banks = std::size_t(max_bank) + 1;
-    }
+    if (banks == 0) banks = std::size_t(in.max_bank) + 1;
     auto lbn_disc = std::make_unique<markov::LbnRangeDiscretizer>(
         lbn_space, std::min<std::size_t>(cfg_.lbn_ranges, std::size_t(lbn_space)));
     auto bank_disc = std::make_unique<markov::BankDiscretizer>(banks);
@@ -115,16 +186,9 @@ ServerModel Trainer::train(const trace::TraceSet& ts) const {
 
     // ---- Learn the CPU verify/aggregate split from span durations. -------
     double verify_fraction = 0.4;
-    {
-        double verify_sum = 0.0, total_sum = 0.0;
-        for (const auto& s : ts.spans) {
-            if (s.name == "cpu.verify") verify_sum += s.duration();
-            if (s.name == "cpu.verify" || s.name == "cpu.aggregate")
-                total_sum += s.duration();
-        }
-        if (total_sum > 0.0 && verify_sum > 0.0 && verify_sum < total_sum)
-            verify_fraction = verify_sum / total_sum;
-    }
+    if (in.verify_total > 0.0 && in.verify_sum > 0.0 &&
+        in.verify_sum < in.verify_total)
+        verify_fraction = in.verify_sum / in.verify_total;
 
     auto build_type_model = [&](trace::IoType type) -> std::optional<TypeModel> {
         std::vector<const trace::RequestFeatures*> fs;
@@ -162,22 +226,22 @@ ServerModel Trainer::train(const trace::TraceSet& ts) const {
                 case 0:
                     storage = markov::AnnotatedMarkovChain::fit(
                         storage_arr, lbn_disc->n_states(), cfg_.laplace_alpha,
-                        cfg_.ks_threshold);
+                        cfg_.ks_threshold, cfg_.max_state_samples);
                     break;
                 case 1:
                     memory = markov::AnnotatedMarkovChain::fit(
                         memory_arr, bank_disc->n_states(), cfg_.laplace_alpha,
-                        cfg_.ks_threshold);
+                        cfg_.ks_threshold, cfg_.max_state_samples);
                     break;
                 case 2:
                     cpu = markov::AnnotatedMarkovChain::fit(
                         cpu_arr, util_disc->n_states(), cfg_.laplace_alpha,
-                        cfg_.ks_threshold);
+                        cfg_.ks_threshold, cfg_.max_state_samples);
                     break;
                 default:
                     // Structure from span trees of this type's requests.
                     try {
-                        structure = StructureQueue::fit(ts.spans, ids, cfg_.ks_threshold);
+                        structure = in.structure.fit(ids, cfg_.ks_threshold);
                     } catch (const std::invalid_argument&) {
                         if (!cfg_.fallback_structure) throw;
                         structure = StructureQueue::canonical(canonical_phases(type));

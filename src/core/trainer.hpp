@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 
 #include <vector>
 
 #include "core/model.hpp"
+#include "core/structure.hpp"
+#include "trace/features.hpp"
 #include "trace/traceset.hpp"
 
 namespace kooza::core {
@@ -47,6 +50,13 @@ struct TrainerConfig {
     /// sampling), substitute the canonical GFS phase order instead of
     /// failing. Disable to require observed structure.
     bool fallback_structure = true;
+
+    /// Cap on the values retained per (state, feature) pair when fitting
+    /// the annotated chains (stats::CappedSample first-K retention).
+    /// 0 keeps every observation — byte-identical to the unbounded fit —
+    /// at O(requests) fitting memory; datacenter-scale streamed training
+    /// sets a cap to bound it.
+    std::size_t max_state_samples = 0;
 };
 
 class Trainer {
@@ -57,9 +67,29 @@ public:
     /// the trace set has no completed requests.
     [[nodiscard]] ServerModel train(const trace::TraceSet& ts) const;
 
+    /// Fit the same model from a kooza.trace/1 capture directory without
+    /// ever materializing the TraceSet: records are read `chunk_rows` at
+    /// a time through trace::ChunkedReader and folded into merge-able
+    /// sufficient statistics (trace::FeatureAccumulator,
+    /// markov::ChainSuffStats, core::StructureAccumulator), so training
+    /// memory is O(requests + sampled spans) instead of O(records).
+    /// Produces a model byte-identical (under serialize::save_model) to
+    /// train() on the materialized trace set when max_state_samples is 0.
+    /// Throws std::runtime_error on a malformed capture and
+    /// std::invalid_argument when it holds no completed requests.
+    [[nodiscard]] ServerModel train_streaming(
+        const std::filesystem::path& dir,
+        std::size_t chunk_rows = std::size_t(1) << 16) const;
+
     [[nodiscard]] const TrainerConfig& config() const noexcept { return cfg_; }
 
 private:
+    /// Everything train_impl needs, producible from either a TraceSet
+    /// or a chunked read of the binary capture.
+    struct TrainInputs;
+
+    [[nodiscard]] ServerModel train_impl(TrainInputs in) const;
+
     TrainerConfig cfg_;
 };
 

@@ -7,7 +7,7 @@
 namespace kooza::gfs {
 
 ChunkServer::ChunkServer(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg,
-                         trace::TraceSet* sink, trace::SpanTracer* tracer, sim::Rng rng)
+                         trace::Sink* sink, trace::SpanTracer* tracer, sim::Rng rng)
     : id_(id), engine_(engine), cfg_(cfg), sink_(sink), tracer_(tracer), rng_(rng) {
     disk_ = std::make_unique<hw::Disk>(engine_, cfg_.disk, sink_);
     cpu_ = std::make_unique<hw::Cpu>(engine_, cfg_.cpu, sink_);

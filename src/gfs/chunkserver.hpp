@@ -24,8 +24,8 @@
 #include "hw/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "trace/sink.hpp"
 #include "trace/span.hpp"
-#include "trace/traceset.hpp"
 
 namespace kooza::gfs {
 
@@ -46,7 +46,7 @@ inline constexpr const char* kRequest = "request";
 class ChunkServer {
 public:
     ChunkServer(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg,
-                trace::TraceSet* sink, trace::SpanTracer* tracer, sim::Rng rng);
+                trace::Sink* sink, trace::SpanTracer* tracer, sim::Rng rng);
 
     /// Handle a read of `size` bytes at `lbn`. `parent` is the client's
     /// root span. `on_done` fires when the response payload has reached
@@ -93,7 +93,7 @@ private:
     std::uint32_t id_;
     sim::Engine& engine_;
     const GfsConfig& cfg_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     trace::SpanTracer* tracer_;
     sim::Rng rng_;
     std::unique_ptr<hw::Disk> disk_;

@@ -45,7 +45,7 @@ MasterNode::MasterNode(sim::Engine& engine, const GfsConfig& cfg) {
 Client::Client(std::uint32_t id, sim::Engine& engine, const GfsConfig& cfg,
                Master& master, MasterNode& master_node,
                std::vector<std::unique_ptr<ChunkServer>>& servers,
-               trace::TraceSet* sink, trace::SpanTracer* tracer)
+               trace::Sink* sink, trace::SpanTracer* tracer)
     : id_(id),
       engine_(engine),
       cfg_(cfg),
@@ -195,7 +195,7 @@ void Client::try_replica(std::uint64_t request_id, std::string file,
             rec.server = target->id();
             rec.kind = trace::FailureRecord::Kind::kFailover;
             rec.duration = wait;
-            sink_->failures.push_back(rec);
+            sink_->append(rec);
         }
         if (cfg_.client_caches_locations)
             demote_cached_replica(CacheKey(file, chunk_index), loc.servers[attempt]);
@@ -239,6 +239,9 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
     if (offset + size > master_.file_size(file))
         throw std::invalid_argument("Client::issue: beyond end of file " + file);
     const double arrival = engine_.now();
+    // The RequestRecord is keyed at arrival but only emitted (or dropped,
+    // on failure) at completion: hold the requests stream until then.
+    if (sink_ != nullptr) sink_->open_hold(trace::StreamId::kRequests, arrival);
     const auto root =
         begin_span(tracer_, request_id, 0, phase::kRequest, arrival);
 
@@ -273,7 +276,9 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
                 rec.request_id = request_id;
                 rec.kind = trace::FailureRecord::Kind::kRequestFailed;
                 rec.duration = now - arrival;
-                sink_->failures.push_back(rec);
+                sink_->append(rec);
+                // Failed requests emit no RequestRecord; release the hold.
+                sink_->close_hold(trace::StreamId::kRequests, arrival);
             }
             finish_span(tracer_, root, now);
             if (on_done) on_done(-1.0);
@@ -286,7 +291,8 @@ void Client::issue(std::uint64_t request_id, const std::string& file,
             rec.arrival = arrival;
             rec.completion = now;
             rec.bytes = size;
-            sink_->requests.push_back(rec);
+            sink_->append(rec);
+            sink_->close_hold(trace::StreamId::kRequests, arrival);
         }
         metrics().requests.add();
         metrics().latency_ns.observe_seconds(now - arrival);

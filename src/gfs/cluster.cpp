@@ -5,32 +5,61 @@
 
 namespace kooza::gfs {
 
-Cluster::Cluster(GfsConfig cfg, std::size_t n_clients) : cfg_(cfg) {
+Cluster::Cluster(GfsConfig cfg, std::size_t n_clients, trace::SinkProvider* provider)
+    : cfg_(cfg), provider_(provider) {
     if (cfg_.n_chunkservers == 0)
         throw std::invalid_argument("Cluster: need >= 1 chunkserver");
     if (n_clients == 0) throw std::invalid_argument("Cluster: need >= 1 client");
+    if (provider_ != nullptr &&
+        provider_->group_count() != 1 + cfg_.n_chunkservers)
+        throw std::invalid_argument(
+            "Cluster: provider needs group_count() == 1 + n_chunkservers");
     engine_ = std::make_unique<sim::Engine>();
-    sink_ = std::make_unique<trace::TraceSet>();
     tracer_ = std::make_unique<trace::SpanTracer>(cfg_.span_sample_every);
+    if (provider_ == nullptr) {
+        sink_ = std::make_unique<trace::TraceSet>();
+        memory_sinks_.push_back(std::make_unique<trace::MemorySink>(*sink_));
+        cluster_sink_ = memory_sinks_.back().get();
+    } else {
+        cluster_sink_ = &provider_->group(0);
+        // Spans stream through the provider instead of piling up in the
+        // tracer's done_ buffer.
+        tracer_->set_sink(cluster_sink_);
+    }
     master_ = std::make_unique<Master>(cfg_.n_chunkservers, cfg_.replication,
                                        cfg_.chunk_size);
     master_node_ = std::make_unique<MasterNode>(*engine_, cfg_);
     sim::Rng seeder(cfg_.seed);
     for (std::size_t s = 0; s < cfg_.n_chunkservers; ++s) {
-        server_sinks_.push_back(std::make_unique<trace::TraceSet>());
+        trace::Sink* server_sink = nullptr;
+        if (provider_ == nullptr) {
+            server_sinks_.push_back(std::make_unique<trace::TraceSet>());
+            memory_sinks_.push_back(
+                std::make_unique<trace::MemorySink>(*server_sinks_.back()));
+            server_sink = memory_sinks_.back().get();
+        } else {
+            server_sink = &provider_->group(1 + s);
+        }
         servers_.push_back(std::make_unique<ChunkServer>(
-            std::uint32_t(s), *engine_, cfg_, server_sinks_.back().get(),
-            tracer_.get(), seeder.fork()));
+            std::uint32_t(s), *engine_, cfg_, server_sink, tracer_.get(),
+            seeder.fork()));
     }
     for (std::size_t c = 0; c < n_clients; ++c)
         clients_.push_back(std::make_unique<Client>(std::uint32_t(c), *engine_, cfg_,
                                                     *master_, *master_node_, servers_,
-                                                    sink_.get(), tracer_.get()));
+                                                    cluster_sink_, tracer_.get()));
     if (cfg_.faults.enabled) {
         injector_ = std::make_unique<FaultInjector>(*engine_, cfg_, *master_, servers_,
-                                                    sink_.get());
-        injector_->schedule(
-            make_fault_plan(cfg_.faults, cfg_.n_chunkservers, cfg_.seed));
+                                                    cluster_sink_);
+        if (cfg_.faults.horizon > 0.0) {
+            injector_->schedule(
+                make_fault_plan(cfg_.faults, cfg_.n_chunkservers, cfg_.seed));
+        } else {
+            // horizon == 0: faults follow the run for as long as it has
+            // live work (lazy daemon chains), so draining tails still see
+            // crashes.
+            injector_->schedule_lazy(cfg_.n_chunkservers, cfg_.seed);
+        }
     }
 }
 
@@ -38,7 +67,7 @@ FaultInjector& Cluster::inject_faults(FaultPlan plan) {
     if (injector_)
         throw std::logic_error("Cluster::inject_faults: injector already present");
     injector_ = std::make_unique<FaultInjector>(*engine_, cfg_, *master_, servers_,
-                                                sink_.get());
+                                                cluster_sink_);
     injector_->schedule(std::move(plan));
     return *injector_;
 }
@@ -67,7 +96,8 @@ std::uint64_t Cluster::submit(const RequestSpec& spec) {
         clients_[spec.client]->issue(id, spec.file, offset, spec.size, type,
                                      [this](double latency) {
                                          if (latency >= 0.0) {
-                                             latencies_.push_back(latency);
+                                             if (cfg_.collect_latencies)
+                                                 latencies_.push_back(latency);
                                              ++completed_;
                                          }
                                      });
@@ -95,6 +125,10 @@ std::uint64_t Cluster::failed_requests() const {
 }
 
 trace::TraceSet Cluster::traces() const {
+    if (provider_ != nullptr)
+        throw std::logic_error(
+            "Cluster::traces: unavailable with a SinkProvider (the provider "
+            "received the records as they were emitted)");
     trace::TraceSet out = *sink_;
     for (const auto& s : server_sinks_) out.merge(*s);
     out.spans = tracer_->spans();
@@ -102,7 +136,25 @@ trace::TraceSet Cluster::traces() const {
     return out;
 }
 
+trace::TraceSet Cluster::take_traces() {
+    if (provider_ != nullptr)
+        throw std::logic_error(
+            "Cluster::take_traces: unavailable with a SinkProvider");
+    trace::TraceSet out = std::move(*sink_);
+    *sink_ = trace::TraceSet{};
+    for (auto& s : server_sinks_) {
+        out.merge(*s);
+        *s = trace::TraceSet{};  // release the merged copy's source
+    }
+    out.spans = tracer_->take_spans();
+    out.sort_by_time();
+    return out;
+}
+
 trace::TraceSet Cluster::traces_for_server(std::size_t i) const {
+    if (provider_ != nullptr)
+        throw std::logic_error(
+            "Cluster::traces_for_server: unavailable with a SinkProvider");
     if (i >= server_sinks_.size())
         throw std::out_of_range("Cluster::traces_for_server");
     trace::TraceSet out = *server_sinks_[i];

@@ -15,6 +15,7 @@
 #include "gfs/profiler.hpp"
 #include "sim/engine.hpp"
 #include "trace/records.hpp"
+#include "trace/sink.hpp"
 #include "trace/traceset.hpp"
 
 namespace kooza::gfs {
@@ -35,7 +36,16 @@ struct RequestSpec {
 
 class Cluster {
 public:
-    explicit Cluster(GfsConfig cfg, std::size_t n_clients = 1);
+    /// Without a provider the cluster records into internal TraceSets and
+    /// traces()/take_traces() hand them back (memory mode). With a
+    /// provider, every record goes straight to provider->group(g) as it
+    /// is emitted — group 0 for cluster-level streams (requests,
+    /// client-side network, failures, spans), group 1+s for chunkserver
+    /// s — and traces() is unavailable: the provider (e.g. a
+    /// trace::StreamingSink) owns the data. The provider must outlive the
+    /// cluster and have group_count() == 1 + n_chunkservers.
+    explicit Cluster(GfsConfig cfg, std::size_t n_clients = 1,
+                     trace::SinkProvider* provider = nullptr);
 
     /// Create a file before submitting requests against it.
     void create_file(const std::string& name, std::uint64_t size);
@@ -52,8 +62,15 @@ public:
 
     /// Traces captured so far; span records are copied in from the tracer.
     /// The cluster keeps accumulating (call traces() again after more
-    /// submits+run).
+    /// submits+run). Memory mode only: throws std::logic_error when a
+    /// SinkProvider was attached.
     [[nodiscard]] trace::TraceSet traces() const;
+
+    /// Like traces(), but *moves* the records out instead of copying,
+    /// leaving the cluster's sinks empty. Peak memory stays ~one server's
+    /// records above the captured total, instead of doubling it the way
+    /// `TraceSet copy = traces()` does. Memory mode only.
+    [[nodiscard]] trace::TraceSet take_traces();
 
     /// Per-server view: the device records chunkserver `i` emitted, plus
     /// the request/span/client-side records of the requests it served.
@@ -100,6 +117,11 @@ private:
     std::unique_ptr<sim::Engine> engine_;
     std::unique_ptr<trace::TraceSet> sink_;  ///< client-side + request records
     std::vector<std::unique_ptr<trace::TraceSet>> server_sinks_;
+    /// Memory mode: Sink adapters over sink_/server_sinks_ ([0] = cluster,
+    /// [1+s] = server s). Empty when a provider supplies the sinks.
+    std::vector<std::unique_ptr<trace::MemorySink>> memory_sinks_;
+    trace::SinkProvider* provider_ = nullptr;
+    trace::Sink* cluster_sink_ = nullptr;  ///< group-0 sink, either mode
     std::unique_ptr<trace::SpanTracer> tracer_;
     std::unique_ptr<Master> master_;
     std::unique_ptr<MasterNode> master_node_;

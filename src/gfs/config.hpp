@@ -28,7 +28,12 @@ struct FaultConfig {
     bool enabled = false;
     double mtbf = 20.0;     ///< mean up time per server, seconds
     double mttr = 5.0;      ///< mean down time per server, seconds
-    double horizon = 60.0;  ///< generate events in [0, horizon)
+    /// Generate events in [0, horizon). 0 means "until the cluster
+    /// drains": events are produced lazily from the same per-server
+    /// streams for as long as any request is still in flight, so slow
+    /// draining tails keep seeing crashes instead of an artificially
+    /// quiet cluster.
+    double horizon = 60.0;
     /// Delay between a crash and the master noticing (heartbeat loss) and
     /// starting re-replication of the chunks that lost a replica.
     double detection_delay = 0.1;
@@ -85,6 +90,11 @@ struct GfsConfig {
 
     /// Chunkserver crash/recover schedule (disabled by default).
     FaultConfig faults{};
+
+    /// Keep the per-request latency vector (Cluster::latencies()). Turn
+    /// off for datacenter-scale streamed captures, where an O(requests)
+    /// vector would defeat flat-memory capture.
+    bool collect_latencies = true;
 
     std::uint64_t seed = 123;
 };

@@ -59,15 +59,44 @@ FaultPlan make_fault_plan(const FaultConfig& cfg, std::size_t n_servers,
 
 FaultInjector::FaultInjector(sim::Engine& engine, const GfsConfig& cfg, Master& master,
                              std::vector<std::unique_ptr<ChunkServer>>& servers,
-                             trace::TraceSet* sink)
+                             trace::Sink* sink)
     : engine_(engine), cfg_(cfg), master_(master), servers_(servers), sink_(sink) {}
 
 void FaultInjector::schedule(FaultPlan plan) {
-    if (!plan_.empty())
+    if (!plan_.empty() || lazy_)
         throw std::logic_error("FaultInjector::schedule: plan already scheduled");
     plan_ = std::move(plan);
     for (const auto& ev : plan_)
         engine_.schedule_at(ev.time, [this, ev] { apply(ev); });
+}
+
+void FaultInjector::schedule_lazy(std::size_t n_servers, std::uint64_t cluster_seed) {
+    if (!plan_.empty() || lazy_)
+        throw std::logic_error("FaultInjector::schedule_lazy: plan already scheduled");
+    if (cfg_.faults.mtbf <= 0.0 || cfg_.faults.mttr <= 0.0)
+        throw std::invalid_argument("schedule_lazy: mtbf/mttr must be > 0");
+    lazy_ = true;
+    const std::uint64_t effective =
+        cfg_.faults.seed != 0 ? cfg_.faults.seed
+                              : par::splitmix64(cluster_seed ^ 0xFA17B0A7ull);
+    for (std::size_t s = 0; s < n_servers; ++s) {
+        // Same per-server stream and draw order as make_fault_plan, so a
+        // lazy run crashes the same servers at the same times as a
+        // materialized plan with a large enough horizon would.
+        auto rng = std::make_shared<sim::Rng>(par::shard_seed(effective, s));
+        const double first = rng->exponential(1.0 / cfg_.faults.mtbf);
+        arm_lazy(std::uint32_t(s), std::move(rng), first, true);
+    }
+}
+
+void FaultInjector::arm_lazy(std::uint32_t server, std::shared_ptr<sim::Rng> rng,
+                             double at, bool fail) {
+    engine_.schedule_daemon_at(at, [this, server, rng = std::move(rng), at, fail] {
+        apply(FaultEvent{at, server, fail});
+        const double mean = fail ? cfg_.faults.mttr : cfg_.faults.mtbf;
+        const double next = at + rng->exponential(1.0 / mean);
+        arm_lazy(server, rng, next, !fail);
+    });
 }
 
 void FaultInjector::record(trace::FailureRecord::Kind kind, std::uint32_t server,
@@ -79,7 +108,7 @@ void FaultInjector::record(trace::FailureRecord::Kind kind, std::uint32_t server
     rec.server = server;
     rec.kind = kind;
     rec.duration = duration;
-    sink_->failures.push_back(rec);
+    sink_->append(rec);
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {

@@ -23,7 +23,8 @@
 #include "gfs/config.hpp"
 #include "gfs/master.hpp"
 #include "sim/engine.hpp"
-#include "trace/traceset.hpp"
+#include "sim/rng.hpp"
+#include "trace/sink.hpp"
 
 namespace kooza::gfs {
 
@@ -53,11 +54,20 @@ class FaultInjector {
 public:
     FaultInjector(sim::Engine& engine, const GfsConfig& cfg, Master& master,
                   std::vector<std::unique_ptr<ChunkServer>>& servers,
-                  trace::TraceSet* sink);
+                  trace::Sink* sink);
 
     /// Schedule every event of the plan on the engine. Call before run();
     /// may be called once per injector.
     void schedule(FaultPlan plan);
+
+    /// Lazy (drain-following) scheduling for FaultConfig::horizon == 0:
+    /// instead of materializing a plan up front, each server carries a
+    /// daemon event chain that draws the same per-server up/down
+    /// exponentials as make_fault_plan on the fly, for as long as the
+    /// simulation has live work. Slow-draining requests keep seeing
+    /// crashes past the last arrival, and memory stays O(servers)
+    /// regardless of how long the run drags on.
+    void schedule_lazy(std::size_t n_servers, std::uint64_t cluster_seed);
 
     [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
     [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
@@ -67,6 +77,10 @@ public:
 
 private:
     void apply(const FaultEvent& ev);
+    /// One link of a lazy per-server daemon chain: apply the state flip,
+    /// draw the next interval, re-arm.
+    void arm_lazy(std::uint32_t server, std::shared_ptr<sim::Rng> rng, double at,
+                  bool fail);
     /// Ask the master for repair work and execute it.
     void detect_and_repair();
     void run_repair(const RepairTask& task);
@@ -78,8 +92,9 @@ private:
     const GfsConfig& cfg_;
     Master& master_;
     std::vector<std::unique_ptr<ChunkServer>>& servers_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     FaultPlan plan_;
+    bool lazy_ = false;
     std::uint64_t next_repair_id_ = kRepairRequestIdBase;
     std::uint64_t crashes_ = 0;
     std::uint64_t recoveries_ = 0;

@@ -22,7 +22,7 @@ CpuMetrics& metrics() {
 
 }  // namespace
 
-Cpu::Cpu(sim::Engine& engine, CpuParams params, trace::TraceSet* sink)
+Cpu::Cpu(sim::Engine& engine, CpuParams params, trace::Sink* sink)
     : engine_(engine), params_(params), sink_(sink) {
     if (params_.cores == 0) throw std::invalid_argument("Cpu: cores must be >= 1");
     if (!(params_.per_byte_cost >= 0.0))
@@ -38,6 +38,8 @@ void Cpu::execute(std::uint64_t request_id, double busy_seconds,
                   std::function<void()> on_done) {
     if (!(busy_seconds >= 0.0)) throw std::invalid_argument("Cpu::execute: negative work");
     const double issued = engine_.now();
+    // Keyed at issue, emitted at completion (see sink.hpp hold protocol).
+    if (sink_ != nullptr) sink_->open_hold(trace::StreamId::kCpu, issued);
     metrics().queue_depth.set(double(cores_->queue_length()));
     cores_->acquire([this, request_id, busy_seconds, issued,
                      on_done = std::move(on_done)]() mutable {
@@ -54,7 +56,8 @@ void Cpu::execute(std::uint64_t request_id, double busy_seconds,
                 rec.busy_seconds = busy_seconds;
                 const double window = engine_.now() - issued;
                 rec.utilization = window > 0.0 ? busy_seconds / window : 1.0;
-                sink_->cpu.push_back(rec);
+                sink_->append(rec);
+                sink_->close_hold(trace::StreamId::kCpu, issued);
             }
             if (on_done) on_done();
         });

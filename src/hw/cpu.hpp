@@ -13,7 +13,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
-#include "trace/traceset.hpp"
+#include "trace/sink.hpp"
 
 namespace kooza::hw {
 
@@ -28,7 +28,7 @@ struct CpuParams {
 
 class Cpu {
 public:
-    Cpu(sim::Engine& engine, CpuParams params, trace::TraceSet* sink = nullptr);
+    Cpu(sim::Engine& engine, CpuParams params, trace::Sink* sink = nullptr);
 
     /// Run a burst of `busy_seconds` of single-core work for a request.
     void execute(std::uint64_t request_id, double busy_seconds,
@@ -47,7 +47,7 @@ public:
 private:
     sim::Engine& engine_;
     CpuParams params_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     std::unique_ptr<sim::Resource> cores_;
     std::uint64_t completed_ = 0;
 };

@@ -40,7 +40,7 @@ double disk_service_time(const DiskParams& p, std::uint64_t prev_lbn, std::uint6
     return t;
 }
 
-Disk::Disk(sim::Engine& engine, DiskParams params, trace::TraceSet* sink)
+Disk::Disk(sim::Engine& engine, DiskParams params, trace::Sink* sink)
     : engine_(engine), params_(params), sink_(sink) {
     if (params_.lbn_count == 0) throw std::invalid_argument("Disk: lbn_count 0");
     if (!(params_.transfer_rate > 0.0))
@@ -52,6 +52,9 @@ void Disk::io(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size_by
               trace::IoType type, std::function<void(double)> on_done) {
     if (lbn >= params_.lbn_count) throw std::invalid_argument("Disk::io: lbn range");
     const double issued = engine_.now();
+    // The record is keyed at issue but emitted at completion: hold the
+    // storage stream so a streaming sink cannot flush past `issued`.
+    if (sink_ != nullptr) sink_->open_hold(trace::StreamId::kStorage, issued);
     metrics().queue_depth.set(double(queue_->queue_length()));
     queue_->acquire([this, request_id, lbn, size_bytes, type, issued,
                      on_done = std::move(on_done)]() mutable {
@@ -76,7 +79,8 @@ void Disk::io(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size_by
                 rec.size_bytes = size_bytes;
                 rec.type = type;
                 rec.latency = latency;
-                sink_->storage.push_back(rec);
+                sink_->append(rec);
+                sink_->close_hold(trace::StreamId::kStorage, issued);
             }
             if (on_done) on_done(latency);
         });

@@ -14,7 +14,7 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "trace/records.hpp"
-#include "trace/traceset.hpp"
+#include "trace/sink.hpp"
 
 namespace kooza::hw {
 
@@ -40,7 +40,7 @@ struct DiskParams {
 class Disk {
 public:
     /// @param sink optional trace sink; a StorageRecord per completed I/O
-    Disk(sim::Engine& engine, DiskParams params, trace::TraceSet* sink = nullptr);
+    Disk(sim::Engine& engine, DiskParams params, trace::Sink* sink = nullptr);
 
     /// Issue an I/O. `on_done` fires at completion with the total latency
     /// (queueing + service).
@@ -58,7 +58,7 @@ public:
 private:
     sim::Engine& engine_;
     DiskParams params_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     std::unique_ptr<sim::Resource> queue_;
     std::uint64_t head_ = 0;
     std::uint64_t completed_ = 0;

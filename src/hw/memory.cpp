@@ -20,7 +20,7 @@ MemoryMetrics& metrics() {
 
 }  // namespace
 
-Memory::Memory(sim::Engine& engine, MemoryParams params, trace::TraceSet* sink)
+Memory::Memory(sim::Engine& engine, MemoryParams params, trace::Sink* sink)
     : engine_(engine), params_(params), sink_(sink) {
     if (params_.banks == 0) throw std::invalid_argument("Memory: banks must be >= 1");
     if (!(params_.bank_bandwidth > 0.0))
@@ -39,6 +39,8 @@ void Memory::access(std::uint64_t request_id, std::uint32_t bank,
                     std::function<void(double)> on_done) {
     if (bank >= params_.banks) throw std::invalid_argument("Memory::access: bank range");
     const double issued = engine_.now();
+    // Keyed at issue, emitted at completion (see sink.hpp hold protocol).
+    if (sink_ != nullptr) sink_->open_hold(trace::StreamId::kMemory, issued);
     auto& res = *banks_[bank];
     res.acquire([this, &res, request_id, bank, size_bytes, type, issued,
                  on_done = std::move(on_done)]() mutable {
@@ -57,7 +59,8 @@ void Memory::access(std::uint64_t request_id, std::uint32_t bank,
                 rec.bank = bank;
                 rec.size_bytes = size_bytes;
                 rec.type = type;
-                sink_->memory.push_back(rec);
+                sink_->append(rec);
+                sink_->close_hold(trace::StreamId::kMemory, issued);
             }
             if (on_done) on_done(engine_.now() - issued);
         });

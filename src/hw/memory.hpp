@@ -15,7 +15,7 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "trace/records.hpp"
-#include "trace/traceset.hpp"
+#include "trace/sink.hpp"
 
 namespace kooza::hw {
 
@@ -27,7 +27,7 @@ struct MemoryParams {
 
 class Memory {
 public:
-    Memory(sim::Engine& engine, MemoryParams params, trace::TraceSet* sink = nullptr);
+    Memory(sim::Engine& engine, MemoryParams params, trace::Sink* sink = nullptr);
 
     /// Access `size_bytes` in `bank`. `on_done` fires at completion with
     /// total latency (bank queueing + service).
@@ -44,7 +44,7 @@ public:
 private:
     sim::Engine& engine_;
     MemoryParams params_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     std::vector<std::unique_ptr<sim::Resource>> banks_;
     std::uint64_t completed_ = 0;
 };

@@ -24,7 +24,7 @@ NetMetrics& metrics() {
 }  // namespace
 
 Link::Link(sim::Engine& engine, LinkParams params,
-           trace::NetworkRecord::Direction direction, trace::TraceSet* sink)
+           trace::NetworkRecord::Direction direction, trace::Sink* sink)
     : engine_(engine), params_(params), direction_(direction), sink_(sink) {
     if (!(params_.bandwidth > 0.0)) throw std::invalid_argument("Link: bandwidth");
     if (params_.propagation < 0.0) throw std::invalid_argument("Link: propagation");
@@ -34,6 +34,8 @@ Link::Link(sim::Engine& engine, LinkParams params,
 void Link::transfer(std::uint64_t request_id, std::uint64_t size_bytes,
                     std::function<void(double)> on_done) {
     const double issued = engine_.now();
+    // Keyed at issue, emitted at delivery (see sink.hpp hold protocol).
+    if (sink_ != nullptr) sink_->open_hold(trace::StreamId::kNetwork, issued);
     pipe_->acquire([this, request_id, size_bytes, issued,
                     on_done = std::move(on_done)]() mutable {
         const double serialization = double(size_bytes) / params_.bandwidth;
@@ -54,7 +56,8 @@ void Link::transfer(std::uint64_t request_id, std::uint64_t size_bytes,
                     rec.size_bytes = size_bytes;
                     rec.direction = direction_;
                     rec.latency = latency;
-                    sink_->network.push_back(rec);
+                    sink_->append(rec);
+                    sink_->close_hold(trace::StreamId::kNetwork, issued);
                 }
                 if (on_done) on_done(latency);
             });
@@ -63,7 +66,7 @@ void Link::transfer(std::uint64_t request_id, std::uint64_t size_bytes,
 }
 
 SwitchPort::SwitchPort(sim::Engine& engine, SwitchParams params,
-                       trace::NetworkRecord::Direction direction, trace::TraceSet* sink)
+                       trace::NetworkRecord::Direction direction, trace::Sink* sink)
     : engine_(engine), params_(params), direction_(direction), sink_(sink) {
     if (!(params_.bandwidth > 0.0)) throw std::invalid_argument("SwitchPort: bandwidth");
     if (params_.mtu == 0) throw std::invalid_argument("SwitchPort: mtu");
@@ -74,7 +77,13 @@ SwitchPort::SwitchPort(sim::Engine& engine, SwitchParams params,
 void SwitchPort::transfer(std::uint64_t request_id, std::uint64_t size_bytes,
                           std::function<void(double)> on_done, bool record) {
     auto cb = std::make_shared<std::function<void(double)>>(std::move(on_done));
-    send_tail(request_id, size_bytes, engine_.now(), size_bytes, 0, record,
+    const double started = engine_.now();
+    // Recorded transfers are keyed at `started` but emitted when the last
+    // frame is delivered (or when retries are exhausted); hold the stream
+    // until whichever emit site fires.
+    if (record && sink_ != nullptr)
+        sink_->open_hold(trace::StreamId::kNetwork, started);
+    send_tail(request_id, size_bytes, started, size_bytes, 0, record,
               std::move(cb));
 }
 
@@ -97,7 +106,8 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
                 rec.size_bytes = total;
                 rec.direction = direction_;
                 rec.latency = latency;
-                sink_->network.push_back(rec);
+                sink_->append(rec);
+                sink_->close_hold(trace::StreamId::kNetwork, started);
             }
             if (*on_done) (*on_done)(latency);
         });
@@ -128,7 +138,8 @@ void SwitchPort::send_tail(std::uint64_t request_id, std::uint64_t remaining,
                     rec.size_bytes = total;
                     rec.direction = direction_;
                     rec.latency = latency;
-                    sink_->network.push_back(rec);
+                    sink_->append(rec);
+                    sink_->close_hold(trace::StreamId::kNetwork, started);
                 }
                 if (*on_done) (*on_done)(latency);
             });

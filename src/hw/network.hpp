@@ -15,7 +15,7 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "trace/records.hpp"
-#include "trace/traceset.hpp"
+#include "trace/sink.hpp"
 
 namespace kooza::hw {
 
@@ -31,7 +31,7 @@ public:
     /// @param direction recorded on emitted NetworkRecords (rx at the GFS
     ///        server for client->server, tx for server->client)
     Link(sim::Engine& engine, LinkParams params,
-         trace::NetworkRecord::Direction direction, trace::TraceSet* sink = nullptr);
+         trace::NetworkRecord::Direction direction, trace::Sink* sink = nullptr);
 
     /// Move `size_bytes` across the link; `on_done` fires at the receiver
     /// with the total latency (queueing + serialization + propagation).
@@ -46,7 +46,7 @@ private:
     sim::Engine& engine_;
     LinkParams params_;
     trace::NetworkRecord::Direction direction_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     std::unique_ptr<sim::Resource> pipe_;
     std::uint64_t completed_ = 0;
 };
@@ -71,7 +71,7 @@ public:
     SwitchPort(sim::Engine& engine, SwitchParams params,
                trace::NetworkRecord::Direction direction =
                    trace::NetworkRecord::Direction::kRx,
-               trace::TraceSet* sink = nullptr);
+               trace::Sink* sink = nullptr);
 
     /// @param record  false for control messages (headers, acks): they
     ///        cost time on the port but are not payload traffic
@@ -91,7 +91,7 @@ private:
     sim::Engine& engine_;
     SwitchParams params_;
     trace::NetworkRecord::Direction direction_;
-    trace::TraceSet* sink_;
+    trace::Sink* sink_;
     std::unique_ptr<sim::Resource> port_;
     std::uint64_t drops_ = 0;
     std::uint64_t timeouts_ = 0;

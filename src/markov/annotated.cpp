@@ -1,11 +1,13 @@
 #include "markov/annotated.hpp"
 
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "stats/empirical.hpp"
 #include "stats/fitting.hpp"
+#include "stats/sample.hpp"
 
 namespace kooza::markov {
 
@@ -31,10 +33,14 @@ AnnotatedMarkovChain AnnotatedMarkovChain::from_parts(
 
 AnnotatedMarkovChain AnnotatedMarkovChain::fit(
     std::span<const AnnotatedSequence> sequences, std::size_t n_states, double alpha,
-    double ks_threshold) {
-    // Validate alignment and collect the feature-name universe.
+    double ks_threshold, std::size_t max_state_samples) {
+    const std::size_t cap = max_state_samples == 0
+                                ? std::numeric_limits<std::size_t>::max()
+                                : max_state_samples;
+    // Validate alignment, collect the feature-name universe, and count
+    // transitions — sufficient statistics instead of copied sequences.
     std::set<std::string> names;
-    std::vector<std::vector<std::size_t>> state_seqs;
+    ChainSuffStats chain_stats(n_states);
     for (const auto& seq : sequences) {
         for (const auto& [name, vals] : seq.features) {
             if (vals.size() != seq.states.size())
@@ -43,18 +49,22 @@ AnnotatedMarkovChain AnnotatedMarkovChain::fit(
                     "' not aligned with states");
             names.insert(name);
         }
-        state_seqs.push_back(seq.states);
+        chain_stats.observe(seq.states);
     }
-    MarkovChain chain = MarkovChain::fit(state_seqs, n_states, alpha);
+    MarkovChain chain = MarkovChain::fit_counts(chain_stats, alpha);
 
-    // Bucket feature values by state.
-    std::vector<std::map<std::string, std::vector<double>>> buckets(n_states);
-    std::map<std::string, std::vector<double>> global;
+    // Bucket feature values by state (first-`cap` retained per bucket).
+    std::vector<std::map<std::string, stats::CappedSample>> buckets(n_states);
+    std::map<std::string, stats::CappedSample> global;
+    const auto bucket_of = [cap](std::map<std::string, stats::CappedSample>& m,
+                                 const std::string& name) -> stats::CappedSample& {
+        return m.try_emplace(name, stats::CappedSample(cap)).first->second;
+    };
     for (const auto& seq : sequences)
         for (const auto& [name, vals] : seq.features)
             for (std::size_t i = 0; i < vals.size(); ++i) {
-                buckets[seq.states[i]][name].push_back(vals[i]);
-                global[name].push_back(vals[i]);
+                bucket_of(buckets[seq.states[i]], name).observe(vals[i]);
+                bucket_of(global, name).observe(vals[i]);
             }
 
     std::vector<std::map<std::string, std::unique_ptr<stats::Distribution>>> per_state(
@@ -62,9 +72,9 @@ AnnotatedMarkovChain AnnotatedMarkovChain::fit(
     for (std::size_t s = 0; s < n_states; ++s)
         for (const auto& name : names) {
             auto it = buckets[s].find(name);
-            const auto& vals =
-                (it != buckets[s].end() && !it->second.empty()) ? it->second
-                                                                : global.at(name);
+            const auto& vals = (it != buckets[s].end() && !it->second.empty())
+                                   ? it->second.values()
+                                   : global.at(name).values();
             if (vals.empty())
                 throw std::invalid_argument(
                     "AnnotatedMarkovChain::fit: feature '" + name + "' has no data");

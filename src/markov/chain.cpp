@@ -39,25 +39,58 @@ MarkovChain::MarkovChain(std::vector<std::vector<double>> transitions,
     check_stochastic(init_, "MarkovChain initial");
 }
 
+ChainSuffStats::ChainSuffStats(std::size_t n)
+    : n_states(n),
+      initial(n, 0.0),
+      transitions(n, std::vector<double>(n, 0.0)) {
+    if (n == 0) throw std::invalid_argument("ChainSuffStats: need >= 1 state");
+}
+
+void ChainSuffStats::observe(std::span<const std::size_t> seq) {
+    if (seq.empty()) return;
+    for (std::size_t s : seq)
+        if (s >= n_states)
+            throw std::invalid_argument("MarkovChain::fit: state id out of range");
+    ++sequences;
+    initial[seq.front()] += 1.0;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+        transitions[seq[i]][seq[i + 1]] += 1.0;
+}
+
+void ChainSuffStats::merge(const ChainSuffStats& other) {
+    if (other.n_states != n_states)
+        throw std::invalid_argument("ChainSuffStats::merge: state count mismatch");
+    sequences += other.sequences;
+    for (std::size_t i = 0; i < n_states; ++i) {
+        initial[i] += other.initial[i];
+        for (std::size_t j = 0; j < n_states; ++j)
+            transitions[i][j] += other.transitions[i][j];
+    }
+}
+
 MarkovChain MarkovChain::fit(std::span<const std::vector<std::size_t>> sequences,
                              std::size_t n_states, double alpha) {
     if (n_states == 0) throw std::invalid_argument("MarkovChain::fit: need >= 1 state");
+    ChainSuffStats stats(n_states);
+    for (const auto& seq : sequences) stats.observe(seq);
+    return fit_counts(stats, alpha);
+}
+
+MarkovChain MarkovChain::fit_counts(const ChainSuffStats& stats, double alpha) {
     if (alpha < 0.0) throw std::invalid_argument("MarkovChain::fit: alpha must be >= 0");
+    const std::size_t n_states = stats.n_states;
+    if (stats.sequences == 0)
+        throw std::invalid_argument("MarkovChain::fit: no non-empty sequences");
+    // alpha + integer counts is exact, so this matches the incremental
+    // alpha-seeded accumulation fit() historically performed.
     std::vector<std::vector<double>> counts(n_states,
                                             std::vector<double>(n_states, alpha));
     std::vector<double> init_counts(n_states, alpha);
-    bool any = false;
-    for (const auto& seq : sequences) {
-        if (seq.empty()) continue;
-        for (std::size_t s : seq)
-            if (s >= n_states)
-                throw std::invalid_argument("MarkovChain::fit: state id out of range");
-        any = true;
-        init_counts[seq.front()] += 1.0;
-        for (std::size_t i = 0; i + 1 < seq.size(); ++i)
-            counts[seq[i]][seq[i + 1]] += 1.0;
+    for (std::size_t i = 0; i < n_states; ++i) {
+        init_counts[i] += stats.initial[i];
+        for (std::size_t j = 0; j < n_states; ++j)
+            counts[i][j] += stats.transitions[i][j];
     }
-    if (!any) throw std::invalid_argument("MarkovChain::fit: no non-empty sequences");
     // Normalize rows; a row with zero mass (alpha == 0 and state never seen
     // as a predecessor) becomes uniform.
     for (auto& row : counts) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +16,28 @@
 #include "sim/rng.hpp"
 
 namespace kooza::markov {
+
+/// Merge-able sufficient statistics for chain fitting: initial-state and
+/// transition counts. Streaming trainers accumulate these chunk by chunk
+/// (or shard by shard, then merge) and fit once at the end —
+/// MarkovChain::fit_counts(stats, alpha) produces the same chain as
+/// MarkovChain::fit over the concatenated sequences, bit for bit, since
+/// counts are integers and exact in double precision.
+struct ChainSuffStats {
+    explicit ChainSuffStats(std::size_t n_states);
+
+    /// Count one observed state sequence; empty sequences are ignored.
+    /// Throws std::invalid_argument on a state id >= n_states.
+    void observe(std::span<const std::size_t> seq);
+
+    /// Combine counts from another accumulator over the same state space.
+    void merge(const ChainSuffStats& other);
+
+    std::size_t n_states = 0;
+    std::vector<double> initial;                    ///< initial-state counts
+    std::vector<std::vector<double>> transitions;   ///< transition counts
+    std::uint64_t sequences = 0;  ///< non-empty sequences observed
+};
 
 class MarkovChain {
 public:
@@ -35,6 +58,11 @@ public:
     ///                   log_likelihood finite); 0 disables smoothing
     static MarkovChain fit(std::span<const std::vector<std::size_t>> sequences,
                            std::size_t n_states, double alpha = 0.5);
+
+    /// Fit from pre-accumulated sufficient statistics (the streaming
+    /// path). Identical smoothing/normalization as fit(); throws
+    /// std::invalid_argument when the stats saw no non-empty sequence.
+    static MarkovChain fit_counts(const ChainSuffStats& stats, double alpha = 0.5);
 
     [[nodiscard]] std::size_t n_states() const noexcept { return n_; }
 

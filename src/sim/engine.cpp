@@ -25,14 +25,23 @@ EngineMetrics& metrics() {
 
 }  // namespace
 
-void Engine::schedule_at(Time at, std::function<void()> action) {
+void Engine::push_event(Time at, bool daemon, std::function<void()> action) {
     if (at < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
     if (!action) throw std::invalid_argument("Engine::schedule_at: empty action");
-    heap_.push_back(Event{at, next_seq_++, std::move(action)});
+    heap_.push_back(Event{at, next_seq_++, daemon, std::move(action)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    if (!daemon) ++live_;
     auto& m = metrics();
     m.scheduled.add();
     m.heap_depth.set(double(heap_.size()));
+}
+
+void Engine::schedule_at(Time at, std::function<void()> action) {
+    push_event(at, false, std::move(action));
+}
+
+void Engine::schedule_daemon_at(Time at, std::function<void()> action) {
+    push_event(at, true, std::move(action));
 }
 
 void Engine::schedule_after(Time delay, std::function<void()> action) {
@@ -51,6 +60,7 @@ bool Engine::step() {
     if (heap_.empty()) return false;
     Event ev = pop_next();  // move-only: the action is never copied
     now_ = ev.at;
+    if (!ev.daemon) --live_;
     ++executed_;
     metrics().dispatched.add();
     ev.action();
@@ -60,7 +70,7 @@ bool Engine::step() {
 std::uint64_t Engine::run() {
     stopped_ = false;
     std::uint64_t n = 0;
-    while (!stopped_ && step()) ++n;
+    while (!stopped_ && live_ > 0 && step()) ++n;
     return n;
 }
 

@@ -23,6 +23,7 @@ using Time = double;
 struct Event {
     Time at = 0.0;
     std::uint64_t seq = 0;  ///< tie-breaker: FIFO among equal timestamps
+    bool daemon = false;    ///< daemon events do not keep run() alive
     std::function<void()> action;
 };
 
@@ -49,7 +50,14 @@ public:
     /// Negative delays are rejected.
     void schedule_after(Time delay, std::function<void()> action);
 
-    /// Run until the event queue drains or stop() is called.
+    /// Schedule a *daemon* event: it fires like a normal event but does
+    /// not keep run() alive. run() returns once every non-daemon event
+    /// has executed, leaving unfired daemon events in the queue. Used for
+    /// open-ended background processes (lazy fault plans) that must not
+    /// turn a finite simulation into an infinite one.
+    void schedule_daemon_at(Time at, std::function<void()> action);
+
+    /// Run until all *non-daemon* events drain or stop() is called.
     /// Returns the number of events executed.
     std::uint64_t run();
 
@@ -89,9 +97,12 @@ private:
     /// Remove and return the earliest event (heap must be non-empty).
     Event pop_next();
 
+    void push_event(Time at, bool daemon, std::function<void()> action);
+
     Time now_ = 0.0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t live_ = 0;  ///< pending non-daemon events
     bool stopped_ = false;
     std::vector<Event> heap_;
 };

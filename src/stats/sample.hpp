@@ -1,0 +1,59 @@
+// Bounded retention samples for streaming estimators.
+//
+// Chunked trainers (core::Trainer::train_streaming) cannot keep every
+// observation of every feature in memory. CappedSample is the merge-able
+// building block they use instead: it retains the first `cap` values
+// verbatim (so an uncapped sample reproduces the in-memory fit
+// bit-for-bit) while still counting everything it saw, and two samples
+// built from adjacent chunks merge into the sample a single pass would
+// have produced.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace kooza::stats {
+
+/// First-K retention sample: keeps the first `cap` observed values in
+/// observation order and counts the rest. Deterministic by construction
+/// (no reservoir randomness), so a capped fit is reproducible and an
+/// uncapped one is byte-identical to fitting the raw vector.
+class CappedSample {
+public:
+    /// @param cap  max values retained; the default keeps everything.
+    explicit CappedSample(std::size_t cap = std::numeric_limits<std::size_t>::max())
+        : cap_(cap) {}
+
+    void observe(double x) {
+        ++seen_;
+        if (values_.size() < cap_) values_.push_back(x);
+    }
+
+    /// Append `other`'s retained values (in its observation order) until
+    /// this sample's cap; counts always combine. Merging chunk-ordered
+    /// samples left to right reproduces a single sequential pass.
+    void merge(const CappedSample& other) {
+        seen_ += other.seen_;
+        for (double x : other.values_) {
+            if (values_.size() >= cap_) break;
+            values_.push_back(x);
+        }
+    }
+
+    [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    /// Total observations, retained or not.
+    [[nodiscard]] std::size_t seen() const noexcept { return seen_; }
+    [[nodiscard]] std::size_t cap() const noexcept { return cap_; }
+    /// True when at least one observation was dropped by the cap.
+    [[nodiscard]] bool truncated() const noexcept { return seen_ > values_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+private:
+    std::size_t cap_;
+    std::size_t seen_ = 0;
+    std::vector<double> values_;
+};
+
+}  // namespace kooza::stats

@@ -1,5 +1,6 @@
 #include "trace/binary.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
@@ -302,7 +303,9 @@ std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) noexc
     return c ^ 0xFFFFFFFFu;
 }
 
-BinaryWriter::BinaryWriter(std::filesystem::path dir) : dir_(std::move(dir)) {
+BinaryWriter::BinaryWriter(std::filesystem::path dir,
+                           std::size_t spill_buffer_bytes)
+    : dir_(std::move(dir)), spill_buffer_bytes_(spill_buffer_bytes) {
     streams_.resize(schemas().size());
     for (const auto& s : schemas())
         streams_[s.id].columns.resize(s.cols.size());
@@ -391,11 +394,42 @@ void BinaryWriter::append(const TraceSet& chunk) {
         ++s.count;
     }
     records_ += chunk.total_records();
+    maybe_spill();
 }
 
-void BinaryWriter::write_stream_file(std::size_t stream_id) const {
+void BinaryWriter::maybe_spill() {
+    if (spill_buffer_bytes_ == 0) return;
+    for (std::size_t id = 0; id < streams_.size(); ++id)
+        for (std::size_t c = 0; c < streams_[id].columns.size(); ++c)
+            if (streams_[id].columns[c].bytes.size() >= spill_buffer_bytes_)
+                spill_column(id, c);
+}
+
+void BinaryWriter::spill_column(std::size_t stream_id, std::size_t col_ix) {
+    auto& col = streams_[stream_id].columns[col_ix];
+    if (!col.spill.is_open()) {
+        fs::create_directories(dir_);
+        col.spill_path = dir_ / (std::string(schemas()[stream_id].stem) + ".c" +
+                                 std::to_string(col_ix) + ".spill");
+        col.spill.open(col.spill_path,
+                       std::ios::binary | std::ios::trunc | std::ios::out);
+        if (!col.spill)
+            throw std::runtime_error("BinaryWriter: cannot open spill file " +
+                                     col.spill_path.string());
+    }
+    col.crc = crc32(col.bytes.data(), col.bytes.size(), col.crc);
+    col.spill.write(reinterpret_cast<const char*>(col.bytes.data()),
+                    std::streamsize(col.bytes.size()));
+    if (!col.spill)
+        throw std::runtime_error("BinaryWriter: spill write failed: " +
+                                 col.spill_path.string());
+    col.spilled += col.bytes.size();
+    col.bytes.clear();
+}
+
+void BinaryWriter::write_stream_file(std::size_t stream_id) {
     const auto& schema = schemas()[stream_id];
-    const auto& stream = streams_[stream_id];
+    auto& stream = streams_[stream_id];
     const auto path = dir_ / (std::string(schema.stem) + ".bin");
     std::ofstream f(path, std::ios::binary | std::ios::trunc);
     if (!f)
@@ -416,9 +450,45 @@ void BinaryWriter::write_stream_file(std::size_t stream_id) const {
         put(tail, crc32(payload.data(), payload.size()));
         emit(tail);
     };
+    // A spilled column splices its temp file in front of the still-
+    // buffered tail; the section CRC chains across both, so the bytes
+    // are identical to the all-in-memory path.
+    auto emit_column = [&](Column& col) {
+        if (col.spilled == 0) {
+            emit_section(col.bytes);
+            return;
+        }
+        std::vector<std::uint8_t> frame;
+        put(frame, std::uint64_t(col.spilled + col.bytes.size()));
+        emit(frame);
+        col.spill.close();
+        std::ifstream in(col.spill_path, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("BinaryWriter: cannot reopen spill file " +
+                                     col.spill_path.string());
+        std::vector<char> buf(1 << 20);
+        std::uint64_t copied = 0;
+        while (in) {
+            in.read(buf.data(), std::streamsize(buf.size()));
+            const auto got = in.gcount();
+            if (got <= 0) break;
+            f.write(buf.data(), got);
+            written += std::uint64_t(got);
+            copied += std::uint64_t(got);
+        }
+        if (copied != col.spilled)
+            throw std::runtime_error("BinaryWriter: spill file truncated: " +
+                                     col.spill_path.string());
+        emit(col.bytes);
+        std::vector<std::uint8_t> tail;
+        put(tail, crc32(col.bytes.data(), col.bytes.size(), col.crc));
+        emit(tail);
+        std::error_code ec;
+        fs::remove(col.spill_path, ec);
+    };
 
     emit(make_header(schema, stream.count));
-    for (const auto& col : stream.columns) emit_section(col.bytes);
+    for (auto& col : stream.columns) emit_column(col);
     if (schema.id == 6) {
         std::vector<std::uint8_t> tab;
         put(tab, std::uint32_t(names_.size()));
@@ -551,6 +621,244 @@ TraceSet read_binary(const std::filesystem::path& dir) {
         }
     }
     return ts;
+}
+
+ChunkedReader::ChunkedReader(std::filesystem::path dir) : dir_(std::move(dir)) {
+    files_.resize(schemas().size());
+    std::vector<char> buf(1 << 20);
+    for (const auto& s : schemas()) {
+        auto& sf = files_[s.id];
+        sf.path = dir_ / (std::string(s.stem) + ".bin");
+        if (!fs::exists(sf.path)) {
+            metrics().missing_files.add();
+            throw std::runtime_error("ChunkedReader: missing stream file " +
+                                     sf.path.string() + " (partial capture?)");
+        }
+        sf.file.open(sf.path, std::ios::binary);
+        if (!sf.file) bad_file(sf.path, "cannot open");
+
+        // Header, validated exactly as read_binary but from a small buffer.
+        std::vector<std::uint8_t> h(kHeaderBytes + 4);
+        sf.file.read(reinterpret_cast<char*>(h.data()),
+                     std::streamsize(h.size()));
+        if (std::size_t(sf.file.gcount()) != h.size())
+            bad_file(sf.path, "truncated file (header)");
+        if (std::memcmp(h.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0)
+            bad_file(sf.path, "bad magic (not a kooza.trace/1 file)");
+        std::size_t pos = sizeof(kBinaryMagic);
+        auto take32 = [&] {
+            std::uint32_t v;
+            std::memcpy(&v, h.data() + pos, 4);
+            pos += 4;
+            return v;
+        };
+        auto take64 = [&] {
+            std::uint64_t v;
+            std::memcpy(&v, h.data() + pos, 8);
+            pos += 8;
+            return v;
+        };
+        std::uint32_t stored_hdr_crc;
+        std::memcpy(&stored_hdr_crc, h.data() + kHeaderBytes, 4);
+        if (crc32(h.data(), kHeaderBytes) != stored_hdr_crc)
+            bad_file(sf.path, "header CRC32 mismatch");
+        if (const auto ver = take32(); ver != kBinaryVersion)
+            bad_file(sf.path, "unsupported version " + std::to_string(ver));
+        if (const auto id = take32(); id != s.id)
+            bad_file(sf.path, "stream id mismatch (file renamed?)");
+        if (take64() != schema_hash(s.spec))
+            bad_file(sf.path, "schema hash mismatch");
+        sf.count = take64();
+
+        // Walk the sections once, CRC-checking each payload through the
+        // bounded buffer and remembering where it starts.
+        std::uint64_t off = kHeaderBytes + 4;
+        constexpr std::uint64_t kAnyLen = ~0ull;
+        auto check_section = [&](std::uint64_t expected_len, const char* what,
+                                 std::vector<std::uint8_t>* capture) {
+            std::uint64_t len = 0;
+            sf.file.read(reinterpret_cast<char*>(&len), 8);
+            if (sf.file.gcount() != 8)
+                bad_file(sf.path,
+                         std::string("truncated file (") + what + ")");
+            if (expected_len != kAnyLen && len != expected_len)
+                bad_file(sf.path,
+                         std::string(what) + ": unexpected section length");
+            off += 8;
+            const std::uint64_t payload = off;
+            if (capture) capture->reserve(std::size_t(len));
+            std::uint32_t crc = 0;
+            std::uint64_t left = len;
+            while (left > 0) {
+                const auto take =
+                    std::size_t(std::min<std::uint64_t>(left, buf.size()));
+                sf.file.read(buf.data(), std::streamsize(take));
+                if (std::size_t(sf.file.gcount()) != take)
+                    bad_file(sf.path,
+                             std::string("truncated file (") + what + ")");
+                crc = crc32(buf.data(), take, crc);
+                if (capture)
+                    capture->insert(capture->end(), buf.data(),
+                                    buf.data() + take);
+                left -= take;
+            }
+            std::uint32_t stored = 0;
+            sf.file.read(reinterpret_cast<char*>(&stored), 4);
+            if (sf.file.gcount() != 4)
+                bad_file(sf.path,
+                         std::string("truncated file (") + what + ")");
+            if (crc != stored)
+                bad_file(sf.path, std::string(what) +
+                                      ": CRC32 mismatch (corrupt section)");
+            off += len + 4;
+            return payload;
+        };
+        for (std::size_t c = 0; c < s.cols.size(); ++c)
+            sf.col_offsets.push_back(check_section(
+                sf.count * width(s.cols[c]), "column", nullptr));
+        if (s.id == 6) {
+            // The string table is bounded by the number of distinct span
+            // names, so it is safe to hold in memory.
+            std::vector<std::uint8_t> tab;
+            check_section(kAnyLen, "string table", &tab);
+            std::size_t p = 0;
+            auto need = [&](std::size_t n) {
+                if (p + n > tab.size())
+                    bad_file(sf.path, "string table truncated");
+            };
+            need(4);
+            std::uint32_t n;
+            std::memcpy(&n, tab.data(), 4);
+            p += 4;
+            names_.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                need(4);
+                std::uint32_t len;
+                std::memcpy(&len, tab.data() + p, 4);
+                p += 4;
+                need(len);
+                names_.emplace_back(
+                    reinterpret_cast<const char*>(tab.data() + p), len);
+                p += len;
+            }
+            if (p != tab.size())
+                bad_file(sf.path, "string table has trailing bytes");
+        }
+    }
+}
+
+std::uint64_t ChunkedReader::rows(StreamId s) const noexcept {
+    return files_[std::size_t(s)].count;
+}
+
+std::uint64_t ChunkedReader::total_rows() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& sf : files_) n += sf.count;
+    return n;
+}
+
+void ChunkedReader::read_rows(StreamId s, std::uint64_t begin, std::uint64_t n,
+                              TraceSet& out) {
+    const auto id = std::size_t(s);
+    const auto& schema = schemas()[id];
+    auto& sf = files_[id];
+    if (begin + n < begin || begin + n > sf.count)
+        throw std::out_of_range("ChunkedReader::read_rows: rows [" +
+                                std::to_string(begin) + ", " +
+                                std::to_string(begin + n) + ") past end of " +
+                                sf.path.string());
+    if (n == 0) return;
+
+    std::vector<std::vector<std::uint8_t>> cols(schema.cols.size());
+    for (std::size_t c = 0; c < schema.cols.size(); ++c) {
+        const auto w = width(schema.cols[c]);
+        cols[c].resize(std::size_t(n) * w);
+        sf.file.clear();
+        sf.file.seekg(std::streamoff(sf.col_offsets[c] + begin * w));
+        sf.file.read(reinterpret_cast<char*>(cols[c].data()),
+                     std::streamsize(cols[c].size()));
+        if (std::size_t(sf.file.gcount()) != cols[c].size())
+            bad_file(sf.path, "short read");
+    }
+    auto u64 = [&](std::size_t c, std::size_t i) {
+        std::uint64_t v;
+        std::memcpy(&v, cols[c].data() + i * 8, 8);
+        return v;
+    };
+    auto u32 = [&](std::size_t c, std::size_t i) {
+        std::uint32_t v;
+        std::memcpy(&v, cols[c].data() + i * 4, 4);
+        return v;
+    };
+    auto f64 = [&](std::size_t c, std::size_t i) {
+        return std::bit_cast<double>(u64(c, i));
+    };
+    auto enum8 = [&](std::size_t c, std::size_t i, std::uint8_t max,
+                     const char* what) {
+        const auto v = cols[c][i];
+        if (v > max)
+            bad_file(sf.path, "record " + std::to_string(begin + i) +
+                                  ": invalid " + what + " value " +
+                                  std::to_string(v));
+        return v;
+    };
+
+    switch (StreamId(id)) {
+        case StreamId::kStorage:
+            for (std::size_t i = 0; i < n; ++i)
+                out.storage.push_back({f64(0, i), u64(1, i), u64(2, i),
+                                       u64(3, i),
+                                       IoType(enum8(4, i, 1, "io type")),
+                                       f64(5, i)});
+            break;
+        case StreamId::kCpu:
+            for (std::size_t i = 0; i < n; ++i)
+                out.cpu.push_back({f64(0, i), u64(1, i), f64(2, i), f64(3, i)});
+            break;
+        case StreamId::kMemory:
+            for (std::size_t i = 0; i < n; ++i)
+                out.memory.push_back({f64(0, i), u64(1, i), u32(2, i),
+                                      u64(3, i),
+                                      IoType(enum8(4, i, 1, "io type"))});
+            break;
+        case StreamId::kNetwork:
+            for (std::size_t i = 0; i < n; ++i)
+                out.network.push_back(
+                    {f64(0, i), u64(1, i), u64(2, i),
+                     NetworkRecord::Direction(enum8(3, i, 1, "direction")),
+                     f64(4, i)});
+            break;
+        case StreamId::kRequests:
+            for (std::size_t i = 0; i < n; ++i)
+                out.requests.push_back({u64(0, i),
+                                        IoType(enum8(1, i, 1, "io type")),
+                                        f64(2, i), f64(3, i), u64(4, i)});
+            break;
+        case StreamId::kFailures:
+            for (std::size_t i = 0; i < n; ++i)
+                out.failures.push_back(
+                    {f64(0, i), u64(1, i), u32(2, i),
+                     FailureRecord::Kind(enum8(3, i, 4, "failure kind")),
+                     f64(4, i)});
+            break;
+        case StreamId::kSpans:
+            for (std::size_t i = 0; i < n; ++i) {
+                Span sp;
+                sp.trace_id = u64(0, i);
+                sp.span_id = u64(1, i);
+                sp.parent_id = u64(2, i);
+                const auto ix = u32(3, i);
+                if (ix >= names_.size())
+                    bad_file(sf.path, "record " + std::to_string(begin + i) +
+                                          ": name index out of range");
+                sp.name = names_[ix];
+                sp.start = f64(4, i);
+                sp.end = f64(5, i);
+                out.spans.push_back(std::move(sp));
+            }
+            break;
+    }
+    metrics().rows.add(n);
 }
 
 }  // namespace kooza::trace

@@ -23,10 +23,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "trace/sink.hpp"
 #include "trace/traceset.hpp"
 
 namespace kooza::trace {
@@ -36,7 +38,10 @@ inline constexpr char kBinaryMagic[8] = {'K', 'O', 'O', 'Z', 'A', 'T', 'R', '1'}
 inline constexpr std::uint32_t kBinaryVersion = 1;
 
 /// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-section
-/// checksum. Exposed so tests can corrupt-then-refit sections.
+/// checksum. Exposed so tests can corrupt-then-refit sections. Passing a
+/// previous return value as `seed` continues the checksum, so
+/// crc32(b, nb, crc32(a, na)) == crc32(a || b) — the chaining the spill
+/// path relies on.
 [[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
                                   std::uint32_t seed = 0) noexcept;
 
@@ -44,9 +49,16 @@ inline constexpr std::uint32_t kBinaryVersion = 1;
 /// (no full-TraceSet materialization required by the caller), then
 /// finish() to lay the files down. Columns are buffered per stream, so
 /// the output is byte-identical however the records were chunked.
+///
+/// With `spill_buffer_bytes > 0`, any column buffer reaching that size is
+/// flushed to a temp file next to the output (CRC chained across
+/// flushes), keeping the writer's memory flat for arbitrarily long
+/// captures; finish() splices the spill files into the final sections.
+/// The produced bytes are identical either way.
 class BinaryWriter {
 public:
-    explicit BinaryWriter(std::filesystem::path dir);
+    explicit BinaryWriter(std::filesystem::path dir,
+                          std::size_t spill_buffer_bytes = 0);
     BinaryWriter(const BinaryWriter&) = delete;
     BinaryWriter& operator=(const BinaryWriter&) = delete;
     ~BinaryWriter();
@@ -66,15 +78,24 @@ public:
 private:
     struct Column {
         std::vector<std::uint8_t> bytes;
+        // Spill state: bytes already flushed to `spill_path`, with the
+        // running CRC32 over them (chained into the section checksum).
+        std::filesystem::path spill_path;
+        std::ofstream spill;
+        std::uint64_t spilled = 0;
+        std::uint32_t crc = 0;
     };
     struct Stream {
         std::vector<Column> columns;
         std::uint64_t count = 0;
     };
 
-    void write_stream_file(std::size_t stream_id) const;
+    void maybe_spill();
+    void spill_column(std::size_t stream_id, std::size_t col_ix);
+    void write_stream_file(std::size_t stream_id);
 
     std::filesystem::path dir_;
+    std::size_t spill_buffer_bytes_ = 0;
     std::vector<Stream> streams_;                  ///< indexed by stream id
     std::vector<std::string> names_;               ///< span-name string table
     std::map<std::string, std::uint32_t> name_ix_; ///< dedup index into names_
@@ -91,5 +112,44 @@ void write_binary(const TraceSet& ts, const std::filesystem::path& dir);
 /// CRCs are validated and enum columns range-checked. Throws
 /// std::runtime_error with the offending file on any mismatch.
 [[nodiscard]] TraceSet read_binary(const std::filesystem::path& dir);
+
+/// Bounded-memory reader over a kooza.trace/1 directory: validates every
+/// header and section CRC once at construction (streamed through a small
+/// buffer, never loading a whole file), then serves arbitrary row ranges
+/// per stream. This is what lets trainers consume captures far larger
+/// than RAM (core::Trainer::train_streaming).
+class ChunkedReader {
+public:
+    /// Opens and fully validates all seven stream files. Same strictness
+    /// and error reporting as read_binary.
+    explicit ChunkedReader(std::filesystem::path dir);
+    ChunkedReader(const ChunkedReader&) = delete;
+    ChunkedReader& operator=(const ChunkedReader&) = delete;
+
+    /// Record count of one stream.
+    [[nodiscard]] std::uint64_t rows(StreamId s) const noexcept;
+
+    /// Total records across all streams.
+    [[nodiscard]] std::uint64_t total_rows() const noexcept;
+
+    /// Decode rows [begin, begin + n) of `s`, appending them to the
+    /// matching stream of `out` (other streams untouched). Decoding and
+    /// enum range checks match read_binary exactly. Throws
+    /// std::out_of_range when the range exceeds rows(s).
+    void read_rows(StreamId s, std::uint64_t begin, std::uint64_t n,
+                   TraceSet& out);
+
+private:
+    struct StreamFile {
+        std::filesystem::path path;
+        std::ifstream file;
+        std::uint64_t count = 0;
+        std::vector<std::uint64_t> col_offsets;  ///< absolute payload offsets
+    };
+
+    std::filesystem::path dir_;
+    std::vector<StreamFile> files_;     ///< indexed by stream id
+    std::vector<std::string> names_;    ///< spans string table
+};
 
 }  // namespace kooza::trace

@@ -6,21 +6,6 @@
 
 namespace kooza::trace {
 
-namespace {
-
-struct Accumulator {
-    std::uint64_t rx = 0, tx = 0;
-    double cpu_busy = 0.0;
-    std::uint64_t mem_read = 0, mem_write = 0;
-    std::uint64_t sto_read = 0, sto_write = 0;
-    double first_sto_time = -1.0;
-    std::uint64_t first_lbn = 0;
-    double first_mem_time = -1.0;
-    std::uint32_t first_bank = 0;
-};
-
-}  // namespace
-
 std::string RequestFeatures::to_string() const {
     std::ostringstream os;
     os << "req " << request_id << ": net=" << network_bytes
@@ -30,42 +15,82 @@ std::string RequestFeatures::to_string() const {
     return os.str();
 }
 
-std::vector<RequestFeatures> extract_features(const TraceSet& ts) {
-    std::map<std::uint64_t, Accumulator> acc;
-    for (const auto& r : ts.network) {
-        auto& a = acc[r.request_id];
-        if (r.direction == NetworkRecord::Direction::kRx)
-            a.rx += r.size_bytes;
-        else
-            a.tx += r.size_bytes;
-    }
-    for (const auto& r : ts.cpu) acc[r.request_id].cpu_busy += r.busy_seconds;
-    for (const auto& r : ts.memory) {
-        auto& a = acc[r.request_id];
-        (r.type == IoType::kRead ? a.mem_read : a.mem_write) += r.size_bytes;
-        if (a.first_mem_time < 0.0 || r.time < a.first_mem_time) {
-            a.first_mem_time = r.time;
-            a.first_bank = r.bank;
-        }
-    }
-    for (const auto& r : ts.storage) {
-        auto& a = acc[r.request_id];
-        (r.type == IoType::kRead ? a.sto_read : a.sto_write) += r.size_bytes;
-        if (a.first_sto_time < 0.0 || r.time < a.first_sto_time) {
-            a.first_sto_time = r.time;
-            a.first_lbn = r.lbn;
-        }
-    }
+void FeatureAccumulator::observe(const NetworkRecord& r) {
+    auto& a = acc_[r.request_id];
+    if (r.direction == NetworkRecord::Direction::kRx)
+        a.rx += r.size_bytes;
+    else
+        a.tx += r.size_bytes;
+}
 
+void FeatureAccumulator::observe(const CpuRecord& r) {
+    acc_[r.request_id].cpu_busy += r.busy_seconds;
+}
+
+void FeatureAccumulator::observe(const MemoryRecord& r) {
+    auto& a = acc_[r.request_id];
+    (r.type == IoType::kRead ? a.mem_read : a.mem_write) += r.size_bytes;
+    if (a.first_mem_time < 0.0 || r.time < a.first_mem_time) {
+        a.first_mem_time = r.time;
+        a.first_bank = r.bank;
+    }
+}
+
+void FeatureAccumulator::observe(const StorageRecord& r) {
+    auto& a = acc_[r.request_id];
+    (r.type == IoType::kRead ? a.sto_read : a.sto_write) += r.size_bytes;
+    if (a.first_sto_time < 0.0 || r.time < a.first_sto_time) {
+        a.first_sto_time = r.time;
+        a.first_lbn = r.lbn;
+    }
+}
+
+void FeatureAccumulator::observe(const RequestRecord& r) { requests_.push_back(r); }
+
+void FeatureAccumulator::observe(const TraceSet& chunk) {
+    for (const auto& r : chunk.network) observe(r);
+    for (const auto& r : chunk.cpu) observe(r);
+    for (const auto& r : chunk.memory) observe(r);
+    for (const auto& r : chunk.storage) observe(r);
+    for (const auto& r : chunk.requests) observe(r);
+}
+
+void FeatureAccumulator::merge(const FeatureAccumulator& other) {
+    for (const auto& [id, b] : other.acc_) {
+        auto& a = acc_[id];
+        a.rx += b.rx;
+        a.tx += b.tx;
+        a.cpu_busy += b.cpu_busy;
+        a.mem_read += b.mem_read;
+        a.mem_write += b.mem_write;
+        a.sto_read += b.sto_read;
+        a.sto_write += b.sto_write;
+        // Strict < matches the single-pass tie-break: on an exact time tie
+        // the earlier slice (this) keeps its first-I/O sample.
+        if (b.first_mem_time >= 0.0 &&
+            (a.first_mem_time < 0.0 || b.first_mem_time < a.first_mem_time)) {
+            a.first_mem_time = b.first_mem_time;
+            a.first_bank = b.first_bank;
+        }
+        if (b.first_sto_time >= 0.0 &&
+            (a.first_sto_time < 0.0 || b.first_sto_time < a.first_sto_time)) {
+            a.first_sto_time = b.first_sto_time;
+            a.first_lbn = b.first_lbn;
+        }
+    }
+    requests_.insert(requests_.end(), other.requests_.begin(), other.requests_.end());
+}
+
+std::vector<RequestFeatures> FeatureAccumulator::finish() const {
     std::vector<RequestFeatures> out;
-    out.reserve(ts.requests.size());
-    for (const auto& req : ts.requests) {
-        auto it = acc.find(req.request_id);
+    out.reserve(requests_.size());
+    for (const auto& req : requests_) {
+        auto it = acc_.find(req.request_id);
         RequestFeatures f;
         f.request_id = req.request_id;
         f.arrival = req.arrival;
         f.latency = req.latency();
-        if (it != acc.end()) {
+        if (it != acc_.end()) {
             const auto& a = it->second;
             f.network_bytes = std::max(a.rx, a.tx);
             // Per-request CPU utilization: busy core-seconds over the
@@ -86,6 +111,12 @@ std::vector<RequestFeatures> extract_features(const TraceSet& ts) {
         return a.arrival < b.arrival;
     });
     return out;
+}
+
+std::vector<RequestFeatures> extract_features(const TraceSet& ts) {
+    FeatureAccumulator acc;
+    acc.observe(ts);
+    return acc.finish();
 }
 
 std::optional<RequestFeatures> extract_features_for(const TraceSet& ts,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,52 @@ struct RequestFeatures {
 /// maximum of rx and tx totals, which is the response for reads and the
 /// data for writes — matching the paper's "Request Size" column.
 [[nodiscard]] std::vector<RequestFeatures> extract_features(const TraceSet& ts);
+
+/// Streaming feature extraction: the per-request sufficient statistics
+/// behind extract_features, fed one record (or one chunk) at a time.
+/// Device records collapse into fixed-size per-request accumulators as
+/// they arrive, so consuming a capture chunk by chunk needs O(requests)
+/// memory instead of O(records) — the hook core::Trainer::train_streaming
+/// uses over trace::ChunkedReader. extract_features(ts) itself is
+/// implemented on top of this, so both paths produce identical rows.
+class FeatureAccumulator {
+public:
+    void observe(const NetworkRecord& r);
+    void observe(const CpuRecord& r);
+    void observe(const MemoryRecord& r);
+    void observe(const StorageRecord& r);
+    void observe(const RequestRecord& r);
+    /// All five feature-bearing streams of `chunk`, in record order.
+    void observe(const TraceSet& chunk);
+
+    /// Fold another accumulator built from a *later* slice of the same
+    /// capture into this one (first-seen wins on first-I/O tie-breaks).
+    void merge(const FeatureAccumulator& other);
+
+    /// Completed-request rows, sorted by arrival — exactly what
+    /// extract_features returns for the concatenation of everything
+    /// observed.
+    [[nodiscard]] std::vector<RequestFeatures> finish() const;
+
+    [[nodiscard]] std::size_t requests_seen() const noexcept {
+        return requests_.size();
+    }
+
+private:
+    struct PerRequest {
+        std::uint64_t rx = 0, tx = 0;
+        double cpu_busy = 0.0;
+        std::uint64_t mem_read = 0, mem_write = 0;
+        std::uint64_t sto_read = 0, sto_write = 0;
+        double first_sto_time = -1.0;
+        std::uint64_t first_lbn = 0;
+        double first_mem_time = -1.0;
+        std::uint32_t first_bank = 0;
+    };
+
+    std::map<std::uint64_t, PerRequest> acc_;
+    std::vector<RequestRecord> requests_;
+};
 
 /// Features of one specific request, if it completed.
 [[nodiscard]] std::optional<RequestFeatures> extract_features_for(const TraceSet& ts,

@@ -1,0 +1,13 @@
+#include "trace/sink.hpp"
+
+namespace kooza::trace {
+
+// Out-of-line virtuals anchor the vtables in kooza_trace.
+Sink::~Sink() = default;
+
+void Sink::open_hold(StreamId, double) {}
+void Sink::close_hold(StreamId, double) {}
+
+SinkProvider::~SinkProvider() = default;
+
+}  // namespace kooza::trace

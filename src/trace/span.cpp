@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/sink.hpp"
+
 namespace kooza::trace {
 
 SpanTracer::SpanTracer(std::uint64_t sample_every) : every_(sample_every) {
@@ -28,6 +30,9 @@ SpanId SpanTracer::start_span(TraceId trace, SpanId parent, std::string name,
     s.start = now;
     s.end = now;
     open_.emplace(id, std::move(s));
+    // Streaming mode: the span is keyed at its start but only appended
+    // when it closes, so hold the spans stream until then.
+    if (sink_) sink_->open_hold(StreamId::kSpans, now);
     return id;
 }
 
@@ -47,7 +52,13 @@ void SpanTracer::end_span(SpanId span, double now) {
     if (it == open_.end()) throw std::logic_error("SpanTracer::end_span: unknown span");
     ++ops_rec_;
     it->second.end = now;
-    done_.push_back(std::move(it->second));
+    if (sink_) {
+        const double start = it->second.start;
+        sink_->append(it->second);
+        sink_->close_hold(StreamId::kSpans, start);
+    } else {
+        done_.push_back(std::move(it->second));
+    }
     open_.erase(it);
 }
 

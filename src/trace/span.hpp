@@ -15,6 +15,9 @@
 
 namespace kooza::trace {
 
+class Sink;
+enum class StreamId : std::uint8_t;
+
 using TraceId = std::uint64_t;  ///< global request identifier
 using SpanId = std::uint64_t;   ///< unique within the tracer
 
@@ -58,8 +61,20 @@ public:
     /// unknown/closed non-zero handle.
     void end_span(SpanId span, double now);
 
-    /// All closed spans, in completion order.
+    /// Route closed spans into `sink` (spans stream, held from start to
+    /// close per the sink hold protocol) instead of retaining them in
+    /// spans() — the streaming-capture mode, where span memory must stay
+    /// bounded by the in-flight set. Pass nullptr to restore collection.
+    void set_sink(Sink* sink) noexcept { sink_ = sink; }
+
+    /// All closed spans, in completion order (empty while a sink is set).
     [[nodiscard]] const std::vector<Span>& spans() const noexcept { return done_; }
+
+    /// Move the closed spans out (the tracer keeps running but starts
+    /// empty) — lets one-shot captures avoid a full copy.
+    [[nodiscard]] std::vector<Span> take_spans() noexcept {
+        return std::move(done_);
+    }
 
     /// Bookkeeping for the overhead ablation: how many span operations
     /// were requested vs actually recorded.
@@ -74,6 +89,7 @@ public:
 private:
     std::uint64_t every_;
     SpanId next_id_ = 1;
+    Sink* sink_ = nullptr;
     std::map<SpanId, Span> open_;
     std::vector<Span> done_;
     std::uint64_t ops_req_ = 0;

@@ -24,7 +24,164 @@ std::uint64_t clamp_offset(std::uint64_t offset, std::uint64_t size,
 /// Align an offset down to 4 KB (block-friendly I/O).
 std::uint64_t align4k(std::uint64_t offset) { return offset & ~std::uint64_t(4095); }
 
+/// Fallback stream: materialize generate() once and replay it.
+class MaterializedStream final : public ScheduleStream {
+public:
+    explicit MaterializedStream(Workload w) : w_(std::move(w)) {}
+    const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
+        return w_.files;
+    }
+    std::optional<gfs::RequestSpec> next() override {
+        if (ix_ >= w_.requests.size()) return std::nullopt;
+        return w_.requests[ix_++];
+    }
+
+private:
+    Workload w_;
+    std::size_t ix_ = 0;
+};
+
+/// True streaming micro schedule: one request per pull, same draws as
+/// MicroProfile::generate (exponential, bernoulli, [uniform]).
+class MicroStream final : public ScheduleStream {
+public:
+    MicroStream(MicroProfile::Params p, sim::Rng rng) : p_(p), rng_(rng) {
+        files_.emplace_back("micro.dat", p_.file_size);
+    }
+    const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
+        return files_;
+    }
+    std::optional<gfs::RequestSpec> next() override {
+        if (i_ >= p_.count) return std::nullopt;
+        ++i_;
+        t_ += rng_.exponential(p_.arrival_rate);
+        gfs::RequestSpec r;
+        r.time = t_;
+        r.file = "micro.dat";
+        r.type = rng_.bernoulli(p_.read_fraction) ? trace::IoType::kRead
+                                                  : trace::IoType::kWrite;
+        r.size = r.type == trace::IoType::kRead ? p_.read_size : p_.write_size;
+        if (p_.sequential) {
+            r.offset = clamp_offset(seq_cursor_, r.size, p_.file_size);
+            seq_cursor_ += r.size;
+            if (seq_cursor_ + r.size > p_.file_size) seq_cursor_ = 0;
+        } else {
+            r.offset = clamp_offset(
+                align4k(std::uint64_t(rng_.uniform(0.0, double(p_.file_size)))),
+                r.size, p_.file_size);
+        }
+        return r;
+    }
+
+private:
+    MicroProfile::Params p_;
+    sim::Rng rng_;
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+    double t_ = 0.0;
+    std::uint64_t seq_cursor_ = 0;
+    std::size_t i_ = 0;
+};
+
+/// True streaming OLTP schedule (MMPP phase state carried across pulls).
+class OltpStream final : public ScheduleStream {
+public:
+    OltpStream(OltpProfile::Params p, sim::Rng rng) : p_(p), rng_(rng) {
+        files_.emplace_back("table.db", p_.table_size);
+    }
+    const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
+        return files_;
+    }
+    std::optional<gfs::RequestSpec> next() override {
+        if (i_ >= p_.count) return std::nullopt;
+        ++i_;
+        const double burst_rate = p_.base_rate * p_.burst_multiplier;
+        const double switch_quiet = 0.5;
+        const double switch_burst = 2.0;
+        for (;;) {
+            const double rate = phase_ == 0 ? p_.base_rate : burst_rate;
+            const double sw = phase_ == 0 ? switch_quiet : switch_burst;
+            const double ta = rng_.exponential(rate);
+            const double ts = rng_.exponential(sw);
+            if (ta <= ts) {
+                t_ += ta;
+                break;
+            }
+            t_ += ts;
+            phase_ ^= 1;
+        }
+        gfs::RequestSpec r;
+        r.time = t_;
+        r.file = "table.db";
+        r.type = rng_.bernoulli(p_.read_fraction) ? trace::IoType::kRead
+                                                  : trace::IoType::kWrite;
+        static constexpr std::uint64_t kPages[] = {4096, 8192, 16384};
+        r.size = kPages[std::size_t(rng_.uniform_int(0, 2))];
+        r.offset = clamp_offset(
+            align4k(std::uint64_t(rng_.uniform(0.0, double(p_.table_size)))), r.size,
+            p_.table_size);
+        return r;
+    }
+
+private:
+    OltpProfile::Params p_;
+    sim::Rng rng_;
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+    double t_ = 0.0;
+    int phase_ = 0;
+    std::size_t i_ = 0;
+};
+
+/// True streaming log-append schedule.
+class LogAppendStream final : public ScheduleStream {
+public:
+    LogAppendStream(LogAppendProfile::Params p, sim::Rng rng) : p_(p), rng_(rng) {
+        for (std::size_t l = 0; l < p_.logs; ++l)
+            files_.emplace_back("log." + std::to_string(l), p_.initial_size);
+    }
+    const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
+        return files_;
+    }
+    std::optional<gfs::RequestSpec> next() override {
+        if (i_ >= p_.count) return std::nullopt;
+        ++i_;
+        t_ += rng_.exponential(p_.arrival_rate);
+        gfs::RequestSpec r;
+        r.time = t_;
+        r.file = "log." + std::to_string(std::size_t(
+                     rng_.uniform_int(0, std::int64_t(p_.logs) - 1)));
+        r.type = trace::IoType::kWrite;
+        r.append = true;
+        r.size = align4k(std::uint64_t(
+                     rng_.uniform(double(p_.min_record), double(p_.max_record))));
+        r.size = std::max<std::uint64_t>(r.size, 512);
+        return r;
+    }
+
+private:
+    LogAppendProfile::Params p_;
+    sim::Rng rng_;
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+    double t_ = 0.0;
+    std::size_t i_ = 0;
+};
+
 }  // namespace
+
+std::unique_ptr<ScheduleStream> Profile::open_stream(sim::Rng rng) const {
+    return std::make_unique<MaterializedStream>(generate(rng));
+}
+
+std::unique_ptr<ScheduleStream> MicroProfile::open_stream(sim::Rng rng) const {
+    return std::make_unique<MicroStream>(p_, rng);
+}
+
+std::unique_ptr<ScheduleStream> OltpProfile::open_stream(sim::Rng rng) const {
+    return std::make_unique<OltpStream>(p_, rng);
+}
+
+std::unique_ptr<ScheduleStream> LogAppendProfile::open_stream(sim::Rng rng) const {
+    return std::make_unique<LogAppendStream>(p_, rng);
+}
 
 Workload MicroProfile::generate(sim::Rng& rng) const {
     Workload w;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,12 +29,44 @@ struct Workload {
     void install(gfs::Cluster& cluster) const;
 };
 
+/// Pull-based view of a profile's schedule: the file list up front, then
+/// requests one at a time in nondecreasing time order. Datacenter-scale
+/// captures pump requests from a stream instead of materializing a
+/// multi-million-element schedule (core::run_capture uses a stream in
+/// both capture modes, so streamed and in-memory runs see the exact same
+/// request sequence).
+class ScheduleStream {
+public:
+    virtual ~ScheduleStream() = default;
+    ScheduleStream(const ScheduleStream&) = delete;
+    ScheduleStream& operator=(const ScheduleStream&) = delete;
+
+    [[nodiscard]] virtual const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const = 0;
+
+    /// Next request, or nullopt once the schedule is exhausted. Times are
+    /// nondecreasing across calls.
+    [[nodiscard]] virtual std::optional<gfs::RequestSpec> next() = 0;
+
+protected:
+    ScheduleStream() = default;
+};
+
 /// Common interface so benches can sweep profiles generically.
 class Profile {
 public:
     virtual ~Profile() = default;
     [[nodiscard]] virtual Workload generate(sim::Rng& rng) const = 0;
     [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Open a pull-based stream over this profile's schedule. The base
+    /// implementation materializes generate() and replays it, so every
+    /// profile is streamable; profiles whose generators are already
+    /// monotone in time (micro, oltp, logappend) override it with true
+    /// O(1)-memory streams that draw the same RNG sequence as generate(),
+    /// making the stream identical to the materialized schedule.
+    [[nodiscard]] virtual std::unique_ptr<ScheduleStream> open_stream(
+        sim::Rng rng) const;
 };
 
 /// Fixed-size request microbenchmark — the paper's Table 2 driver.
@@ -54,6 +87,8 @@ public:
     explicit MicroProfile(Params p) : p_(p) {}
     [[nodiscard]] Workload generate(sim::Rng& rng) const override;
     [[nodiscard]] std::string name() const override { return "micro"; }
+    [[nodiscard]] std::unique_ptr<ScheduleStream> open_stream(
+        sim::Rng rng) const override;
     [[nodiscard]] const Params& params() const noexcept { return p_; }
 
 private:
@@ -74,6 +109,8 @@ public:
     explicit OltpProfile(Params p) : p_(p) {}
     [[nodiscard]] Workload generate(sim::Rng& rng) const override;
     [[nodiscard]] std::string name() const override { return "oltp"; }
+    [[nodiscard]] std::unique_ptr<ScheduleStream> open_stream(
+        sim::Rng rng) const override;
 
 private:
     Params p_;
@@ -140,6 +177,8 @@ public:
     explicit LogAppendProfile(Params p) : p_(p) {}
     [[nodiscard]] Workload generate(sim::Rng& rng) const override;
     [[nodiscard]] std::string name() const override { return "logappend"; }
+    [[nodiscard]] std::unique_ptr<ScheduleStream> open_stream(
+        sim::Rng rng) const override;
 
 private:
     Params p_;

@@ -35,8 +35,17 @@ TEST(CliArgs, DoubleParsing) {
     EXPECT_TRUE(args.positional().empty());
 }
 
-TEST(CliArgs, MissingFlagValueThrows) {
-    EXPECT_THROW(make({"dir", "--count"}), std::invalid_argument);
+TEST(CliArgs, ValuelessFlagIsBooleanSwitch) {
+    // A flag followed by another flag (or the end of the line) is a
+    // boolean switch — how kooza_capture spells --stream/--no-latencies.
+    auto args = make({"dir", "--stream", "--count", "5"});
+    EXPECT_TRUE(args.has("stream"));
+    EXPECT_FALSE(args.has("count-missing"));
+    EXPECT_EQ(args.get_u64("count", 0), 5u);
+    auto tail = make({"dir", "--count"});
+    EXPECT_TRUE(tail.has("count"));
+    // Reading a switch as a valued flag still fails loudly.
+    EXPECT_THROW((void)tail.get_u64("count", 0), std::invalid_argument);
 }
 
 TEST(CliArgs, InterleavedOrder) {

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/capture.hpp"
 #include "core/generator.hpp"
 #include "core/multiserver.hpp"
 #include "core/replayer.hpp"
@@ -164,6 +165,61 @@ TEST(Determinism, BinaryTraceFilesByteIdenticalAcrossThreadCounts) {
     }
     fs::remove_all(dir_1);
     fs::remove_all(dir_n);
+}
+
+TEST(Determinism, StreamedCaptureByteIdenticalToMaterialized) {
+    // The tentpole contract of the streaming capture path: flushing
+    // chunks while the simulation runs (CaptureOptions::stream) must lay
+    // down the same seven .bin files as materializing the TraceSet and
+    // writing it post-hoc — at 1 and at N threads, and with a chunk size
+    // small enough to force many mid-run flushes.
+    namespace fs = std::filesystem;
+    ThreadGuard guard;
+    auto slurp = [](const fs::path& p) {
+        std::ifstream f(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+    };
+    CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 400;
+    opts.rate = 50.0;
+    opts.seed = 77;
+    opts.n_servers = 5;
+    opts.replication = 2;
+    opts.fault_rate = 0.2;
+    opts.mttr = 1.0;
+    opts.format = trace::Format::kBinary;
+    opts.chunk_records = 64;  // many flushes, not one big one
+
+    const auto base = fs::temp_directory_path();
+    const auto mat = base / "kooza_det_stream_mat";
+    const auto st1 = base / "kooza_det_stream_t1";
+    const auto st8 = base / "kooza_det_stream_t8";
+    auto run_into = [&](const fs::path& dir, bool stream, std::size_t threads) {
+        par::set_threads(threads);
+        fs::remove_all(dir);
+        auto o = opts;
+        o.out_dir = dir.string();
+        o.stream = stream;
+        return core::run_capture(o);
+    };
+    const auto res_mat = run_into(mat, false, 1);
+    const auto res_st1 = run_into(st1, true, 1);
+    const auto res_st8 = run_into(st8, true, 8);
+    EXPECT_GT(res_mat.records, 0u);
+    EXPECT_EQ(res_mat.records, res_st1.records);
+    EXPECT_EQ(res_mat.records, res_st8.records);
+    for (const auto* stem : trace::kStreamStems) {
+        const auto name = std::string(stem) + ".bin";
+        const auto a = slurp(mat / name);
+        EXPECT_FALSE(a.empty()) << name;
+        EXPECT_EQ(a, slurp(st1 / name)) << name;
+        EXPECT_EQ(a, slurp(st8 / name)) << name;
+    }
+    fs::remove_all(mat);
+    fs::remove_all(st1);
+    fs::remove_all(st8);
 }
 
 TEST(Determinism, SqsSamplingIdenticalAcrossThreadCounts) {

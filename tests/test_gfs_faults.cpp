@@ -222,13 +222,14 @@ TEST(Lbn, DistinctChunksGetDisjointBlockRanges) {
 TEST(NetworkGiveUp, RetriesExhaustedStillEmitsRecord) {
     sim::Engine engine;
     trace::TraceSet sink;
+    trace::MemorySink msink(sink);
     hw::SwitchParams p;
     p.bandwidth = 1e6;
     p.mtu = 1000;
     p.buffer_frames = 1;
     p.retry_timeout = 0.2;
     p.max_retries = 0;
-    hw::SwitchPort port(engine, p, trace::NetworkRecord::Direction::kRx, &sink);
+    hw::SwitchPort port(engine, p, trace::NetworkRecord::Direction::kRx, &msink);
     int done = 0;
     for (int i = 0; i < 3; ++i)
         port.transfer(std::uint64_t(i), 10000, [&](double) { ++done; });
@@ -349,6 +350,49 @@ TEST(Characterize, ReportsDegradedModeActivity) {
     healthy.run();
     const auto clean = core::characterize(healthy.traces());
     EXPECT_EQ(clean.to_string().find("faults:"), std::string::npos);
+}
+
+// Satellite regression: the fault horizon used to be derived from the
+// last arrival (`last + 1.0`), so any request whose service drained past
+// that cutoff ran on an artificially fault-free cluster. With
+// FaultConfig::horizon == 0 the injector follows the run to drain:
+// crashes must keep landing while a slow tail request is still in
+// flight, well past where the old horizon would have stopped.
+TEST(FaultDrain, LazyFaultsFollowSlowTailPastOldHorizon) {
+    GfsConfig cfg;
+    cfg.n_chunkservers = 4;
+    cfg.replication = 2;
+    cfg.seed = 91;
+    cfg.faults.enabled = true;
+    cfg.faults.mtbf = 1.5;
+    cfg.faults.mttr = 0.5;
+    cfg.faults.horizon = 0.0;  // drain-following lazy mode
+    Cluster cluster(cfg);
+    cluster.create_file("f", 512ull << 20);
+    // A few quick reads, then one 256 MB multi-chunk write whose transfer
+    // alone keeps the cluster draining for a couple of simulated seconds
+    // after the final arrival.
+    for (int i = 0; i < 4; ++i)
+        cluster.submit({.time = 0.1 * double(i + 1), .file = "f", .offset = 0,
+                        .size = 4096, .type = IoType::kRead});
+    const double last_arrival = 0.5;
+    cluster.submit({.time = last_arrival, .file = "f", .offset = 64ull << 20,
+                    .size = 256ull << 20, .type = IoType::kWrite});
+    cluster.run();
+
+    const double old_horizon = last_arrival + 1.0;
+    EXPECT_GT(cluster.engine().now(), old_horizon);  // the tail really is slow
+    ASSERT_NE(cluster.fault_injector(), nullptr);
+    EXPECT_GT(cluster.fault_injector()->crashes(), 0u);
+    const auto ts = cluster.traces();
+    bool crash_past_old_horizon = false;
+    for (const auto& f : ts.failures)
+        if (f.kind == FailureRecord::Kind::kCrash && f.time > old_horizon)
+            crash_past_old_horizon = true;
+    EXPECT_TRUE(crash_past_old_horizon);
+    // Every submitted request resolved one way or the other; the lazy
+    // daemon chain itself never keeps the engine alive.
+    EXPECT_EQ(cluster.completed() + cluster.failed_requests(), 5u);
 }
 
 }  // namespace

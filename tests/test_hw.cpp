@@ -7,6 +7,7 @@
 #include "hw/memory.hpp"
 #include "hw/network.hpp"
 #include "hw/power.hpp"
+#include "trace/sink.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -15,6 +16,7 @@ using namespace kooza::hw;
 using kooza::sim::Engine;
 using kooza::trace::IoType;
 using kooza::trace::NetworkRecord;
+using kooza::trace::MemorySink;
 using kooza::trace::TraceSet;
 
 TEST(DiskModel, SequentialFasterThanRandom) {
@@ -42,7 +44,8 @@ TEST(DiskModel, LargerTransfersTakeLonger) {
 TEST(Disk, EmitsStorageRecords) {
     Engine eng;
     TraceSet sink;
-    Disk disk(eng, DiskParams{}, &sink);
+    MemorySink msink(sink);
+    Disk disk(eng, DiskParams{}, &msink);
     double latency = -1.0;
     disk.io(42, 5000, 65536, IoType::kRead, [&](double l) { latency = l; });
     eng.run();
@@ -92,7 +95,8 @@ TEST(Cpu, WorkForBytesLinear) {
 TEST(Cpu, EmitsCpuRecords) {
     Engine eng;
     TraceSet sink;
-    Cpu cpu(eng, CpuParams{}, &sink);
+    MemorySink msink(sink);
+    Cpu cpu(eng, CpuParams{}, &msink);
     cpu.execute(7, 0.005, [] {});
     eng.run();
     ASSERT_EQ(sink.cpu.size(), 1u);
@@ -116,7 +120,8 @@ TEST(Cpu, CoresRunInParallel) {
 TEST(Cpu, ExcessWorkQueues) {
     Engine eng;
     TraceSet sink;
-    Cpu cpu(eng, CpuParams{.cores = 1}, &sink);
+    MemorySink msink(sink);
+    Cpu cpu(eng, CpuParams{.cores = 1}, &msink);
     cpu.execute(1, 1.0, [] {});
     cpu.execute(2, 1.0, [] {});
     eng.run();
@@ -150,7 +155,8 @@ TEST(Memory, SameBankConflicts) {
 TEST(Memory, EmitsRecordsAndValidates) {
     Engine eng;
     TraceSet sink;
-    Memory mem(eng, MemoryParams{.banks = 4}, &sink);
+    MemorySink msink(sink);
+    Memory mem(eng, MemoryParams{.banks = 4}, &msink);
     mem.access(9, 3, 4096, IoType::kWrite, [](double) {});
     eng.run();
     ASSERT_EQ(sink.memory.size(), 1u);
@@ -175,8 +181,9 @@ TEST(Link, LatencyIsSerializationPlusPropagation) {
 TEST(Link, TransfersSerialize) {
     Engine eng;
     TraceSet sink;
+    MemorySink msink(sink);
     LinkParams p{.bandwidth = 1e6, .propagation = 0.0};
-    Link link(eng, p, NetworkRecord::Direction::kTx, &sink);
+    Link link(eng, p, NetworkRecord::Direction::kTx, &msink);
     std::vector<double> done;
     link.transfer(1, 1000000, [&](double) { done.push_back(eng.now()); });
     link.transfer(2, 1000000, [&](double) { done.push_back(eng.now()); });
@@ -190,7 +197,8 @@ TEST(Link, TransfersSerialize) {
 TEST(SwitchPort, DeliversWholePayload) {
     Engine eng;
     TraceSet sink;
-    SwitchPort port(eng, SwitchParams{}, NetworkRecord::Direction::kRx, &sink);
+    MemorySink msink(sink);
+    SwitchPort port(eng, SwitchParams{}, NetworkRecord::Direction::kRx, &msink);
     double latency = 0.0;
     port.transfer(5, 1 << 20, [&](double l) { latency = l; });
     eng.run();
@@ -203,7 +211,8 @@ TEST(SwitchPort, DeliversWholePayload) {
 TEST(SwitchPort, ControlTransfersNotRecorded) {
     Engine eng;
     TraceSet sink;
-    SwitchPort port(eng, SwitchParams{}, NetworkRecord::Direction::kRx, &sink);
+    MemorySink msink(sink);
+    SwitchPort port(eng, SwitchParams{}, NetworkRecord::Direction::kRx, &msink);
     port.transfer(5, 512, [](double) {}, /*record=*/false);
     eng.run();
     EXPECT_TRUE(sink.network.empty());

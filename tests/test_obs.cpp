@@ -249,4 +249,36 @@ TEST(Integration, CaptureCoversAllSubsystems) {
     EXPECT_TRUE(covered("core.capture."));
 }
 
+// Regression: core.capture.requests_total used to count only completed
+// requests, undercounting under fault injection. The invariant is
+// requests_total delta == completed + failed for every capture run.
+TEST(Integration, CaptureRequestsTotalCountsFailedRequests) {
+    auto value_of = [](const char* name) -> std::uint64_t {
+        const auto snap = obs::Registry::global().snapshot();
+        const auto* m = snap.find(name);
+        return m != nullptr ? m->value : 0;
+    };
+    const auto req_before = value_of("core.capture.requests_total");
+    const auto failed_before = value_of("core.capture.failed_requests_total");
+
+    core::CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 300;
+    opts.rate = 50.0;
+    opts.seed = 9;
+    opts.n_servers = 3;
+    opts.replication = 2;
+    opts.fault_rate = 0.5;
+    opts.mttr = 2.0;
+    const auto res = core::run_capture(opts);
+    EXPECT_GT(res.completed, 0u);
+    // This seed loses some requests to crashes; without failures the
+    // invariant below would degenerate to the old completed-only count.
+    EXPECT_GT(res.failed, 0u);
+    EXPECT_EQ(value_of("core.capture.requests_total") - req_before,
+              res.completed + res.failed);
+    EXPECT_EQ(value_of("core.capture.failed_requests_total") - failed_before,
+              res.failed);
+}
+
 }  // namespace

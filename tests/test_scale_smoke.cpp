@@ -1,0 +1,59 @@
+// Scale-tier smoke test (ctest -L scale): a many-server streamed capture
+// small enough for the default tier, verifying the datacenter-scale path
+// end to end — stream mode on, latency collection off, span sampling on,
+// and the resulting kooza.trace/1 directory structurally sound. The full
+// 1000-server / multi-million-request acceptance run lives in
+// bench/bench_scale.cpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/capture.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace kooza;
+
+TEST(Scale, StreamedManyServerCaptureSmoke) {
+    const auto dir = fs::temp_directory_path() / "kooza_scale_smoke";
+    fs::remove_all(dir);
+
+    core::CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 2000;
+    opts.rate = 500.0;
+    opts.seed = 5;
+    opts.n_servers = 64;
+    opts.span_sample_every = 10;
+    opts.out_dir = dir.string();
+    opts.stream = true;
+    opts.chunk_records = 512;  // many flushes even at smoke size
+    opts.read_size = 8192;
+    opts.write_size = 8192;
+    opts.collect_latencies = false;
+    const auto res = core::run_capture(opts);
+
+    EXPECT_EQ(res.completed, opts.count);
+    EXPECT_EQ(res.failed, 0u);
+    EXPECT_GT(res.records, res.completed);  // device records, not just requests
+    EXPECT_TRUE(res.traces.empty());        // nothing materialized in memory
+
+    // The streamed directory is a complete, CRC-valid kooza.trace/1
+    // capture whose row counts match what the run reported.
+    trace::ChunkedReader reader(dir);
+    EXPECT_EQ(reader.total_rows(), res.records);
+    EXPECT_EQ(reader.rows(trace::StreamId::kRequests), res.completed);
+    EXPECT_GT(reader.rows(trace::StreamId::kStorage), 0u);
+    EXPECT_GT(reader.rows(trace::StreamId::kNetwork), 0u);
+    EXPECT_GT(reader.rows(trace::StreamId::kSpans), 0u);
+    // Sampling 1-in-10 traces keeps spans well below one per request.
+    EXPECT_LT(reader.rows(trace::StreamId::kSpans), res.completed);
+    for (const auto* stem : trace::kStreamStems)
+        EXPECT_TRUE(fs::exists(dir / (std::string(stem) + ".bin"))) << stem;
+    fs::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,301 @@
+// StreamingSink / ChunkedReader / train_streaming — the streamed capture
+// path's unit contracts: canonical record ordering under the hold
+// protocol, chunk-size and spill-buffer invariance of the produced
+// bytes, bounded-memory row-range reads agreeing with read_binary, and
+// Trainer::train_streaming producing a byte-identical model to training
+// on the materialized TraceSet.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "trace/streaming.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace kooza;
+using namespace kooza::trace;
+
+fs::path fresh_dir(const char* name) {
+    const auto dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::string slurp(const fs::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void expect_dirs_byte_equal(const fs::path& a, const fs::path& b) {
+    for (const auto* stem : kStreamStems) {
+        const auto name = std::string(stem) + ".bin";
+        EXPECT_EQ(slurp(a / name), slurp(b / name)) << name;
+    }
+}
+
+StorageRecord storage_at(double t, std::uint64_t id) {
+    return {t, id, /*lbn=*/id * 8, /*size_bytes=*/4096, IoType::kRead,
+            /*latency=*/0.001};
+}
+
+// The hold protocol's ordering contract: a record keyed in the past may
+// arrive late (its I/O completed late), but as long as its emitter held
+// the key, the sink must still lay it down before later-keyed records
+// that arrived earlier.
+TEST(Streaming, HoldsReorderLateArrivalsCanonically) {
+    const auto dir = fresh_dir("kooza_stream_holds");
+    double now = 0.0;
+    StreamingSink sink({.dir = dir}, /*n_groups=*/3);
+    sink.set_clock([&now] { return now; });
+
+    // Group 1 issues a disk I/O at t=1.0; the record only lands later.
+    sink.group(1).open_hold(StreamId::kStorage, 1.0);
+    now = 3.0;
+    // Group 2's record keyed t=2.0 arrives first. It must wait behind
+    // the open hold — nothing keyed >= 1.0 may flush yet.
+    sink.group(2).append(storage_at(2.0, 200));
+    // The held record lands and the hold closes: both flush, in key
+    // order, not arrival order.
+    sink.group(1).append(storage_at(1.0, 100));
+    sink.group(1).close_hold(StreamId::kStorage, 1.0);
+    now = 10.0;
+    sink.group(0).append(storage_at(9.0, 300));
+    sink.finish();
+    EXPECT_EQ(sink.records_seen(), 3u);
+
+    const auto back = read_binary(dir);
+    ASSERT_EQ(back.storage.size(), 3u);
+    EXPECT_EQ(back.storage[0].request_id, 100u);
+    EXPECT_EQ(back.storage[1].request_id, 200u);
+    EXPECT_EQ(back.storage[2].request_id, 300u);
+
+    // Byte-identity with the materialized path over the same records.
+    TraceSet ts;
+    ts.storage = {storage_at(1.0, 100), storage_at(2.0, 200),
+                  storage_at(9.0, 300)};
+    const auto mat = fresh_dir("kooza_stream_holds_mat");
+    write_binary(ts, mat);
+    expect_dirs_byte_equal(dir, mat);
+    fs::remove_all(dir);
+    fs::remove_all(mat);
+}
+
+TEST(Streaming, TiesBreakByGroupThenSequence) {
+    const auto dir = fresh_dir("kooza_stream_ties");
+    double now = 0.0;
+    StreamingSink sink({.dir = dir}, /*n_groups=*/3);
+    sink.set_clock([&now] { return now; });
+    // Three records with the identical key, appended in descending group
+    // order; the canonical order is ascending (group, sequence).
+    sink.group(2).append(storage_at(1.0, 22));
+    sink.group(1).append(storage_at(1.0, 11));
+    sink.group(1).append(storage_at(1.0, 12));
+    sink.group(0).append(storage_at(1.0, 1));
+    now = 2.0;
+    sink.finish();
+    const auto back = read_binary(dir);
+    ASSERT_EQ(back.storage.size(), 4u);
+    EXPECT_EQ(back.storage[0].request_id, 1u);
+    EXPECT_EQ(back.storage[1].request_id, 11u);
+    EXPECT_EQ(back.storage[2].request_id, 12u);
+    EXPECT_EQ(back.storage[3].request_id, 22u);
+    fs::remove_all(dir);
+}
+
+TEST(Streaming, ChunkSizeDoesNotChangeBytes) {
+    // Flushing every 3 records vs one big flush at finish() must produce
+    // identical files — chunking is an internal buffering detail.
+    auto run = [](const fs::path& dir, std::size_t chunk_records) {
+        fs::remove_all(dir);
+        double now = 0.0;
+        StreamingSink sink({.dir = dir, .chunk_records = chunk_records},
+                           /*n_groups=*/2);
+        sink.set_clock([&now] { return now; });
+        for (int i = 0; i < 100; ++i) {
+            now = 0.01 * double(i + 1);
+            auto& g = sink.group(std::size_t(i) % 2);
+            g.append(storage_at(now - 0.005, std::uint64_t(i)));
+            g.append(CpuRecord{now - 0.005, std::uint64_t(i), 1e-4, 0.5});
+            Span sp;
+            sp.trace_id = std::uint64_t(i);
+            sp.span_id = 1;
+            sp.name = "disk.io";
+            sp.start = now - 0.005;
+            sp.end = now;
+            g.append(sp);
+        }
+        sink.finish();
+    };
+    const auto small = fresh_dir("kooza_stream_chunk3");
+    const auto big = fresh_dir("kooza_stream_chunk64k");
+    run(small, 3);
+    run(big, std::size_t(1) << 16);
+    expect_dirs_byte_equal(small, big);
+    fs::remove_all(small);
+    fs::remove_all(big);
+}
+
+TEST(Streaming, FinishThrowsOnOpenHold) {
+    const auto dir = fresh_dir("kooza_stream_leak");
+    {
+        StreamingSink sink({.dir = dir}, 1);
+        sink.group(0).open_hold(StreamId::kNetwork, 0.5);
+        EXPECT_THROW(sink.finish(), std::logic_error);
+        // Closing the hold unblocks finish.
+        sink.group(0).close_hold(StreamId::kNetwork, 0.5);
+        sink.finish();
+    }
+    EXPECT_THROW(StreamingSink({.dir = dir, .chunk_records = 0}, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(StreamingSink({.dir = dir}, 0), std::invalid_argument);
+    fs::remove_all(dir);
+}
+
+TEST(Streaming, CloseHoldWithoutOpenThrows) {
+    const auto dir = fresh_dir("kooza_stream_badclose");
+    StreamingSink sink({.dir = dir}, 1);
+    EXPECT_THROW(sink.group(0).close_hold(StreamId::kStorage, 1.0),
+                 std::logic_error);
+    EXPECT_THROW((void)sink.group(7), std::out_of_range);
+    sink.finish();
+    fs::remove_all(dir);
+}
+
+TEST(Streaming, WriterSpillPathBytesIdentical) {
+    // A tiny spill buffer forces every column through the temp-file
+    // spill-and-splice path; the final files must not change.
+    TraceSet ts;
+    for (int i = 0; i < 200; ++i) {
+        ts.storage.push_back(storage_at(0.01 * double(i), std::uint64_t(i)));
+        Span sp;
+        sp.trace_id = std::uint64_t(i);
+        sp.span_id = 2;
+        sp.name = (i % 2) != 0 ? "net.rx" : "cpu.verify";
+        sp.start = 0.01 * double(i);
+        sp.end = sp.start + 0.001;
+        ts.spans.push_back(sp);
+    }
+    const auto plain = fresh_dir("kooza_spill_off");
+    const auto spilled = fresh_dir("kooza_spill_on");
+    {
+        BinaryWriter w(plain, /*spill_buffer_bytes=*/0);
+        w.append(ts);
+        w.finish();
+    }
+    {
+        BinaryWriter w(spilled, /*spill_buffer_bytes=*/64);
+        // Append in chunks so spills interleave with appends.
+        for (int c = 0; c < 4; ++c) {
+            TraceSet chunk;
+            chunk.storage.assign(ts.storage.begin() + c * 50,
+                                 ts.storage.begin() + (c + 1) * 50);
+            chunk.spans.assign(ts.spans.begin() + c * 50,
+                               ts.spans.begin() + (c + 1) * 50);
+            w.append(chunk);
+        }
+        w.finish();
+    }
+    expect_dirs_byte_equal(plain, spilled);
+    // No spill temp files are left behind.
+    for (const auto& e : fs::directory_iterator(spilled))
+        EXPECT_EQ(e.path().extension(), ".bin") << e.path();
+    fs::remove_all(plain);
+    fs::remove_all(spilled);
+}
+
+TEST(ChunkedReader, RowRangesAgreeWithReadBinary) {
+    core::CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 150;
+    opts.rate = 50.0;
+    opts.seed = 13;
+    opts.n_servers = 3;
+    opts.format = Format::kBinary;
+    const auto dir = fresh_dir("kooza_chunked_reader");
+    opts.out_dir = dir.string();
+    const auto res = core::run_capture(opts);
+    ASSERT_GT(res.records, 0u);
+
+    const auto whole = read_binary(dir);
+    ChunkedReader reader(dir);
+    EXPECT_EQ(reader.total_rows(), res.records);
+    EXPECT_EQ(reader.rows(StreamId::kStorage), whole.storage.size());
+    EXPECT_EQ(reader.rows(StreamId::kRequests), whole.requests.size());
+    EXPECT_EQ(reader.rows(StreamId::kSpans), whole.spans.size());
+
+    // Reassemble the storage and span streams from odd-sized row ranges;
+    // the concatenation must agree with the one-shot reader.
+    TraceSet pieced;
+    const std::uint64_t n_sto = reader.rows(StreamId::kStorage);
+    for (std::uint64_t at = 0; at < n_sto;) {
+        const auto n = std::min<std::uint64_t>(7, n_sto - at);
+        reader.read_rows(StreamId::kStorage, at, n, pieced);
+        at += n;
+    }
+    ASSERT_EQ(pieced.storage.size(), whole.storage.size());
+    for (std::size_t i = 0; i < whole.storage.size(); ++i) {
+        EXPECT_DOUBLE_EQ(pieced.storage[i].time, whole.storage[i].time) << i;
+        EXPECT_EQ(pieced.storage[i].request_id, whole.storage[i].request_id) << i;
+        EXPECT_EQ(pieced.storage[i].lbn, whole.storage[i].lbn) << i;
+    }
+    const std::uint64_t n_spans = reader.rows(StreamId::kSpans);
+    reader.read_rows(StreamId::kSpans, 0, n_spans, pieced);
+    ASSERT_EQ(pieced.spans.size(), whole.spans.size());
+    for (std::size_t i = 0; i < whole.spans.size(); ++i) {
+        EXPECT_EQ(pieced.spans[i].name, whole.spans[i].name) << i;
+        EXPECT_DOUBLE_EQ(pieced.spans[i].start, whole.spans[i].start) << i;
+    }
+
+    EXPECT_THROW(reader.read_rows(StreamId::kStorage, n_sto, 1, pieced),
+                 std::out_of_range);
+    fs::remove_all(dir);
+}
+
+TEST(Trainer, TrainStreamingByteIdenticalToMaterialized) {
+    // The chunked sufficient-statistics path must reproduce the
+    // whole-TraceSet fit exactly: same capture, models serialized
+    // byte-for-byte equal — including under faults with replication.
+    core::CaptureOptions opts;
+    opts.profile = "micro";
+    opts.count = 400;
+    opts.rate = 50.0;
+    opts.seed = 21;
+    opts.n_servers = 4;
+    opts.replication = 2;
+    opts.fault_rate = 0.3;
+    opts.mttr = 1.5;
+    opts.format = Format::kBinary;
+    opts.stream = true;
+    const auto dir = fresh_dir("kooza_train_streaming");
+    opts.out_dir = dir.string();
+    const auto res = core::run_capture(opts);
+    ASSERT_GT(res.records, 0u);
+
+    const core::Trainer trainer({.workload_name = "stream-eq"});
+    auto serialized = [](const core::ServerModel& m) {
+        std::stringstream ss;
+        core::save_model(m, ss);
+        return ss.str();
+    };
+    const auto materialized = serialized(trainer.train(read_binary(dir)));
+    // An odd chunk size exercises ragged chunk boundaries on every stream.
+    const auto streamed = serialized(trainer.train_streaming(dir, 97));
+    EXPECT_EQ(materialized, streamed);
+    EXPECT_EQ(materialized, serialized(trainer.train_streaming(dir)));
+    EXPECT_THROW((void)trainer.train_streaming(dir, 0), std::invalid_argument);
+    fs::remove_all(dir);
+}
+
+}  // namespace

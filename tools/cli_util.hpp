@@ -9,16 +9,19 @@
 
 namespace kooza::cli {
 
-/// Parses "positional... [--flag value]..." command lines.
+/// Parses "positional... [--flag value]... [--switch]..." command lines.
+/// A flag followed by another "--" token (or the end of the line) is a
+/// boolean switch; query those with has().
 class Args {
 public:
     Args(int argc, char** argv) {
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
             if (a.rfind("--", 0) == 0) {
-                if (i + 1 >= argc)
-                    throw std::invalid_argument("missing value for flag " + a);
-                flags_[a.substr(2)] = argv[++i];
+                if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
+                    flags_[a.substr(2)] = "";
+                else
+                    flags_[a.substr(2)] = argv[++i];
             } else {
                 positional_.push_back(std::move(a));
             }
@@ -27,6 +30,11 @@ public:
 
     [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
         return positional_;
+    }
+
+    /// True if the flag appeared at all (with or without a value).
+    [[nodiscard]] bool has(const std::string& name) const {
+        return flags_.count(name) != 0;
     }
 
     [[nodiscard]] std::string get(const std::string& name,

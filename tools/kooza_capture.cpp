@@ -8,7 +8,15 @@
 //                 [--seed S] [--servers N] [--replication N]
 //                 [--sample-every N] [--threads N] [--format csv|bin]
 //                 [--faults R] [--mttr S] [--metrics FILE]
+//                 [--stream] [--chunk-records N]
+//                 [--read-size B] [--write-size B] [--no-latencies]
 // Profiles: micro | oltp | websearch | streaming | logappend
+//
+// --stream flushes records to <output-dir> (kooza.trace/1 binary, forced)
+// while the simulation runs, in chunks of --chunk-records rows per
+// stream: peak memory stays flat no matter how long the capture is, and
+// the files are byte-identical to a non-streamed --format bin capture of
+// the same options.
 //
 // --faults R enables the deterministic fault injector with a per-server
 // failure rate of R crashes/second (MTBF = 1/R); --mttr sets the mean
@@ -37,7 +45,9 @@ int main(int argc, char** argv) {
                          "<output-dir> [--count N] [--rate R] [--seed S] "
                          "[--servers N] [--replication N] [--sample-every N] "
                          "[--threads N] [--format csv|bin] [--faults R] "
-                         "[--mttr S] [--metrics FILE]\n";
+                         "[--mttr S] [--metrics FILE] [--stream] "
+                         "[--chunk-records N] [--read-size B] [--write-size B] "
+                         "[--no-latencies]\n";
             return 2;
         }
         const auto& out_dir = args.positional()[1];
@@ -58,18 +68,28 @@ int main(int argc, char** argv) {
         opts.mttr = args.get_double("mttr", 5.0);
         opts.out_dir = out_dir;
         opts.format = *fmt;
+        opts.stream = args.has("stream");
+        opts.chunk_records =
+            std::size_t(args.get_u64("chunk-records", std::uint64_t(1) << 16));
+        opts.read_size = args.get_u64("read-size", 0);
+        opts.write_size = args.get_u64("write-size", 0);
+        opts.collect_latencies = !args.has("no-latencies");
+        if (opts.stream) opts.format = trace::Format::kBinary;
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
 
         const auto res = core::run_capture(opts);
-        std::cout << "captured " << res.traces.summary() << "\n";
+        if (opts.stream)
+            std::cout << "captured " << res.records << " records (streamed)\n";
+        else
+            std::cout << "captured " << res.traces.summary() << "\n";
         if (opts.fault_rate > 0.0)
             std::cout << "faults: " << res.crashes << " crashes, " << res.repairs
                       << " re-replications, " << res.failed
                       << " failed requests\n";
         std::cout << "run: seed=" << opts.seed << " threads=" << par::threads()
                   << "\n"
-                  << "wrote " << trace::to_string(*fmt) << " traces to "
+                  << "wrote " << trace::to_string(opts.format) << " traces to "
                   << out_dir << "\n";
 
         const auto metrics_path = args.get("metrics", "");
