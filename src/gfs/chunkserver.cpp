@@ -1,6 +1,7 @@
 #include "gfs/chunkserver.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "obs/metrics.hpp"
 

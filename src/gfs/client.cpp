@@ -1,6 +1,7 @@
 #include "gfs/client.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 

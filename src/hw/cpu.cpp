@@ -1,5 +1,6 @@
 #include "hw/cpu.hpp"
 
+#include <functional>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"

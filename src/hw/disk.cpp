@@ -1,6 +1,7 @@
 #include "hw/disk.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"

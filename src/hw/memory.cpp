@@ -1,5 +1,6 @@
 #include "hw/memory.hpp"
 
+#include <functional>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"

@@ -1,6 +1,7 @@
 #include "hw/network.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"

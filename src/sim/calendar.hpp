@@ -1,0 +1,557 @@
+// Calendar-queue event scheduler (R. Brown, CACM 1988), the engine's
+// priority queue: power-of-two timestamp buckets with sorted intrusive
+// chains, lazy resize keyed to occupancy, and a binary-heap fallback for
+// pathological timestamp distributions.
+//
+// Determinism contract: pop() removes events in strictly increasing
+// (at, seq) order — the same total order the old std::push_heap engine
+// dispatched — so any workload replays byte-identically regardless of
+// which internal mode the queue is in.
+//
+// Bucket mapping is exact-by-construction: an event's virtual bucket
+// ("epoch") is vq = uint64(at * inv_width), its slot is vq & (nbuckets-1),
+// and the dispatch scan matches buckets by comparing the *same* integer vq
+// against the scan epoch — never by accumulating floating-point bucket
+// tops — so an event can never be classified into one window at insert
+// time and a different one at dispatch time. The scan invariant is that
+// cur_epoch_ never exceeds the epoch of any queued event; pushes pull it
+// back, pops advance it to the epoch of the minimum they remove.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/eventfn.hpp"
+
+namespace kooza::sim {
+
+/// One scheduled event, allocated from the engine's EventArena and linked
+/// intrusively into its calendar bucket (or heap slot).
+struct EventNode {
+    double at = 0.0;        ///< simulated time (seconds)
+    std::uint64_t seq = 0;  ///< tie-breaker: FIFO among equal timestamps
+    /// Calendar bookkeeping: the node's virtual bucket under the width it
+    /// was inserted at (set by CalendarQueue::push, unused in heap mode).
+    std::uint64_t epoch = 0;
+    EventNode* next = nullptr;
+    std::uint32_t daemon = 0;  ///< daemon events do not keep run() alive
+    EventFn fn;
+};
+
+class CalendarQueue {
+public:
+    CalendarQueue() {
+        buckets_.resize(kMinBuckets);
+        refresh_slots();
+    }
+    CalendarQueue(const CalendarQueue&) = delete;
+    CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return n_ + (staged_[0] != nullptr) + (staged_[1] != nullptr);
+    }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+    /// True once the queue has permanently switched to its binary-heap
+    /// fallback (degenerate or adversarial timestamp distribution).
+    [[nodiscard]] bool heap_fallback() const noexcept { return heap_mode_; }
+
+    /// Insert `n`. The queue takes over the intrusive link (`n->next` is
+    /// overwritten); `n->at` must be finite and non-negative.
+    ///
+    /// Physically, the insert is pipelined two pushes deep: a splice needs
+    /// the bucket slot and then the chain head — two *serial* cache misses
+    /// once the working set outgrows L2 — so each push prefetches the new
+    /// node's bucket line, prefetches the previous node's chain head, and
+    /// splices the node staged two pushes ago, whose lines are warm by
+    /// now. Staged nodes are full queue members (peek/pop/size see them),
+    /// so the (at, seq) dispatch order is identical to an unstaged insert.
+    void push(EventNode* n) {
+        if (heap_mode_) {
+            heap_.push_back(n);
+            std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+            ++n_;
+            return;
+        }
+        if (EventNode* m = staged_[0]) {
+            staged_[0] = nullptr;
+            insert_now(m);
+            if (heap_mode_) {
+                // insert_now fell back; staged_[1] was absorbed with it.
+                push(n);
+                return;
+            }
+        }
+        staged_[0] = staged_[1];
+        staged_[1] = n;
+        if (staged_[0]) {
+            // Stage 2: its bucket line was prefetched when it was staged;
+            // read the chain head now and start pulling in the node the
+            // splice will compare against. (The stored epoch is stale if a
+            // resize happened in between — then this prefetches a useless
+            // line, which is harmless; insert_now recomputes.)
+            const Bucket& b = slots_[staged_[0]->epoch & mask_];
+            if (b.head)
+                __builtin_prefetch(reinterpret_cast<const char*>(b.head));
+        }
+        // Stage 1: preliminary epoch (recomputed at splice time) to start
+        // the bucket-line fetch.
+        const double q = n->at * inv_width_;
+        if (q >= 0.0 && q < kMaxQuotient) {
+            n->epoch = std::uint64_t(q);
+            __builtin_prefetch(
+                reinterpret_cast<const char*>(&slots_[n->epoch & mask_]));
+        }
+    }
+
+    /// Earliest event by (at, seq), nullptr when empty.
+    [[nodiscard]] EventNode* peek() {
+        EventNode* m = peek_calendar();
+        if (staged_[0] && (!m || before(staged_[0], m))) m = staged_[0];
+        if (staged_[1] && (!m || before(staged_[1], m))) m = staged_[1];
+        return m;
+    }
+
+  private:
+    /// Calendar-resident minimum by (at, seq) — staged nodes excluded —
+    /// nullptr when nothing is bucketed. The found position is cached, so
+    /// a pop() right after is O(1).
+    [[nodiscard]] EventNode* peek_calendar() {
+        if (n_ == 0) return nullptr;
+        if (heap_mode_) return heap_.front();
+        if (peek_valid_) return peek_bucket_->head;
+
+        // Each slot mirrors its chain head's epoch, so the scan compares
+        // integers in the (dense, prefetch-friendly) bucket array and never
+        // dereferences a node until the minimum is found.
+        std::uint64_t epoch = cur_epoch_;
+        for (std::size_t k = 0; k <= mask_; ++k, ++epoch) {
+            Bucket& b = slots_[epoch & mask_];
+            if (b.head && b.epoch <= epoch) {
+                // A width that is too *narrow* shows up as scans crawling
+                // over empty slots (the dual of too-wide's long chains).
+                // Note it here; pop() re-estimates once it keeps
+                // happening. (One long scan after a time gap is normal.)
+                if (k > kLongScanSlots && ++long_scans_ >= kLongScanTrigger)
+                    rewidth_pending_ = true;
+                peek_bucket_ = &b;
+                peek_epoch_ = epoch;
+                peek_valid_ = true;
+                return b.head;
+            }
+        }
+        // Nothing within one full calendar year of the cursor: every event
+        // is far in the future. Direct-search the bucket heads for the
+        // global minimum and jump the cursor to its epoch.
+        Bucket* best = nullptr;
+        for (auto& b : buckets_)
+            if (b.head && (!best || before(b.head, best->head))) best = &b;
+        peek_bucket_ = best;
+        peek_epoch_ = best->head->epoch;
+        peek_valid_ = true;
+        return best->head;
+    }
+
+  public:
+    /// Remove and return the earliest event, nullptr when empty.
+    EventNode* pop() {
+        EventNode* cal = peek_calendar();
+        EventNode* n = cal;
+        int staged_ix = -1;
+        if (staged_[0] && (!n || before(staged_[0], n))) {
+            n = staged_[0];
+            staged_ix = 0;
+        }
+        if (staged_[1] && (!n || before(staged_[1], n))) {
+            n = staged_[1];
+            staged_ix = 1;
+        }
+        if (!n) return nullptr;
+        if (staged_ix >= 0) {
+            // The minimum never reached a bucket: unstage it and leave the
+            // calendar (and its cached peek position) untouched.
+            if (staged_ix == 0) staged_[0] = staged_[1];
+            staged_[1] = nullptr;
+            n->next = nullptr;
+            return n;
+        }
+        if (heap_mode_) {
+            std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+            heap_.pop_back();
+        } else {
+            Bucket* b = peek_bucket_;
+            b->head = n->next;
+            if (n->next) b->epoch = n->next->epoch;
+            cur_epoch_ = peek_epoch_;
+            peek_valid_ = false;
+        }
+        --n_;
+        if (!heap_mode_) {
+            if (n_ > 0 && (n_ << 2) < mask_ + 1 && mask_ + 1 > kMinBuckets)
+                resize((mask_ + 1) >> 1);
+            if (rewidth_pending_) {
+                rewidth_pending_ = false;
+                on_layout_mismatch();
+            }
+            // Eagerly find the next minimum and start pulling its node
+            // into cache: the caller dispatches the popped event next, and
+            // that work hides the (otherwise serial) miss on a node last
+            // touched thousands of events ago. A push that undercuts the
+            // cached minimum invalidates it, so this is purely a hint.
+            if (n_ > 0 && peek_calendar()) {
+                const char* p = reinterpret_cast<const char*>(peek_bucket_->head);
+                __builtin_prefetch(p);
+                __builtin_prefetch(p + 64);
+                // Deep queues are latency-bound on these node fetches, and
+                // one event of dispatch work cannot hide a whole miss —
+                // so pull the next few chain heads along the scan
+                // direction too (soon-to-be minima, a few pops of
+                // lookahead). Below kPrefetchDepth the nodes are
+                // cache-resident anyway and the scan would be pure
+                // overhead.
+                if (n_ >= kPrefetchDepth) {
+                    std::uint64_t e = peek_epoch_ + 1;
+                    for (std::size_t k = 0, seen = 0; k < 32 && seen < 6;
+                         ++k, ++e) {
+                        const Bucket& b = slots_[e & mask_];
+                        if (b.head) {
+                            __builtin_prefetch(
+                                reinterpret_cast<const char*>(b.head));
+                            ++seen;
+                        }
+                    }
+                }
+            }
+        }
+        n->next = nullptr;
+        return n;
+    }
+
+    /// Visit every queued event (destructor drains, diagnostics). Order
+    /// unspecified; links may be reused by the visitor.
+    template <typename Visit>
+    void for_each(Visit&& visit) {
+        for (EventNode* s : staged_)
+            if (s) visit(s);
+        if (heap_mode_) {
+            for (EventNode* n : heap_) visit(n);
+            return;
+        }
+        for (const Bucket& b : buckets_)
+            for (EventNode* n = b.head; n;) {
+                EventNode* next = n->next;
+                visit(n);
+                n = next;
+            }
+    }
+
+    /// Drop every link without visiting (use after for_each freed nodes).
+    void clear() noexcept {
+        for (auto& b : buckets_) b.head = nullptr;
+        heap_.clear();
+        staged_[0] = nullptr;
+        staged_[1] = nullptr;
+        n_ = 0;
+        peek_valid_ = false;
+    }
+
+private:
+    static constexpr std::size_t kMinBuckets = 8;
+    static constexpr std::size_t kMaxBuckets = std::size_t(1) << 22;
+    /// uint64(at * inv_width) must stay well below 2^63 for the conversion
+    /// to be defined; beyond this no calendar layout exists at this width.
+    static constexpr double kMaxQuotient = 9.0e18;
+    /// A sorted insert walking more than this many links counts as a
+    /// "long walk" — evidence the bucket width no longer matches the
+    /// distribution.
+    static constexpr std::size_t kLongWalkLinks = 64;
+    static constexpr std::size_t kLongWalkTrigger = 1024;
+    /// A dispatch scan crossing more than this many slots counts as a
+    /// "long scan" — evidence the bucket width is too narrow for the
+    /// distribution (the dual of a long insert walk).
+    static constexpr std::size_t kLongScanSlots = 32;
+    static constexpr std::size_t kLongScanTrigger = 256;
+    /// Below this population a skewed layout is too cheap to matter.
+    static constexpr std::size_t kFallbackMinEvents = 128;
+    /// Population above which pop() prefetches several upcoming chain
+    /// heads: the node working set has outgrown L2 and the fetches are
+    /// real misses worth hiding. Smaller queues skip the lookahead.
+    static constexpr std::size_t kPrefetchDepth = 4096;
+
+    /// One calendar slot: the sorted chain plus a mirror of the head's
+    /// epoch, so the dispatch scan stays inside this dense array instead
+    /// of chasing node pointers (set wherever head is).
+    struct Bucket {
+        EventNode* head = nullptr;
+        std::uint64_t epoch = 0;  ///< head->epoch; meaningless when empty
+    };
+
+    [[nodiscard]] static bool before(const EventNode* a,
+                                     const EventNode* b) noexcept {
+        if (a->at != b->at) return a->at < b->at;
+        return a->seq < b->seq;
+    }
+    struct HeapLater {
+        bool operator()(const EventNode* a, const EventNode* b) const noexcept {
+            return before(b, a);
+        }
+    };
+
+    /// Splice a (formerly staged) node into its bucket for real: the old
+    /// un-pipelined push. Handles occupancy resize, the quotient guard,
+    /// and the heap fallback.
+    void insert_now(EventNode* n) {
+        if (heap_mode_) {
+            heap_.push_back(n);
+            std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+            ++n_;
+            return;
+        }
+        const std::size_t nbuckets = mask_ + 1;
+        if (n_ + 1 > (nbuckets >> 1) && nbuckets < kMaxBuckets) {
+            resize(nbuckets << 1);
+            if (heap_mode_) {
+                insert_now(n);
+                return;
+            }
+        }
+        double q = n->at * inv_width_;
+        if (!(q >= 0.0 && q < kMaxQuotient)) {
+            if (n_ == 0) {
+                // Nothing bucketed: the stale width from the previous
+                // phase just doesn't fit this timestamp. Start over at
+                // width 1.
+                width_ = 1.0;
+                inv_width_ = 1.0;
+                q = n->at;
+            }
+            if (!(q >= 0.0 && q < kMaxQuotient)) {
+                enter_heap_mode();
+                insert_now(n);
+                return;
+            }
+        }
+        const std::uint64_t vq = std::uint64_t(q);
+        insert_chain(n, vq);
+        ++n_;
+        if (n_ == 1 || vq < cur_epoch_) cur_epoch_ = vq;
+    }
+
+    void insert_chain(EventNode* n, std::uint64_t vq) {
+        n->epoch = vq;
+        Bucket& b = slots_[vq & mask_];
+        if (!b.head || before(n, b.head)) {
+            // New chain head: mirror its epoch into the slot. The cached
+            // minimum survives only inserts that land strictly after it —
+            // displacing the cached bucket's head or undercutting the
+            // minimum both invalidate. (A mid-chain insert sits at or
+            // after its head, which is at or after the cached minimum, so
+            // only this front-insert path can invalidate.)
+            n->next = b.head;
+            b.head = n;
+            b.epoch = vq;
+            if (peek_valid_ &&
+                (&b == peek_bucket_ || before(n, peek_bucket_->head)))
+                peek_valid_ = false;
+            return;
+        }
+        EventNode** link = &b.head->next;
+        std::size_t walk = 1;
+        while (*link && before(*link, n)) {
+            link = &(*link)->next;
+            ++walk;
+        }
+        n->next = *link;
+        *link = n;
+        if (walk > kLongWalkLinks && ++long_walks_ >= kLongWalkTrigger)
+            on_layout_mismatch();
+    }
+
+    /// Unlink every node into one list (buckets are left empty).
+    EventNode* gather() noexcept {
+        EventNode* all = nullptr;
+        for (auto& b : buckets_) {
+            for (EventNode* n = b.head; n;) {
+                EventNode* next = n->next;
+                n->next = all;
+                all = n;
+                n = next;
+            }
+            b.head = nullptr;
+        }
+        peek_valid_ = false;
+        return all;
+    }
+
+    /// Recompute the bucket width from the live population: the
+    /// 10th..90th-percentile time range divided by the events it spans.
+    /// Percentiles keep a few far-future outliers (lazy daemon chains)
+    /// from smearing the width across an empty horizon; the full min/max
+    /// still validate that every node's quotient stays representable.
+    /// Returns false when the distribution is degenerate (concentrated at
+    /// one timestamp) or the width cannot represent the extremes.
+    bool recompute_width(EventNode* all) {
+        scratch_.clear();
+        double min_at = all->at, max_at = all->at;
+        for (EventNode* n = all; n; n = n->next) {
+            scratch_.push_back(n->at);
+            min_at = std::min(min_at, n->at);
+            max_at = std::max(max_at, n->at);
+        }
+        const std::size_t lo_ix = scratch_.size() / 10;
+        const std::size_t hi_ix = scratch_.size() - 1 - scratch_.size() / 10;
+        std::nth_element(scratch_.begin(),
+                         scratch_.begin() + std::ptrdiff_t(lo_ix),
+                         scratch_.end());
+        const double lo = scratch_[lo_ix];
+        std::nth_element(scratch_.begin(),
+                         scratch_.begin() + std::ptrdiff_t(hi_ix),
+                         scratch_.end());
+        const double hi = scratch_[hi_ix];
+        const double w = (hi - lo) / double(hi_ix - lo_ix + 1);
+        const double inv = 1.0 / w;
+        if (!(w > 0.0) || !(min_at * inv >= 0.0) ||
+            !(max_at * inv < kMaxQuotient))
+            return false;
+        width_ = w;
+        inv_width_ = inv;
+        return true;
+    }
+
+    /// Occupancy-triggered resize: regather, re-estimate the width, and
+    /// rebuild at `new_buckets`. A degenerate distribution over a real
+    /// population abandons the calendar instead.
+    void resize(std::size_t new_buckets) {
+        EventNode* all = gather();
+        const bool ok = n_ < 2 || recompute_width(all);
+        if (!ok && n_ >= kFallbackMinEvents) {
+            enter_heap_mode(all);
+            return;
+        }
+        buckets_.assign(new_buckets, Bucket{});
+        refresh_slots();
+        rebuild_from(all);
+        rewidth_failed_once_ = false;
+    }
+
+    /// The layout stopped matching the distribution — long sorted-insert
+    /// walks (width too wide: events pile into few buckets) or long
+    /// dispatch scans (width too narrow: the cursor crawls over empty
+    /// slots) keep firing. Re-estimate the width at the same size; if that
+    /// changes nothing twice in a row, the distribution has beaten the
+    /// calendar — fall back to the heap.
+    void on_layout_mismatch() {
+        long_walks_ = 0;
+        long_scans_ = 0;
+        const double old_width = width_;
+        EventNode* all = gather();
+        const bool ok = n_ < 2 || recompute_width(all);
+        if (((!ok) || (rewidth_failed_once_ && width_ == old_width)) &&
+            n_ >= kFallbackMinEvents) {
+            enter_heap_mode(all);
+            return;
+        }
+        rewidth_failed_once_ = width_ == old_width;
+        rebuild_from(all);
+    }
+
+    /// Re-link a gathered list into the (empty) buckets under the current
+    /// width, and point the cursor at the minimum's epoch. Every node was
+    /// validated against the current width (at insert or by
+    /// recompute_width), so quotients cannot overflow here.
+    void rebuild_from(EventNode* all) {
+        const std::size_t mask = buckets_.size() - 1;
+        const EventNode* min_node = nullptr;
+        std::uint64_t min_epoch = 0;
+        for (EventNode* n = all; n;) {
+            EventNode* next = n->next;
+            const std::uint64_t vq = std::uint64_t(n->at * inv_width_);
+            n->epoch = vq;
+            Bucket& b = buckets_[vq & mask];
+            EventNode** link = &b.head;
+            while (*link && before(*link, n)) link = &(*link)->next;
+            n->next = *link;
+            *link = n;
+            if (link == &b.head) b.epoch = vq;
+            if (!min_node || before(n, min_node)) {
+                min_node = n;
+                min_epoch = vq;
+            }
+            n = next;
+        }
+        if (min_node) cur_epoch_ = min_epoch;
+        long_walks_ = 0;
+        long_scans_ = 0;
+        rewidth_pending_ = false;
+        peek_valid_ = false;
+    }
+
+    /// One-way door: move everything — bucketed and staged — into a
+    /// (at, seq) binary heap.
+    void enter_heap_mode(EventNode* gathered = nullptr) {
+        EventNode* all = gathered ? gathered : gather();
+        heap_mode_ = true;
+        peek_valid_ = false;
+        heap_.clear();
+        heap_.reserve(n_ + 3);
+        for (EventNode* n = all; n;) {
+            EventNode* next = n->next;
+            n->next = nullptr;
+            heap_.push_back(n);
+            n = next;
+        }
+        for (EventNode*& s : staged_)
+            if (s) {
+                s->next = nullptr;
+                heap_.push_back(s);
+                s = nullptr;
+                ++n_;
+            }
+        std::make_heap(heap_.begin(), heap_.end(), HeapLater{});
+        buckets_.clear();
+        buckets_.shrink_to_fit();
+        refresh_slots();
+    }
+
+    /// Re-derive the raw slot pointer + mask after buckets_ reallocates.
+    /// (Hot paths read these members instead of recomputing
+    /// buckets_.size() and buckets_.data() per access.)
+    void refresh_slots() noexcept {
+        slots_ = buckets_.data();
+        mask_ = buckets_.empty() ? 0 : buckets_.size() - 1;
+    }
+
+    // Calendar state. slots_/mask_ mirror buckets_.data()/size()-1 so the
+    // per-event paths skip the vector recomputation (refresh_slots).
+    std::vector<Bucket> buckets_;
+    Bucket* slots_ = nullptr;
+    std::size_t mask_ = 0;
+    double width_ = 1.0;
+    double inv_width_ = 1.0;
+    std::size_t n_ = 0;
+    std::uint64_t cur_epoch_ = 0;  ///< virtual bucket the dispatch scan is on
+    std::size_t long_walks_ = 0;
+    std::size_t long_scans_ = 0;
+    bool rewidth_pending_ = false;  ///< peek noticed; pop re-widths
+    bool rewidth_failed_once_ = false;
+    std::vector<double> scratch_;  ///< resize-time percentile workspace
+
+    // Insert pipeline: the last two pushed nodes, not yet spliced into a
+    // bucket ([0] is older and splices next). Full queue members — peek,
+    // pop, size, for_each, and clear all account for them.
+    EventNode* staged_[2] = {nullptr, nullptr};
+
+    // Cached peek position: the bucket whose head is the minimum, plus
+    // the scan epoch to commit when it is popped.
+    Bucket* peek_bucket_ = nullptr;
+    std::uint64_t peek_epoch_ = 0;
+    bool peek_valid_ = false;
+
+    // Fallback state.
+    bool heap_mode_ = false;
+    std::vector<EventNode*> heap_;
+};
+
+}  // namespace kooza::sim

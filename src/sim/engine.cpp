@@ -1,8 +1,5 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <utility>
-
 #include "obs/metrics.hpp"
 
 namespace kooza::sim {
@@ -11,11 +8,15 @@ namespace {
 
 // Process-wide engine metrics, shared by every Engine (including the
 // per-shard engines of replay_sharded — counters merge commutatively, and
-// the heap-depth gauge's max is interleaving-independent).
+// the depth gauge's max is interleaving-independent). Engines accumulate
+// locally and flush here at run boundaries.
 struct EngineMetrics {
     obs::Counter& scheduled = obs::counter("sim.engine.events_scheduled_total");
     obs::Counter& dispatched = obs::counter("sim.engine.events_dispatched_total");
-    obs::Gauge& heap_depth = obs::gauge("sim.engine.heap_depth");
+    // High-water-only: the deepest the queue has ever been. There is no
+    // "current depth" metric — with batched flushing a point-in-time
+    // sample would be stale by construction.
+    obs::Gauge& depth_peak = obs::gauge("sim.engine.queue_depth_peak");
 };
 
 EngineMetrics& metrics() {
@@ -25,45 +26,37 @@ EngineMetrics& metrics() {
 
 }  // namespace
 
-void Engine::push_event(Time at, bool daemon, std::function<void()> action) {
-    if (at < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
-    if (!action) throw std::invalid_argument("Engine::schedule_at: empty action");
-    heap_.push_back(Event{at, next_seq_++, daemon, std::move(action)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    if (!daemon) ++live_;
-    auto& m = metrics();
-    m.scheduled.add();
-    m.heap_depth.set(double(heap_.size()));
-}
-
-void Engine::schedule_at(Time at, std::function<void()> action) {
-    push_event(at, false, std::move(action));
-}
-
-void Engine::schedule_daemon_at(Time at, std::function<void()> action) {
-    push_event(at, true, std::move(action));
-}
-
-void Engine::schedule_after(Time delay, std::function<void()> action) {
-    if (delay < 0.0) throw std::invalid_argument("Engine::schedule_after: negative delay");
-    schedule_at(now_ + delay, std::move(action));
-}
-
-Event Engine::pop_next() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    return ev;
+Engine::~Engine() {
+    // Unfired events (daemon chains, post-stop leftovers) still own arena
+    // nodes; destroy them before the arena goes away.
+    queue_.for_each([this](EventNode* n) {
+        n->~EventNode();
+        arena_.deallocate(n, sizeof(EventNode));
+    });
+    queue_.clear();
+    flush_metrics();
 }
 
 bool Engine::step() {
-    if (heap_.empty()) return false;
-    Event ev = pop_next();  // move-only: the action is never copied
-    now_ = ev.at;
-    if (!ev.daemon) --live_;
+    EventNode* n = queue_.pop();
+    if (!n) return false;
+    now_ = n->at;
+    if (!n->daemon) --live_;
     ++executed_;
-    metrics().dispatched.add();
-    ev.action();
+    ++tally_dispatched_;
+    // Invoke the callback straight out of the node — no relocation — and
+    // recycle the node after it returns (exception-safe via the guard).
+    // The common schedule-from-an-event pattern then reuses the block
+    // freed by the previous dispatch, keeping the arena footprint flat.
+    struct Recycle {
+        EventArena* arena;
+        EventNode* n;
+        ~Recycle() {
+            n->~EventNode();
+            arena->deallocate(n, sizeof(EventNode));
+        }
+    } recycle{&arena_, n};
+    n->fn();
     return true;
 }
 
@@ -71,18 +64,32 @@ std::uint64_t Engine::run() {
     stopped_ = false;
     std::uint64_t n = 0;
     while (!stopped_ && live_ > 0 && step()) ++n;
+    flush_metrics();
     return n;
 }
 
 std::uint64_t Engine::run_until(Time deadline) {
     stopped_ = false;
     std::uint64_t n = 0;
-    while (!stopped_ && !heap_.empty() && heap_.front().at <= deadline) {
+    while (!stopped_) {
+        EventNode* head = queue_.peek();
+        if (!head || head->at > deadline) break;
         step();
         ++n;
     }
-    if (now_ < deadline) now_ = deadline;
+    if (!stopped_ && now_ < deadline) now_ = deadline;
+    flush_metrics();
     return n;
+}
+
+void Engine::flush_metrics() noexcept {
+    if (tally_scheduled_ == 0 && tally_dispatched_ == 0) return;
+    auto& m = metrics();
+    m.scheduled.add(tally_scheduled_);
+    m.dispatched.add(tally_dispatched_);
+    m.depth_peak.set(double(depth_peak_));
+    tally_scheduled_ = 0;
+    tally_dispatched_ = 0;
 }
 
 }  // namespace kooza::sim

@@ -5,12 +5,23 @@
 // stations) schedule work against one shared Engine. Events scheduled for
 // the same timestamp fire in FIFO order of scheduling, which keeps runs
 // deterministic for a fixed seed.
+//
+// Hot-path layout (see DESIGN.md "Event core"): callbacks are sim::EventFn
+// (48-byte inline small-buffer callables, no per-event heap allocation),
+// event nodes live in a slab/free-list EventArena and are recycled on
+// dispatch, and the queue is a calendar-queue scheduler with a binary-heap
+// fallback — all preserving the strict (at, seq) dispatch order, so runs
+// are byte-identical to the original std::function/binary-heap engine.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <stdexcept>
-#include <vector>
+#include <utility>
+
+#include "sim/calendar.hpp"
+#include "sim/eventfn.hpp"
 
 namespace kooza::sim {
 
@@ -18,14 +29,6 @@ namespace kooza::sim {
 /// resolution over multi-hour simulated horizons, which is ample for
 /// millisecond-scale datacenter requests.
 using Time = double;
-
-/// One scheduled occurrence inside the engine.
-struct Event {
-    Time at = 0.0;
-    std::uint64_t seq = 0;  ///< tie-breaker: FIFO among equal timestamps
-    bool daemon = false;    ///< daemon events do not keep run() alive
-    std::function<void()> action;
-};
 
 /// Discrete-event engine: a simulated clock plus an event queue.
 ///
@@ -38,24 +41,40 @@ public:
     Engine() = default;
     Engine(const Engine&) = delete;
     Engine& operator=(const Engine&) = delete;
+    ~Engine();
 
     /// Current simulated time. Starts at 0.
     [[nodiscard]] Time now() const noexcept { return now_; }
 
     /// Schedule `action` at absolute simulated time `at`.
-    /// Throws std::invalid_argument if `at` precedes the current time.
-    void schedule_at(Time at, std::function<void()> action);
+    /// Throws std::invalid_argument if `at` precedes the current time or
+    /// is not finite (NaN/±inf would corrupt the dispatch order).
+    template <typename F>
+    void schedule_at(Time at, F&& action) {
+        check_action(action);
+        push_event(at, false, std::forward<F>(action));
+    }
 
     /// Schedule `action` `delay` seconds after the current time.
-    /// Negative delays are rejected.
-    void schedule_after(Time delay, std::function<void()> action);
+    /// Negative or non-finite delays are rejected.
+    template <typename F>
+    void schedule_after(Time delay, F&& action) {
+        if (delay < 0.0)
+            throw std::invalid_argument("Engine::schedule_after: negative delay");
+        check_action(action);
+        push_event(now_ + delay, false, std::forward<F>(action));
+    }
 
     /// Schedule a *daemon* event: it fires like a normal event but does
     /// not keep run() alive. run() returns once every non-daemon event
     /// has executed, leaving unfired daemon events in the queue. Used for
     /// open-ended background processes (lazy fault plans) that must not
     /// turn a finite simulation into an infinite one.
-    void schedule_daemon_at(Time at, std::function<void()> action);
+    template <typename F>
+    void schedule_daemon_at(Time at, F&& action) {
+        check_action(action);
+        push_event(at, true, std::forward<F>(action));
+    }
 
     /// Run until all *non-daemon* events drain or stop() is called.
     /// Returns the number of events executed.
@@ -63,7 +82,8 @@ public:
 
     /// Run until simulated time would exceed `deadline` (events at exactly
     /// `deadline` still execute). Returns the number of events executed.
-    /// The clock is advanced to `deadline` on return.
+    /// The clock is advanced to `deadline` on return — unless stop() was
+    /// called mid-run, in which case it stays at the last event's time.
     std::uint64_t run_until(Time deadline);
 
     /// Execute exactly one event if any is pending. Returns true if one ran.
@@ -73,38 +93,80 @@ public:
     void stop() noexcept { stopped_ = true; }
 
     /// True if no events are pending.
-    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
 
     /// Number of pending events.
-    [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
     /// Total events executed since construction.
     [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+    /// The engine's slab allocator (event nodes, oversized EventFn
+    /// captures). Components that stash continuations outside the queue
+    /// (sim::Resource waiters) draw from it so their callbacks stay off
+    /// the system heap too. Single-threaded, like the engine itself.
+    [[nodiscard]] EventArena& arena() noexcept { return arena_; }
+
+    /// True once the scheduler abandoned the calendar queue for its
+    /// binary-heap fallback (pathological timestamp distribution).
+    [[nodiscard]] bool scheduler_heap_fallback() const noexcept {
+        return queue_.heap_fallback();
+    }
+
 private:
-    // Binary min-heap on (at, seq) kept in a plain vector, so the next
-    // event can be *moved* out on dispatch (std::priority_queue::top()
-    // only hands back a const&, forcing a std::function copy per event —
-    // the old hottest line of the simulator). (at, seq) is a strict total
-    // order, so dispatch order is independent of the heap layout.
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
+    /// std::function (and function pointers) carry an "empty" state the
+    /// engine must reject eagerly — an empty callable would otherwise blow
+    /// up mid-simulation at dispatch time. Lambdas have no such state and
+    /// skip the check entirely.
+    template <typename F>
+    static void check_action(const F& f) {
+        if constexpr (requires { static_cast<bool>(f); }) {
+            if (!static_cast<bool>(f))
+                throw std::invalid_argument("Engine::schedule_at: empty action");
         }
-    };
+    }
 
-    /// Remove and return the earliest event (heap must be non-empty).
-    Event pop_next();
+    /// Allocate, construct, and enqueue the event node in one step. The
+    /// callable is materialized directly into the node's EventFn (a
+    /// prvalue member initializer, so guaranteed copy elision applies) —
+    /// steady-state scheduling performs zero relocations and zero heap
+    /// allocations.
+    template <typename F>
+    void push_event(Time at, bool daemon, F&& action) {
+        // NaN compares false against everything, so the `at < now_` guard
+        // alone would wave non-finite timestamps straight into the queue
+        // and corrupt the dispatch order. Reject them explicitly.
+        if (!std::isfinite(at))
+            throw std::invalid_argument("Engine::schedule_at: non-finite time");
+        if (at < now_)
+            throw std::invalid_argument("Engine::schedule_at: time in the past");
+        auto* n = ::new (arena_.allocate(sizeof(EventNode)))
+            EventNode{at, next_seq_++, 0, nullptr, daemon ? 1u : 0u,
+                      EventFn(&arena_, std::forward<F>(action))};
+        queue_.push(n);
+        if (!daemon) ++live_;
+        ++tally_scheduled_;
+        if (queue_.size() > depth_peak_) depth_peak_ = queue_.size();
+    }
 
-    void push_event(Time at, bool daemon, std::function<void()> action);
+    /// Fold the engine-local tallies into the process-wide obs registry.
+    /// Called at run()/run_until() exit and from the destructor, so the
+    /// per-event hot path never touches an atomic.
+    void flush_metrics() noexcept;
 
     Time now_ = 0.0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t live_ = 0;  ///< pending non-daemon events
     bool stopped_ = false;
-    std::vector<Event> heap_;
+
+    // Batched obs tallies (flushed by flush_metrics).
+    std::uint64_t tally_scheduled_ = 0;
+    std::uint64_t tally_dispatched_ = 0;
+    std::size_t depth_peak_ = 0;  ///< lifetime queue-depth high-water mark
+
+    EventArena arena_;  ///< declared before queue_: nodes live in it
+    CalendarQueue queue_;
 };
 
 }  // namespace kooza::sim

@@ -16,8 +16,7 @@ void Resource::settle() const noexcept {
     last_change_ = now;
 }
 
-void Resource::acquire(std::function<void()> on_granted) {
-    if (!on_granted) throw std::invalid_argument("Resource::acquire: empty continuation");
+void Resource::acquire_fn(EventFn on_granted) {
     if (in_use_ < capacity_) {
         grant(std::move(on_granted));
     } else {
@@ -25,7 +24,7 @@ void Resource::acquire(std::function<void()> on_granted) {
     }
 }
 
-void Resource::grant(std::function<void()> on_granted) {
+void Resource::grant(EventFn on_granted) {
     settle();
     ++in_use_;
     ++grants_;
@@ -37,7 +36,7 @@ void Resource::release() {
     settle();
     --in_use_;
     if (!waiters_.empty()) {
-        auto next = std::move(waiters_.front());
+        EventFn next = std::move(waiters_.front());
         waiters_.pop_front();
         // Defer the grant so release() never runs the waiter inline.
         engine_.schedule_after(0.0, [this, next = std::move(next)]() mutable {

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/eventfn.hpp"
 
 namespace kooza::sim {
 
@@ -27,7 +29,17 @@ public:
 
     /// Request a slot; `on_granted` runs (possibly immediately) once a slot
     /// is held. The holder must call release() exactly once when done.
-    void acquire(std::function<void()> on_granted);
+    /// Continuations are stored as sim::EventFn drawing overflow blocks
+    /// from the owning engine's arena, so queueing stays off the system
+    /// heap just like event scheduling.
+    template <typename F>
+    void acquire(F&& on_granted) {
+        if constexpr (requires { static_cast<bool>(on_granted); }) {
+            if (!static_cast<bool>(on_granted))
+                throw std::invalid_argument("Resource::acquire: empty continuation");
+        }
+        acquire_fn(EventFn(&engine_.arena(), std::forward<F>(on_granted)));
+    }
 
     /// Return a held slot. Throws std::logic_error if nothing is held.
     void release();
@@ -46,13 +58,14 @@ public:
     [[nodiscard]] std::uint64_t total_grants() const noexcept { return grants_; }
 
 private:
-    void grant(std::function<void()> on_granted);
+    void acquire_fn(EventFn on_granted);
+    void grant(EventFn on_granted);
 
     Engine& engine_;
     std::uint32_t capacity_;
     std::uint32_t in_use_ = 0;
     std::uint64_t grants_ = 0;
-    std::deque<std::function<void()>> waiters_;
+    std::deque<EventFn> waiters_;
 
     // busy-time integral bookkeeping
     mutable double busy_accum_ = 0.0;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "trace/columns.hpp"
 
 // The column payloads are written and bulk-loaded as native integers;
 // the on-disk spec is little-endian, so a big-endian port would need
@@ -92,8 +93,6 @@ std::uint64_t schema_hash(const char* spec) noexcept {
     return h;
 }
 
-void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) { b.push_back(v); }
-
 template <typename T>
 void put(std::vector<std::uint8_t>& b, T v) {
     const auto old = b.size();
@@ -103,6 +102,28 @@ void put(std::vector<std::uint8_t>& b, T v) {
 
 void put_f64(std::vector<std::uint8_t>& b, double v) {
     put(b, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Append one column for a whole record batch: a single resize, then a
+/// tight fixed-stride store loop — the struct-of-arrays split that
+/// replaces the old per-record, per-field push_back walk. `get` projects
+/// a record to the column's wire value (u8/u32/u64 or bit-cast f64).
+template <typename Rec, typename Get>
+void pack_column(std::vector<std::uint8_t>& b, const std::vector<Rec>& rs,
+                 Get&& get) {
+    using V = decltype(get(rs.data()[0]));
+    const auto old = b.size();
+    b.resize(old + rs.size() * sizeof(V));
+    std::uint8_t* p = b.data() + old;
+    for (const auto& r : rs) {
+        const V v = get(r);
+        std::memcpy(p, &v, sizeof(V));
+        p += sizeof(V);
+    }
+}
+
+std::uint64_t f64_bits(double v) noexcept {
+    return std::bit_cast<std::uint64_t>(v);
 }
 
 [[noreturn]] void bad_file(const fs::path& p, const std::string& why) {
@@ -326,74 +347,129 @@ void BinaryWriter::append(const TraceSet& chunk) {
     if (finished_)
         throw std::logic_error("BinaryWriter::append: writer already finished");
     auto& st = streams_;
-    for (const auto& r : chunk.storage) {
-        auto& s = st[0];
-        put_f64(s.columns[0].bytes, r.time);
-        put(s.columns[1].bytes, r.request_id);
-        put(s.columns[2].bytes, r.lbn);
-        put(s.columns[3].bytes, r.size_bytes);
-        put_u8(s.columns[4].bytes, std::uint8_t(r.type));
-        put_f64(s.columns[5].bytes, r.latency);
-        ++s.count;
+    // Column-major: each column of a stream is packed for the whole batch
+    // in one pass (single resize + tight stride loop) instead of cycling
+    // through every column per record.
+    auto col = [&](std::size_t stream, std::size_t ix) -> auto& {
+        return st[stream].columns[ix].bytes;
+    };
+    if (!chunk.storage.empty()) {
+        const auto& rs = chunk.storage;
+        pack_column(col(0, 0), rs, [](const auto& r) { return f64_bits(r.time); });
+        pack_column(col(0, 1), rs, [](const auto& r) { return r.request_id; });
+        pack_column(col(0, 2), rs, [](const auto& r) { return r.lbn; });
+        pack_column(col(0, 3), rs, [](const auto& r) { return r.size_bytes; });
+        pack_column(col(0, 4), rs,
+                    [](const auto& r) { return std::uint8_t(r.type); });
+        pack_column(col(0, 5), rs,
+                    [](const auto& r) { return f64_bits(r.latency); });
+        st[0].count += rs.size();
     }
-    for (const auto& r : chunk.cpu) {
-        auto& s = st[1];
-        put_f64(s.columns[0].bytes, r.time);
-        put(s.columns[1].bytes, r.request_id);
-        put_f64(s.columns[2].bytes, r.busy_seconds);
-        put_f64(s.columns[3].bytes, r.utilization);
-        ++s.count;
+    if (!chunk.cpu.empty()) {
+        const auto& rs = chunk.cpu;
+        pack_column(col(1, 0), rs, [](const auto& r) { return f64_bits(r.time); });
+        pack_column(col(1, 1), rs, [](const auto& r) { return r.request_id; });
+        pack_column(col(1, 2), rs,
+                    [](const auto& r) { return f64_bits(r.busy_seconds); });
+        pack_column(col(1, 3), rs,
+                    [](const auto& r) { return f64_bits(r.utilization); });
+        st[1].count += rs.size();
     }
-    for (const auto& r : chunk.memory) {
-        auto& s = st[2];
-        put_f64(s.columns[0].bytes, r.time);
-        put(s.columns[1].bytes, r.request_id);
-        put(s.columns[2].bytes, r.bank);
-        put(s.columns[3].bytes, r.size_bytes);
-        put_u8(s.columns[4].bytes, std::uint8_t(r.type));
-        ++s.count;
+    if (!chunk.memory.empty()) {
+        const auto& rs = chunk.memory;
+        pack_column(col(2, 0), rs, [](const auto& r) { return f64_bits(r.time); });
+        pack_column(col(2, 1), rs, [](const auto& r) { return r.request_id; });
+        pack_column(col(2, 2), rs, [](const auto& r) { return r.bank; });
+        pack_column(col(2, 3), rs, [](const auto& r) { return r.size_bytes; });
+        pack_column(col(2, 4), rs,
+                    [](const auto& r) { return std::uint8_t(r.type); });
+        st[2].count += rs.size();
     }
-    for (const auto& r : chunk.network) {
-        auto& s = st[3];
-        put_f64(s.columns[0].bytes, r.time);
-        put(s.columns[1].bytes, r.request_id);
-        put(s.columns[2].bytes, r.size_bytes);
-        put_u8(s.columns[3].bytes, std::uint8_t(r.direction));
-        put_f64(s.columns[4].bytes, r.latency);
-        ++s.count;
+    if (!chunk.network.empty()) {
+        const auto& rs = chunk.network;
+        pack_column(col(3, 0), rs, [](const auto& r) { return f64_bits(r.time); });
+        pack_column(col(3, 1), rs, [](const auto& r) { return r.request_id; });
+        pack_column(col(3, 2), rs, [](const auto& r) { return r.size_bytes; });
+        pack_column(col(3, 3), rs,
+                    [](const auto& r) { return std::uint8_t(r.direction); });
+        pack_column(col(3, 4), rs,
+                    [](const auto& r) { return f64_bits(r.latency); });
+        st[3].count += rs.size();
     }
-    for (const auto& r : chunk.requests) {
-        auto& s = st[4];
-        put(s.columns[0].bytes, r.request_id);
-        put_u8(s.columns[1].bytes, std::uint8_t(r.type));
-        put_f64(s.columns[2].bytes, r.arrival);
-        put_f64(s.columns[3].bytes, r.completion);
-        put(s.columns[4].bytes, r.bytes);
-        ++s.count;
+    if (!chunk.requests.empty()) {
+        const auto& rs = chunk.requests;
+        pack_column(col(4, 0), rs, [](const auto& r) { return r.request_id; });
+        pack_column(col(4, 1), rs,
+                    [](const auto& r) { return std::uint8_t(r.type); });
+        pack_column(col(4, 2), rs,
+                    [](const auto& r) { return f64_bits(r.arrival); });
+        pack_column(col(4, 3), rs,
+                    [](const auto& r) { return f64_bits(r.completion); });
+        pack_column(col(4, 4), rs, [](const auto& r) { return r.bytes; });
+        st[4].count += rs.size();
     }
-    for (const auto& r : chunk.failures) {
-        auto& s = st[5];
-        put_f64(s.columns[0].bytes, r.time);
-        put(s.columns[1].bytes, r.request_id);
-        put(s.columns[2].bytes, r.server);
-        put_u8(s.columns[3].bytes, std::uint8_t(r.kind));
-        put_f64(s.columns[4].bytes, r.duration);
-        ++s.count;
+    if (!chunk.failures.empty()) {
+        const auto& rs = chunk.failures;
+        pack_column(col(5, 0), rs, [](const auto& r) { return f64_bits(r.time); });
+        pack_column(col(5, 1), rs, [](const auto& r) { return r.request_id; });
+        pack_column(col(5, 2), rs, [](const auto& r) { return r.server; });
+        pack_column(col(5, 3), rs,
+                    [](const auto& r) { return std::uint8_t(r.kind); });
+        pack_column(col(5, 4), rs,
+                    [](const auto& r) { return f64_bits(r.duration); });
+        st[5].count += rs.size();
     }
-    for (const auto& sp : chunk.spans) {
-        auto& s = st[6];
-        put(s.columns[0].bytes, sp.trace_id);
-        put(s.columns[1].bytes, sp.span_id);
-        put(s.columns[2].bytes, sp.parent_id);
+    if (!chunk.spans.empty()) {
+        // Spans resolve names through the dedup table, so the name column
+        // is record-at-a-time; the numeric columns still batch.
+        const auto& rs = chunk.spans;
+        pack_column(col(6, 0), rs, [](const auto& r) { return r.trace_id; });
+        pack_column(col(6, 1), rs, [](const auto& r) { return r.span_id; });
+        pack_column(col(6, 2), rs, [](const auto& r) { return r.parent_id; });
+        for (const auto& sp : rs) {
+            auto [it, inserted] =
+                name_ix_.try_emplace(sp.name, std::uint32_t(names_.size()));
+            if (inserted) names_.push_back(sp.name);
+            put(col(6, 3), it->second);
+        }
+        pack_column(col(6, 4), rs,
+                    [](const auto& r) { return f64_bits(r.start); });
+        pack_column(col(6, 5), rs, [](const auto& r) { return f64_bits(r.end); });
+        st[6].count += rs.size();
+    }
+    records_ += chunk.total_records();
+    maybe_spill();
+}
+
+void BinaryWriter::append(const ColumnChunk& chunk) {
+    if (finished_)
+        throw std::logic_error("BinaryWriter::append: writer already finished");
+    // Numeric streams arrive pre-encoded: splice whole columns.
+    for (std::size_t id = 0; id < kStreamCount; ++id) {
+        const auto& src = chunk.streams_[id];
+        if (src.count == 0) continue;
+        auto& dst = streams_[id];
+        for (std::size_t c = 0; c < dst.columns.size(); ++c) {
+            auto& b = dst.columns[c].bytes;
+            b.insert(b.end(), src.cols[c].begin(), src.cols[c].end());
+        }
+        dst.count += src.count;
+    }
+    // Spans re-encode through the string table, same as the TraceSet path.
+    auto& sp_stream = streams_[6];
+    for (const auto& sp : chunk.spans_) {
+        put(sp_stream.columns[0].bytes, sp.trace_id);
+        put(sp_stream.columns[1].bytes, sp.span_id);
+        put(sp_stream.columns[2].bytes, sp.parent_id);
         auto [it, inserted] =
             name_ix_.try_emplace(sp.name, std::uint32_t(names_.size()));
         if (inserted) names_.push_back(sp.name);
-        put(s.columns[3].bytes, it->second);
-        put_f64(s.columns[4].bytes, sp.start);
-        put_f64(s.columns[5].bytes, sp.end);
-        ++s.count;
+        put(sp_stream.columns[3].bytes, it->second);
+        put_f64(sp_stream.columns[4].bytes, sp.start);
+        put_f64(sp_stream.columns[5].bytes, sp.end);
+        ++sp_stream.count;
     }
-    records_ += chunk.total_records();
+    records_ += chunk.records();
     maybe_spill();
 }
 

@@ -33,6 +33,8 @@
 
 namespace kooza::trace {
 
+class ColumnChunk;
+
 /// First 8 bytes of every kooza.trace/1 stream file.
 inline constexpr char kBinaryMagic[8] = {'K', 'O', 'O', 'Z', 'A', 'T', 'R', '1'};
 inline constexpr std::uint32_t kBinaryVersion = 1;
@@ -66,6 +68,12 @@ public:
     /// Append every record in `chunk` to the per-stream column buffers.
     /// Throws std::logic_error after finish().
     void append(const TraceSet& chunk);
+
+    /// Append a struct-of-arrays chunk (trace/columns.hpp): the numeric
+    /// streams' pre-encoded columns are spliced in wholesale, only spans
+    /// are re-encoded (their name column indexes this writer's string
+    /// table). Produces bytes identical to the TraceSet overload.
+    void append(const ColumnChunk& chunk);
 
     /// Write all seven stream files (directory created if missing).
     /// Idempotent; throws std::runtime_error on I/O failure.

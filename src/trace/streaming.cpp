@@ -21,14 +21,6 @@ StreamMetrics& metrics() {
     return m;
 }
 
-void chunk_push(TraceSet& ts, const StorageRecord& r) { ts.storage.push_back(r); }
-void chunk_push(TraceSet& ts, const CpuRecord& r) { ts.cpu.push_back(r); }
-void chunk_push(TraceSet& ts, const MemoryRecord& r) { ts.memory.push_back(r); }
-void chunk_push(TraceSet& ts, const NetworkRecord& r) { ts.network.push_back(r); }
-void chunk_push(TraceSet& ts, const RequestRecord& r) { ts.requests.push_back(r); }
-void chunk_push(TraceSet& ts, const FailureRecord& r) { ts.failures.push_back(r); }
-void chunk_push(TraceSet& ts, const Span& s) { ts.spans.push_back(s); }
-
 }  // namespace
 
 /// One server group's Sink facade: tags records with (group, per-stream
@@ -140,7 +132,7 @@ void StreamingSink::release(StreamState& st, bool drain_all) {
     }
     while (!st.heap.empty() &&
            (drain_all || st.heap.top().key < watermark)) {
-        std::visit([&st](const auto& r) { chunk_push(st.chunk, r); },
+        std::visit([&st](const auto& r) { st.chunk.add(r); },
                    st.heap.top().rec);
         st.heap.pop();
         --pending_;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "trace/binary.hpp"
+#include "trace/columns.hpp"
 #include "trace/sink.hpp"
 
 namespace kooza::trace {
@@ -89,7 +90,9 @@ private:
     struct StreamState {
         std::priority_queue<Pending, std::vector<Pending>, Later> heap;
         std::multiset<double> holds;
-        TraceSet chunk;
+        // Released records are column-split immediately (struct-of-arrays,
+        // already in wire encoding) so the writer flush is a column splice.
+        ColumnChunk chunk;
         std::size_t chunk_count = 0;
     };
 

@@ -1,6 +1,7 @@
 // Tests for the discrete-event engine, RNG, and FCFS resources.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"

@@ -3,6 +3,7 @@
 // fit_best must identify the generating family.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "sim/rng.hpp"
