@@ -21,11 +21,13 @@
 #include "baselines/inbreadth.hpp"
 #include "baselines/indepth.hpp"
 #include "bench_util.hpp"
+#include "core/capture.hpp"
 #include "core/generator.hpp"
 #include "core/validator.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/hypothesis.hpp"
 #include "trace/features.hpp"
+#include "workloads/scenarios.hpp"
 
 namespace {
 
@@ -194,6 +196,54 @@ void print_table1() {
     std::cout << "\n";
 }
 
+/// Scenario axis: how well the KOOZA pipeline holds up when the training
+/// trace comes from the scenario library (time-varying arrival rates,
+/// tiered mixes, checkpoint bursts) rather than a stationary profile —
+/// the cross-examination's "does the model survive nonstationarity" row.
+void print_scenario_axis() {
+    std::cout
+        << "============================================================================\n"
+        << " Scenario axis - KOOZA trained and validated per scenario-library workload\n"
+        << "============================================================================\n\n";
+    const auto& names = workloads::scenario_names();
+    const auto rows = bench::sweep(names.size(), [&](std::size_t i) {
+        core::CaptureOptions co;
+        co.scenario = names[i];
+        co.count = 300;
+        co.rate = 40.0;
+        co.period = 20.0;
+        co.seed = kSeed;
+        const auto cap = core::run_capture(co);
+        Scores s;
+        s.name = names[i];
+        if (cap.traces.requests.empty()) return s;
+        const auto orig = trace::extract_features(cap.traces);
+        const auto orig_sizes = trace::column_storage_bytes(orig);
+        const auto model =
+            core::Trainer({.workload_name = "scenario-" + names[i]}).train(cap.traces);
+        s.params = model.parameter_count();
+        sim::Rng rng(kSeed + 1);
+        const auto w =
+            core::Generator(model).generate(cap.traces.requests.size(), rng);
+        s.feature_ks = stats::ks_statistic_two_sample(orig_sizes, sizes_of(w));
+        core::Replayer rep(
+            bench::replay_config(gfs::GfsConfig{}, model.cpu_verify_fraction()));
+        const auto lat =
+            stats::mean(rep.replay(w, core::ReplayMode::kStructured).latencies);
+        s.latency_err_pct =
+            stats::variation_pct(lat, stats::mean(trace::column_latency(orig)));
+        return s;
+    });
+
+    bench::Table t({14, 16, 16, 12});
+    t.row("Scenario", "FeatureKS", "LatencyErr%", "Params");
+    t.rule();
+    for (const auto& s : rows)
+        t.row(s.name, bench::fmt(s.feature_ks, 3), bench::fmt(s.latency_err_pct, 1),
+              s.params);
+    std::cout << "\n";
+}
+
 void BM_TrainAllThree(benchmark::State& state) {
     const auto c = make_context();
     for (auto _ : state) {
@@ -211,5 +261,6 @@ BENCHMARK(BM_TrainAllThree);
 int main(int argc, char** argv) {
     kooza::bench::print_run_header(kSeed);
     print_table1();
+    print_scenario_axis();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -12,9 +12,11 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "core/capture.hpp"
 #include "core/generator.hpp"
 #include "core/validator.hpp"
 #include "trace/features.hpp"
+#include "workloads/scenarios.hpp"
 
 namespace {
 
@@ -111,6 +113,49 @@ void print_table2() {
     }
 }
 
+/// Scenario axis: the same capture -> train -> generate -> replay ->
+/// validate loop, but driven by the scenario library instead of the
+/// paper's two-request micro workload. One validation block per scenario
+/// (diurnal / flashcrowd / tiered / checkpoint), including the
+/// unknown-phase warning when the replayer had to skip structure.
+void print_scenario_axis() {
+    std::cout << "=====================================================================\n"
+              << " Scenario axis - validation across the scenario library\n"
+              << " (capture -> train -> generate -> replay, per scenario)\n"
+              << " seed=" << kSeed << "\n"
+              << "=====================================================================\n\n";
+    for (const auto& name : workloads::scenario_names()) {
+        core::CaptureOptions co;
+        co.scenario = name;
+        co.count = 300;
+        co.rate = 40.0;
+        co.period = 20.0;
+        co.seed = kSeed;
+        const auto cap = core::run_capture(co);
+        if (cap.traces.requests.empty()) {
+            std::cout << "scenario " << name << ": no completed requests, skipped\n";
+            continue;
+        }
+        core::Trainer trainer({.workload_name = "scenario-" + name});
+        const auto model = trainer.train(cap.traces);
+        sim::Rng rng(kSeed);
+        const auto synthetic =
+            core::Generator(model).generate(cap.traces.requests.size(), rng);
+        core::Replayer replayer(
+            bench::replay_config(gfs::GfsConfig{}, model.cpu_verify_fraction()));
+        const auto replayed = replayer.replay(synthetic);
+        auto report = core::compare_features(trace::extract_features(cap.traces),
+                                             trace::extract_features(replayed.traces),
+                                             "scenario: " + name);
+        report.unknown_phases = replayed.unknown_phases;
+        std::cout << report.to_table()
+                  << "  max feature variation: "
+                  << bench::fmt_pct(report.max_feature_variation())
+                  << "   latency variation: "
+                  << bench::fmt_pct(report.latency_variation()) << "\n\n";
+    }
+}
+
 void BM_TrainTable2(benchmark::State& state) {
     const auto ts = bench::simulate(training_workload(50));
     core::Trainer trainer;
@@ -151,5 +196,6 @@ BENCHMARK(BM_ReplayTable2);
 int main(int argc, char** argv) {
     kooza::bench::print_run_header(kSeed);
     print_table2();
+    print_scenario_axis();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -5,10 +5,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/model_replay.hpp"
 #include "gfs/cluster.hpp"
 #include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "trace/streaming.hpp"
+#include "workloads/scenarios.hpp"
 
 namespace kooza::core {
 
@@ -60,6 +62,47 @@ std::unique_ptr<workloads::Profile> make_profile(const std::string& name,
     return nullptr;
 }
 
+std::unique_ptr<workloads::ScheduleStream> make_capture_schedule(
+    const CaptureOptions& opts) {
+    const int sources = int(!opts.scenario.empty()) + int(!opts.model_file.empty()) +
+                        int(!opts.replay_dir.empty());
+    if (sources > 1)
+        throw std::invalid_argument(
+            "run_capture: scenario, model_file and replay_dir are mutually "
+            "exclusive workload sources");
+
+    if (!opts.scenario.empty()) {
+        workloads::ScenarioParams sp;
+        sp.count = opts.count;
+        sp.rate = opts.rate;
+        sp.seed = opts.seed;
+        if (opts.read_size > 0) sp.read_size = opts.read_size;
+        if (opts.write_size > 0) sp.write_size = opts.write_size;
+        if (opts.period > 0.0) sp.period = opts.period;
+        auto gen = workloads::make_scenario(opts.scenario, sp);
+        if (!gen)
+            throw std::invalid_argument("run_capture: unknown scenario: " +
+                                        opts.scenario);
+        return gen;
+    }
+    if (!opts.model_file.empty()) {
+        ModelReplayGenerator::Params mp;
+        mp.count = opts.count;
+        mp.seed = opts.seed;
+        return std::make_unique<ModelReplayGenerator>(
+            std::filesystem::path(opts.model_file), mp);
+    }
+    if (!opts.replay_dir.empty())
+        return std::make_unique<workloads::TraceReplayGenerator>(
+            std::filesystem::path(opts.replay_dir));
+
+    auto profile = make_profile(opts.profile, opts.count, opts.rate, opts.read_size,
+                                opts.write_size, opts.read_fraction);
+    if (!profile)
+        throw std::invalid_argument("run_capture: unknown profile: " + opts.profile);
+    return profile->open_stream(sim::Rng(opts.seed));
+}
+
 namespace {
 
 /// Feeds the request schedule into the cluster one request at a time: a
@@ -90,10 +133,7 @@ struct SchedulePump {
 }  // namespace
 
 CaptureResult run_capture(const CaptureOptions& opts) {
-    auto profile = make_profile(opts.profile, opts.count, opts.rate, opts.read_size,
-                                opts.write_size, opts.read_fraction);
-    if (!profile)
-        throw std::invalid_argument("run_capture: unknown profile: " + opts.profile);
+    auto schedule = make_capture_schedule(opts);
     if (opts.stream && opts.out_dir.empty())
         throw std::invalid_argument("run_capture: stream mode needs out_dir");
 
@@ -128,7 +168,7 @@ CaptureResult run_capture(const CaptureOptions& opts) {
         sim::Engine& eng = cluster.engine();
         streaming->set_clock([&eng] { return eng.now(); });
     }
-    SchedulePump pump{cluster, profile->open_stream(sim::Rng(opts.seed))};
+    SchedulePump pump{cluster, std::move(schedule)};
     pump.start();
     cluster.run();
 

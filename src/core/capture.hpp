@@ -18,8 +18,14 @@ namespace kooza::core {
 
 struct CaptureOptions {
     std::string profile = "micro";  ///< micro|oltp|websearch|streaming|logappend
+    /// Workload source overrides, tried in this order; at most one may be
+    /// set, and when all are empty `profile` drives the capture.
+    std::string scenario;    ///< scenario-library name (workloads::make_scenario)
+    std::string model_file;  ///< trained-model replay (core::save_model file)
+    std::string replay_dir;  ///< trace-log replay (captured trace directory)
     std::size_t count = 500;        ///< requests (streaming: sessions = count/20+1)
     double rate = 20.0;             ///< arrivals/second
+    double period = 60.0;           ///< scenario envelope period, seconds
     std::uint64_t seed = 42;
     std::size_t n_servers = 1;
     std::size_t replication = 0;  ///< 0 = GfsConfig default
@@ -67,6 +73,13 @@ struct CaptureResult {
     const std::string& name, std::size_t count, double rate,
     std::uint64_t read_size = 0, std::uint64_t write_size = 0,
     double read_fraction = -1.0);
+
+/// Open the request schedule a capture with these options would pump:
+/// the scenario / model-replay / trace-replay generator when one is
+/// requested, else the named profile's stream. Deterministic in opts.
+/// Throws std::invalid_argument on unknown names or conflicting sources.
+[[nodiscard]] std::unique_ptr<workloads::ScheduleStream> make_capture_schedule(
+    const CaptureOptions& opts);
 
 /// Run one capture end to end: build the profile, configure the cluster
 /// (with faults following the run to drain), pump the request schedule

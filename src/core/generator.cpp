@@ -1,10 +1,8 @@
 #include "core/generator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
 #include <stdexcept>
 
+#include "core/model_walk.hpp"
 #include "obs/metrics.hpp"
 
 namespace kooza::core {
@@ -24,30 +22,6 @@ GeneratorMetrics& metrics() {
     return m;
 }
 
-std::uint64_t to_bytes(double x) {
-    if (!(x > 0.0)) return 512;
-    return std::uint64_t(std::llround(std::max(x, 512.0)));
-}
-
-/// Walks one TypeModel's chains, remembering the current state of each.
-struct ChainCursor {
-    const TypeModel& tm;
-    std::optional<std::size_t> storage_state;
-    std::optional<std::size_t> memory_state;
-    std::optional<std::size_t> cpu_state;
-
-    explicit ChainCursor(const TypeModel& t) : tm(t) {}
-
-    markov::AnnotatedStep advance(const markov::AnnotatedMarkovChain& chain,
-                                  std::optional<std::size_t>& state, sim::Rng& rng) {
-        markov::AnnotatedStep step =
-            state ? chain.step_from(*state, rng)
-                  : chain.annotate(chain.chain().sample_initial(rng), rng);
-        state = step.state;
-        return step;
-    }
-};
-
 }  // namespace
 
 SyntheticWorkload Generator::generate(std::size_t count, sim::Rng& rng,
@@ -58,46 +32,9 @@ SyntheticWorkload Generator::generate(std::size_t count, sim::Rng& rng,
     out.model_name = "kooza:" + model_.workload_name();
     out.requests.reserve(count);
 
-    auto arrivals = model_.arrivals().clone();
-    arrivals->reset();
-
-    std::optional<ChainCursor> read_cursor, write_cursor;
-    if (model_.has_reads()) read_cursor.emplace(model_.reads());
-    if (model_.has_writes()) write_cursor.emplace(model_.writes());
-
-    double t = start;
+    detail::ModelWalker walker(model_, start);
     for (std::size_t i = 0; i < count; ++i) {
-        t += arrivals->next_interarrival(rng);
-        const bool is_read =
-            model_.has_reads() &&
-            (!model_.has_writes() || rng.bernoulli(model_.read_fraction()));
-        ChainCursor& cur = is_read ? *read_cursor : *write_cursor;
-
-        SyntheticRequest r;
-        r.time = t;
-        r.type = is_read ? trace::IoType::kRead : trace::IoType::kWrite;
-
-        // Storage: LBN range state + size/net features.
-        auto sto = cur.advance(cur.tm.storage, cur.storage_state, rng);
-        r.lbn = std::uint64_t(model_.lbn_states().sample_within(sto.state, rng));
-        r.storage_bytes = to_bytes(sto.features.at(feature::kSize));
-        r.storage_type = r.type;
-        r.network_bytes = to_bytes(sto.features.at(feature::kNet));
-
-        // Memory: bank state + size/type features.
-        auto mem = cur.advance(cur.tm.memory, cur.memory_state, rng);
-        r.bank = std::uint32_t(model_.bank_states().representative(mem.state));
-        r.memory_bytes = to_bytes(mem.features.at(feature::kSize));
-        r.memory_type = mem.features.at(feature::kType) >= 0.5 ? trace::IoType::kWrite
-                                                               : trace::IoType::kRead;
-
-        // CPU: utilization-level state + busy-seconds feature.
-        auto cpu = cur.advance(cur.tm.cpu, cur.cpu_state, rng);
-        r.cpu_busy_seconds = std::max(0.0, cpu.features.at(feature::kBusy));
-
-        // Structure: phase order for the replayer.
-        r.phases = cur.tm.structure.sample(rng);
-
+        SyntheticRequest r = walker.next(rng);
         metrics().generated.add();
         metrics().bytes.add(r.storage_bytes);
         out.requests.push_back(std::move(r));

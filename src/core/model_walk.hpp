@@ -1,0 +1,98 @@
+// Shared per-request walk over a trained ServerModel.
+//
+// Generator::generate() (batch) and ModelReplayGenerator (pull-based
+// stream) must draw the exact same RNG sequence for the same model and
+// seed — the cross-examination harness compares their outputs — so the
+// single-request draw order lives here, in one place: arrival gap, type
+// coin, storage chain + LBN, memory chain, CPU chain, phase structure.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "core/model.hpp"
+#include "core/synthetic.hpp"
+#include "sim/rng.hpp"
+
+namespace kooza::core::detail {
+
+inline std::uint64_t model_feature_bytes(double x) {
+    if (!(x > 0.0)) return 512;
+    return std::uint64_t(std::llround(std::max(x, 512.0)));
+}
+
+/// Walks one TypeModel's chains, remembering the current state of each.
+struct ChainCursor {
+    const TypeModel& tm;
+    std::optional<std::size_t> storage_state;
+    std::optional<std::size_t> memory_state;
+    std::optional<std::size_t> cpu_state;
+
+    explicit ChainCursor(const TypeModel& t) : tm(t) {}
+
+    markov::AnnotatedStep advance(const markov::AnnotatedMarkovChain& chain,
+                                  std::optional<std::size_t>& state, sim::Rng& rng) {
+        markov::AnnotatedStep step =
+            state ? chain.step_from(*state, rng)
+                  : chain.annotate(chain.chain().sample_initial(rng), rng);
+        state = step.state;
+        return step;
+    }
+};
+
+/// Stateful model walk: each next() advances the clock and every chain by
+/// one request. Chain state persists across calls, so N calls of next()
+/// equal one generate(N) draw-for-draw.
+class ModelWalker {
+public:
+    ModelWalker(const ServerModel& model, double start)
+        : model_(model), arrivals_(model.arrivals().clone()), t_(start) {
+        arrivals_->reset();
+        if (model_.has_reads()) read_.emplace(model_.reads());
+        if (model_.has_writes()) write_.emplace(model_.writes());
+    }
+
+    [[nodiscard]] SyntheticRequest next(sim::Rng& rng) {
+        t_ += arrivals_->next_interarrival(rng);
+        const bool is_read =
+            model_.has_reads() &&
+            (!model_.has_writes() || rng.bernoulli(model_.read_fraction()));
+        ChainCursor& cur = is_read ? *read_ : *write_;
+
+        SyntheticRequest r;
+        r.time = t_;
+        r.type = is_read ? trace::IoType::kRead : trace::IoType::kWrite;
+
+        // Storage: LBN range state + size/net features.
+        auto sto = cur.advance(cur.tm.storage, cur.storage_state, rng);
+        r.lbn = std::uint64_t(model_.lbn_states().sample_within(sto.state, rng));
+        r.storage_bytes = model_feature_bytes(sto.features.at(feature::kSize));
+        r.storage_type = r.type;
+        r.network_bytes = model_feature_bytes(sto.features.at(feature::kNet));
+
+        // Memory: bank state + size/type features.
+        auto mem = cur.advance(cur.tm.memory, cur.memory_state, rng);
+        r.bank = std::uint32_t(model_.bank_states().representative(mem.state));
+        r.memory_bytes = model_feature_bytes(mem.features.at(feature::kSize));
+        r.memory_type = mem.features.at(feature::kType) >= 0.5
+                            ? trace::IoType::kWrite
+                            : trace::IoType::kRead;
+
+        // CPU: utilization-level state + busy-seconds feature.
+        auto cpu = cur.advance(cur.tm.cpu, cur.cpu_state, rng);
+        r.cpu_busy_seconds = std::max(0.0, cpu.features.at(feature::kBusy));
+
+        // Structure: phase order for the replayer.
+        r.phases = cur.tm.structure.sample(rng);
+        return r;
+    }
+
+private:
+    const ServerModel& model_;
+    std::unique_ptr<queueing::ArrivalProcess> arrivals_;
+    std::optional<ChainCursor> read_, write_;
+    double t_;
+};
+
+}  // namespace kooza::core::detail

@@ -85,6 +85,10 @@ std::string ValidationReport::to_table() const {
        << std::setw(10) << "Variation" << "\n";
     os << std::string(62, '-') << "\n";
     for (const auto& r : rows) os << r.to_string() << "\n";
+    if (unknown_phases > 0)
+        os << "WARNING: replay skipped " << unknown_phases
+           << " unknown phase(s); synthetic columns understate request cost "
+              "(core.replayer.unknown_phases_total)\n";
     return os.str();
 }
 

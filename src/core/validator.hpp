@@ -28,6 +28,13 @@ struct MetricRow {
 struct ValidationReport {
     std::string model_name;
     std::vector<MetricRow> rows;
+    /// Phases the replayer did not recognize while producing the
+    /// synthetic side (core::ReplayResult::unknown_phases). Nonzero means
+    /// part of each request's learned structure was silently skipped, so
+    /// the synthetic columns understate the real cost: to_table() prints
+    /// a warning row, and the replayer exports the same count as the
+    /// core.replayer.unknown_phases_total metric.
+    std::uint64_t unknown_phases = 0;
 
     /// Largest relative variation among feature rows. Excludes Performance
     /// rows and absolute-deviation rows (zero baselines have no percentage

@@ -85,6 +85,95 @@ private:
     double rate_;
 };
 
+/// Deterministic arrival-rate envelope r(t) >= 0 for nonstationary
+/// (time-varying) Poisson processes. The scenario library's diurnal load
+/// curves and flash-crowd spikes are envelopes; ModulatedArrivals turns
+/// one into an arrival stream by Lewis-Shedler thinning.
+class RateEnvelope {
+public:
+    virtual ~RateEnvelope() = default;
+    /// Instantaneous arrival rate at absolute time t (events/second).
+    [[nodiscard]] virtual double rate_at(double t) const = 0;
+    /// A finite upper bound on rate_at over all t (the thinning majorant).
+    [[nodiscard]] virtual double peak_rate() const = 0;
+    /// Time-average rate over one period (for mean_rate()).
+    [[nodiscard]] virtual double average_rate() const = 0;
+    [[nodiscard]] virtual std::string describe() const = 0;
+    [[nodiscard]] virtual std::unique_ptr<RateEnvelope> clone() const = 0;
+};
+
+/// Diurnal load curve: base * (1 + amplitude * sin(2*pi*(t/period + phase))),
+/// the classic day/night utilization cycle of user-facing datacenter
+/// traffic, compressed to an arbitrary period for simulation.
+class DiurnalEnvelope final : public RateEnvelope {
+public:
+    /// amplitude in [0, 1): the curve stays strictly positive.
+    DiurnalEnvelope(double base_rate, double amplitude, double period,
+                    double phase = 0.0);
+    [[nodiscard]] double rate_at(double t) const override;
+    [[nodiscard]] double peak_rate() const override {
+        return base_ * (1.0 + amplitude_);
+    }
+    [[nodiscard]] double average_rate() const override { return base_; }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<RateEnvelope> clone() const override {
+        return std::make_unique<DiurnalEnvelope>(*this);
+    }
+
+private:
+    double base_;
+    double amplitude_;
+    double period_;
+    double phase_;
+};
+
+/// Flash-crowd spikes: base rate, except during a window of `spike_len`
+/// seconds at the start of every `period` the rate jumps to
+/// base * multiplier (a hot object going viral, a failover herd).
+class SpikeEnvelope final : public RateEnvelope {
+public:
+    SpikeEnvelope(double base_rate, double multiplier, double period,
+                  double spike_len);
+    [[nodiscard]] double rate_at(double t) const override;
+    [[nodiscard]] double peak_rate() const override { return base_ * multiplier_; }
+    [[nodiscard]] double average_rate() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<RateEnvelope> clone() const override {
+        return std::make_unique<SpikeEnvelope>(*this);
+    }
+
+private:
+    double base_;
+    double multiplier_;
+    double period_;
+    double spike_len_;
+};
+
+/// Nonstationary Poisson arrivals following a RateEnvelope, generated by
+/// Lewis-Shedler thinning: candidate gaps are drawn at the envelope's
+/// peak rate and accepted with probability rate(t)/peak. Carries its own
+/// absolute clock; reset() rewinds it to 0.
+class ModulatedArrivals final : public ArrivalProcess {
+public:
+    explicit ModulatedArrivals(std::unique_ptr<RateEnvelope> envelope);
+    ModulatedArrivals(const ModulatedArrivals& other);
+    [[nodiscard]] double next_interarrival(sim::Rng& rng) override;
+    [[nodiscard]] double mean_rate() const override {
+        return envelope_->average_rate();
+    }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+        return std::make_unique<ModulatedArrivals>(*this);
+    }
+    void reset() override { t_ = 0.0; }
+
+    [[nodiscard]] const RateEnvelope& envelope() const noexcept { return *envelope_; }
+
+private:
+    std::unique_ptr<RateEnvelope> envelope_;
+    double t_ = 0.0;
+};
+
 /// Replays a recorded inter-arrival sequence, cycling when exhausted.
 class TraceArrivals final : public ArrivalProcess {
 public:

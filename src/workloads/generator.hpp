@@ -1,0 +1,208 @@
+// Pluggable workload-generator API, after CODES' standard op-stream
+// interface (codes_workload_get_next(): many generators, one simulator).
+//
+// A Generator is a named, pull-based stream of typed ops
+// (gfs::RequestSpec) feeding core::run_capture's SchedulePump. It extends
+// ScheduleStream — so every generator inherits the nondecreasing-time
+// enforcement StreamingSink's hold protocol depends on — and adds an
+// identity plus a family of implementations beyond the synthetic
+// profiles:
+//
+//   ProfileGenerator     the existing workloads::Profile archetypes
+//   CheckpointGenerator  Daly-style HPC checkpoint/restart traffic
+//   TraceReplayGenerator re-issue a captured kooza.trace/1 requests log
+//   MergeGenerator       time-merge of sub-generators (tiered scenarios)
+//   core::ModelReplayGenerator  trained-KOOZA-model replay (core lib)
+//
+// The scenario library (scenarios.hpp) composes these into named configs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queueing/arrival.hpp"
+#include "sim/rng.hpp"
+#include "workloads/profiles.hpp"
+
+namespace kooza::workloads {
+
+/// Named pull-based op stream. Ops come back one at a time in
+/// nondecreasing time order (enforced by ScheduleStream::next());
+/// exhaustion (nullopt) is permanent. Generators are single-pass: open a
+/// fresh one (same config + seed) to re-read the same op sequence.
+class Generator : public ScheduleStream {
+public:
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Adapter: any Profile is a Generator via its open_stream() schedule.
+class ProfileGenerator final : public Generator {
+public:
+    ProfileGenerator(std::unique_ptr<Profile> profile, std::uint64_t seed);
+
+    [[nodiscard]] std::string name() const override { return profile_->name(); }
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return stream_->files();
+    }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override {
+        return stream_->next();
+    }
+
+private:
+    std::unique_ptr<Profile> profile_;
+    std::unique_ptr<ScheduleStream> stream_;
+};
+
+/// Generic arrival-process-driven request mix: the building block the
+/// scenario library modulates with time-varying envelopes. Fixed-size
+/// reads/writes against a set of files with optional Zipf popularity.
+class MixGenerator final : public Generator {
+public:
+    struct Params {
+        std::size_t count = 500;
+        double read_fraction = 0.7;
+        std::uint64_t read_size = 64ull << 10;
+        std::uint64_t write_size = 1ull << 20;
+        std::size_t files = 8;
+        std::uint64_t file_size = 1ull << 30;
+        double zipf_s = 0.0;  ///< 0 = uniform file popularity
+        std::string file_prefix = "data.";
+        bool append_writes = false;  ///< writes use the record-append path
+    };
+
+    MixGenerator(std::string name, Params p,
+                 std::unique_ptr<queueing::ArrivalProcess> arrivals, sim::Rng rng);
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return files_;
+    }
+    [[nodiscard]] const queueing::ArrivalProcess& arrivals() const noexcept {
+        return *arrivals_;
+    }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override;
+
+private:
+    std::string name_;
+    Params p_;
+    std::unique_ptr<queueing::ArrivalProcess> arrivals_;
+    sim::Rng rng_;
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+    std::vector<double> popularity_cdf_;  ///< empty when uniform
+    double t_ = 0.0;
+    std::size_t i_ = 0;
+};
+
+/// Daly-style HPC checkpoint/restart workload (after the CODES checkpoint
+/// generator): an application computes for the Daly-optimal interval
+/// tau = sqrt(2*delta*MTTI) - delta (delta = checkpoint_bytes/bandwidth),
+/// then every rank writes its checkpoint shard in segment-sized
+/// sequential writes. Failures arrive with exponential MTTI; a failure
+/// rolls the app back — every rank reads its last complete checkpoint
+/// shard back in (restart reads) and recomputes. Ops stop after `count`.
+class CheckpointGenerator final : public Generator {
+public:
+    struct Params {
+        std::size_t count = 500;           ///< total ops (writes + reads)
+        double mtti = 120.0;               ///< mean time to interrupt, seconds
+        std::uint64_t checkpoint_bytes = 256ull << 20;  ///< app-wide snapshot
+        double bandwidth = 1e9;            ///< sustained ckpt bytes/second
+        std::size_t ranks = 4;             ///< files written per checkpoint
+        std::uint64_t segment = 16ull << 20;  ///< bytes per write/read op
+    };
+
+    CheckpointGenerator(Params p, sim::Rng rng);
+
+    [[nodiscard]] std::string name() const override { return "checkpoint"; }
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return files_;
+    }
+    /// The Daly-optimal compute interval this instance derived.
+    [[nodiscard]] double optimal_interval() const noexcept { return tau_; }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override;
+
+private:
+    void refill();
+
+    Params p_;
+    sim::Rng rng_;
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+    std::deque<gfs::RequestSpec> buffer_;
+    std::uint64_t shard_ = 0;     ///< checkpoint bytes per rank
+    double tau_ = 0.0;            ///< Daly-optimal compute interval
+    double delta_ = 0.0;          ///< checkpoint write time
+    double t_ = 0.0;              ///< application clock
+    double next_failure_ = 0.0;
+    bool have_checkpoint_ = false;
+    std::size_t emitted_ = 0;
+};
+
+/// Trace-log replay: re-issue the end-to-end requests stream of a
+/// captured trace directory (CSV or kooza.trace/1 binary, auto-detected)
+/// against a fresh cluster. Arrival times, types and sizes replay
+/// verbatim (sorted by arrival); file placement is re-laid-out
+/// deterministically over one replay file, since request records do not
+/// retain offsets.
+class TraceReplayGenerator final : public Generator {
+public:
+    struct Params {
+        std::uint64_t file_size = 1ull << 30;  ///< grows to fit large requests
+    };
+
+    explicit TraceReplayGenerator(const std::filesystem::path& trace_dir);
+    TraceReplayGenerator(const std::filesystem::path& trace_dir, Params p);
+
+    [[nodiscard]] std::string name() const override { return "trace-replay"; }
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return files_;
+    }
+    [[nodiscard]] std::size_t total_ops() const noexcept { return ops_.size(); }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override;
+
+private:
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+    std::vector<gfs::RequestSpec> ops_;
+    std::size_t ix_ = 0;
+};
+
+/// Time-merge of sub-generators into one nondecreasing op stream (ties
+/// break by sub-generator index, so the merge is deterministic). The
+/// sub-generators' file sets must not collide.
+class MergeGenerator final : public Generator {
+public:
+    MergeGenerator(std::string name,
+                   std::vector<std::unique_ptr<Generator>> parts);
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return files_;
+    }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override;
+
+private:
+    std::string name_;
+    std::vector<std::unique_ptr<Generator>> parts_;
+    std::vector<std::optional<gfs::RequestSpec>> heads_;
+    std::vector<std::pair<std::string, std::uint64_t>> files_;
+};
+
+}  // namespace kooza::workloads

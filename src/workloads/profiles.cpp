@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 #include "stats/distributions.hpp"
 
 namespace kooza::workloads {
+
+std::optional<gfs::RequestSpec> ScheduleStream::next() {
+    if (exhausted_) return std::nullopt;
+    auto spec = poll();
+    if (!spec) {
+        exhausted_ = true;
+        return std::nullopt;
+    }
+    if (spec->time < last_time_) {
+        std::ostringstream os;
+        os << "ScheduleStream: nondecreasing-time contract violated: request at t="
+           << spec->time << " after t=" << last_time_;
+        throw std::logic_error(os.str());
+    }
+    last_time_ = spec->time;
+    return spec;
+}
 
 void Workload::install(gfs::Cluster& cluster) const {
     for (const auto& [name, size] : files) cluster.create_file(name, size);
@@ -31,7 +50,7 @@ public:
     const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
         return w_.files;
     }
-    std::optional<gfs::RequestSpec> next() override {
+    std::optional<gfs::RequestSpec> poll() override {
         if (ix_ >= w_.requests.size()) return std::nullopt;
         return w_.requests[ix_++];
     }
@@ -51,7 +70,7 @@ public:
     const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
         return files_;
     }
-    std::optional<gfs::RequestSpec> next() override {
+    std::optional<gfs::RequestSpec> poll() override {
         if (i_ >= p_.count) return std::nullopt;
         ++i_;
         t_ += rng_.exponential(p_.arrival_rate);
@@ -91,7 +110,7 @@ public:
     const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
         return files_;
     }
-    std::optional<gfs::RequestSpec> next() override {
+    std::optional<gfs::RequestSpec> poll() override {
         if (i_ >= p_.count) return std::nullopt;
         ++i_;
         const double burst_rate = p_.base_rate * p_.burst_multiplier;
@@ -141,7 +160,7 @@ public:
     const std::vector<std::pair<std::string, std::uint64_t>>& files() const override {
         return files_;
     }
-    std::optional<gfs::RequestSpec> next() override {
+    std::optional<gfs::RequestSpec> poll() override {
         if (i_ >= p_.count) return std::nullopt;
         ++i_;
         t_ += rng_.exponential(p_.arrival_rate);

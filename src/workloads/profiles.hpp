@@ -44,12 +44,24 @@ public:
     [[nodiscard]] virtual const std::vector<std::pair<std::string, std::uint64_t>>&
     files() const = 0;
 
-    /// Next request, or nullopt once the schedule is exhausted. Times are
-    /// nondecreasing across calls.
-    [[nodiscard]] virtual std::optional<gfs::RequestSpec> next() = 0;
+    /// Next request, or nullopt once the schedule is exhausted; exhaustion
+    /// is permanent (every later call also returns nullopt). Times are
+    /// nondecreasing across calls — enforced here at the stream boundary,
+    /// not trusted to each implementation: StreamingSink's open_hold/
+    /// close_hold watermark ordering silently corrupts if a misbehaving
+    /// generator ever steps time backwards, so that bug must die loudly at
+    /// its source. Throws std::logic_error naming both timestamps.
+    [[nodiscard]] std::optional<gfs::RequestSpec> next();
 
 protected:
     ScheduleStream() = default;
+
+    /// The implementation hook next() wraps with the invariant checks.
+    [[nodiscard]] virtual std::optional<gfs::RequestSpec> poll() = 0;
+
+private:
+    double last_time_ = -1.0;  ///< all valid request times are >= 0
+    bool exhausted_ = false;
 };
 
 /// Common interface so benches can sweep profiles generically.

@@ -60,4 +60,46 @@ TEST(CliArgs, EmptyCommandLine) {
     EXPECT_TRUE(args.positional().empty());
 }
 
+TEST(CliArgs, RejectsTrailingJunkOnIntegers) {
+    // "--count 10x" used to parse as 10 via std::stoull's prefix rule;
+    // now the whole field must be digits.
+    auto args = make({"--count", "10x"});
+    EXPECT_THROW((void)args.get_u64("count", 0), std::invalid_argument);
+    EXPECT_THROW((void)make({"--count", "1 2"}).get_u64("count", 0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)make({"--count", "0x10"}).get_u64("count", 0),
+                 std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsNegativeIntegers) {
+    // "--count -3" used to wrap to 2^64-3 through stoull; it must fail.
+    auto args = make({"--count", "-3"});
+    EXPECT_THROW((void)args.get_u64("count", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsOutOfRangeIntegers) {
+    auto args = make({"--count", "99999999999999999999999999"});
+    EXPECT_THROW((void)args.get_u64("count", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsTrailingJunkOnDoubles) {
+    EXPECT_THROW((void)make({"--rate", "1.5qps"}).get_double("rate", 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)make({"--rate", "nanx"}).get_double("rate", 0.0),
+                 std::invalid_argument);
+    // Plain scientific notation still parses.
+    EXPECT_DOUBLE_EQ(make({"--rate", "2e2"}).get_double("rate", 0.0), 200.0);
+}
+
+TEST(CliArgs, ErrorNamesTheFlag) {
+    try {
+        (void)make({"--chunk-records", "64k"}).get_u64("chunk-records", 0);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--chunk-records"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("64k"), std::string::npos) << msg;
+    }
+}
+
 }  // namespace

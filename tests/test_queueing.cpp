@@ -203,6 +203,73 @@ TEST(Network, Validation) {
     EXPECT_THROW(net.submit(0), std::out_of_range);
 }
 
+TEST(RateEnvelope, DiurnalStaysWithinBand) {
+    kooza::queueing::DiurnalEnvelope env(40.0, 0.8, 60.0);
+    for (double t = 0.0; t < 240.0; t += 0.7) {
+        EXPECT_GT(env.rate_at(t), 0.0);
+        EXPECT_LE(env.rate_at(t), env.peak_rate() + 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(env.peak_rate(), 40.0 * 1.8);
+    EXPECT_DOUBLE_EQ(env.average_rate(), 40.0);
+    // Quarter period with zero phase is the sine peak.
+    EXPECT_NEAR(env.rate_at(15.0), env.peak_rate(), 1e-9);
+    EXPECT_THROW(kooza::queueing::DiurnalEnvelope(40.0, 1.0, 60.0),
+                 std::invalid_argument);
+    EXPECT_THROW(kooza::queueing::DiurnalEnvelope(0.0, 0.5, 60.0),
+                 std::invalid_argument);
+}
+
+TEST(RateEnvelope, SpikeWindowAndAverage) {
+    kooza::queueing::SpikeEnvelope env(10.0, 8.0, 30.0, 3.0);
+    EXPECT_DOUBLE_EQ(env.rate_at(1.0), 80.0);    // inside the spike window
+    EXPECT_DOUBLE_EQ(env.rate_at(5.0), 10.0);    // outside
+    EXPECT_DOUBLE_EQ(env.rate_at(31.0), 80.0);   // window recurs each period
+    EXPECT_DOUBLE_EQ(env.peak_rate(), 80.0);
+    // Duty cycle 0.1: average = base * (1 + 7 * 0.1).
+    EXPECT_DOUBLE_EQ(env.average_rate(), 17.0);
+    EXPECT_THROW(kooza::queueing::SpikeEnvelope(10.0, 0.5, 30.0, 3.0),
+                 std::invalid_argument);
+    EXPECT_THROW(kooza::queueing::SpikeEnvelope(10.0, 8.0, 30.0, 31.0),
+                 std::invalid_argument);
+}
+
+TEST(ModulatedArrivals, DeterministicAndResettable) {
+    using kooza::queueing::DiurnalEnvelope;
+    using kooza::queueing::ModulatedArrivals;
+    auto make = [] {
+        return ModulatedArrivals(std::make_unique<DiurnalEnvelope>(40.0, 0.8, 60.0));
+    };
+    auto a = make();
+    auto b = make();
+    kooza::sim::Rng ra(9), rb(9);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_DOUBLE_EQ(a.next_interarrival(ra), b.next_interarrival(rb)) << i;
+    // reset() rewinds the envelope clock: the same RNG reproduces the run.
+    a.reset();
+    kooza::sim::Rng rc(9);
+    auto c = make();
+    kooza::sim::Rng rd(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(a.next_interarrival(rc), c.next_interarrival(rd)) << i;
+}
+
+TEST(ModulatedArrivals, ThinningTracksAverageRate) {
+    using kooza::queueing::ModulatedArrivals;
+    ModulatedArrivals arr(
+        std::make_unique<kooza::queueing::SpikeEnvelope>(50.0, 4.0, 10.0, 1.0));
+    EXPECT_DOUBLE_EQ(arr.mean_rate(), 65.0);
+    kooza::sim::Rng rng(17);
+    const int n = 20000;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += arr.next_interarrival(rng);
+    const double empirical = double(n) / total;
+    // Lewis-Shedler thinning should land near the envelope's average rate.
+    EXPECT_NEAR(empirical, arr.mean_rate(), 0.05 * arr.mean_rate());
+    // Cloning preserves the envelope (and the current clock).
+    auto clone = arr.clone();
+    EXPECT_EQ(clone->describe(), arr.describe());
+}
+
 TEST(ThreeTier, BuildsAndRuns) {
     Engine eng;
     std::size_t cls = 0;

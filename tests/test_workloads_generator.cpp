@@ -1,0 +1,390 @@
+// Conformance suite for the pluggable workload-generator API: every
+// generator (profile adapter, scenario mixes, checkpoint/restart, trace
+// replay, trained-model replay) honors the ScheduleStream contracts —
+// nondecreasing times, permanent exhaustion, same-seed reproducibility —
+// and scenario captures stay byte-identical across capture modes and
+// thread counts. Runs in the `workloads` tier and under TSan.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "core/capture.hpp"
+#include "core/generator.hpp"
+#include "core/model_replay.hpp"
+#include "core/trainer.hpp"
+#include "core/validator.hpp"
+#include "par/pool.hpp"
+#include "trace/io.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace {
+
+using namespace kooza;
+namespace fs = std::filesystem;
+
+struct ThreadGuard {
+    ~ThreadGuard() { par::set_threads(0); }
+};
+
+std::vector<gfs::RequestSpec> drain(workloads::ScheduleStream& s) {
+    std::vector<gfs::RequestSpec> out;
+    while (auto r = s.next()) out.push_back(*r);
+    return out;
+}
+
+void expect_same_sequence(const std::vector<gfs::RequestSpec>& a,
+                          const std::vector<gfs::RequestSpec>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].time, b[i].time) << i;
+        EXPECT_EQ(a[i].file, b[i].file) << i;
+        EXPECT_EQ(a[i].offset, b[i].offset) << i;
+        EXPECT_EQ(a[i].size, b[i].size) << i;
+        EXPECT_EQ(a[i].type, b[i].type) << i;
+        EXPECT_EQ(a[i].append, b[i].append) << i;
+    }
+}
+
+workloads::ScenarioParams small_params() {
+    workloads::ScenarioParams p;
+    p.count = 200;
+    p.rate = 40.0;
+    p.period = 10.0;
+    p.seed = 99;
+    return p;
+}
+
+TEST(ScenarioLibrary, NamesDescribedAndUnknownRejected) {
+    const auto& names = workloads::scenario_names();
+    ASSERT_GE(names.size(), 4u);
+    for (const auto& n : names) {
+        EXPECT_FALSE(workloads::describe_scenario(n).empty()) << n;
+        EXPECT_NE(workloads::make_scenario(n, small_params()), nullptr) << n;
+    }
+    EXPECT_TRUE(workloads::describe_scenario("no-such-scenario").empty());
+    EXPECT_EQ(workloads::make_scenario("no-such-scenario", small_params()), nullptr);
+}
+
+TEST(GeneratorConformance, SameSeedSameSequence) {
+    for (const auto& name : workloads::scenario_names()) {
+        auto a = workloads::make_scenario(name, small_params());
+        auto b = workloads::make_scenario(name, small_params());
+        SCOPED_TRACE(name);
+        expect_same_sequence(drain(*a), drain(*b));
+    }
+}
+
+TEST(GeneratorConformance, NondecreasingTimesAndDeclaredFiles) {
+    for (const auto& name : workloads::scenario_names()) {
+        auto gen = workloads::make_scenario(name, small_params());
+        SCOPED_TRACE(name);
+        std::set<std::string> declared;
+        for (const auto& [file, size] : gen->files()) {
+            EXPECT_GT(size, 0u) << file;
+            declared.insert(file);
+        }
+        const auto ops = drain(*gen);
+        ASSERT_FALSE(ops.empty());
+        double last = 0.0;
+        for (const auto& op : ops) {
+            EXPECT_GE(op.time, last);
+            last = op.time;
+            EXPECT_EQ(declared.count(op.file), 1u) << op.file;
+            EXPECT_GT(op.size, 0u);
+        }
+    }
+}
+
+TEST(GeneratorConformance, ExhaustionIsPermanent) {
+    for (const auto& name : workloads::scenario_names()) {
+        auto gen = workloads::make_scenario(name, small_params());
+        SCOPED_TRACE(name);
+        (void)drain(*gen);
+        for (int i = 0; i < 3; ++i) EXPECT_FALSE(gen->next().has_value());
+    }
+}
+
+TEST(GeneratorConformance, MixHonorsCount) {
+    auto gen = workloads::make_scenario("diurnal", small_params());
+    EXPECT_EQ(drain(*gen).size(), small_params().count);
+}
+
+// ---- ScheduleStream boundary enforcement (bugfix regression) ----------
+
+class BrokenClockStream final : public workloads::ScheduleStream {
+public:
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return files_;
+    }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override {
+        gfs::RequestSpec r;
+        r.file = "f";
+        r.size = 512;
+        r.time = (n_++ == 0) ? 5.0 : 1.0;  // second request steps backwards
+        return r;
+    }
+
+private:
+    std::vector<std::pair<std::string, std::uint64_t>> files_{{"f", 1 << 20}};
+    int n_ = 0;
+};
+
+class RevivingStream final : public workloads::ScheduleStream {
+public:
+    [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+    files() const override {
+        return files_;
+    }
+
+protected:
+    [[nodiscard]] std::optional<gfs::RequestSpec> poll() override {
+        if (n_++ == 0) return std::nullopt;  // claims exhaustion ...
+        gfs::RequestSpec r;                  // ... then tries to revive
+        r.file = "f";
+        r.size = 512;
+        r.time = double(n_);
+        return r;
+    }
+
+private:
+    std::vector<std::pair<std::string, std::uint64_t>> files_{{"f", 1 << 20}};
+    int n_ = 0;
+};
+
+TEST(ScheduleStreamContract, TimeRegressionThrowsNamingBothTimestamps) {
+    BrokenClockStream s;
+    EXPECT_TRUE(s.next().has_value());
+    try {
+        (void)s.next();
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("nondecreasing"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("t=1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("t=5"), std::string::npos) << msg;
+    }
+}
+
+TEST(ScheduleStreamContract, ExhaustionSticksEvenIfPollRevives) {
+    RevivingStream s;
+    EXPECT_FALSE(s.next().has_value());
+    for (int i = 0; i < 3; ++i) EXPECT_FALSE(s.next().has_value());
+}
+
+// ---- Individual generators -------------------------------------------
+
+TEST(ProfileGenerator, MatchesUnderlyingProfileStream) {
+    workloads::MicroProfile::Params mp{.count = 150, .arrival_rate = 30.0};
+    workloads::ProfileGenerator gen(
+        std::make_unique<workloads::MicroProfile>(mp), /*seed=*/5);
+    EXPECT_EQ(gen.name(), "micro");
+    auto direct = workloads::MicroProfile(mp).open_stream(sim::Rng(5));
+    expect_same_sequence(drain(gen), drain(*direct));
+}
+
+TEST(CheckpointGenerator, DalyIntervalAndPhaseShape) {
+    workloads::CheckpointGenerator::Params p;
+    p.count = 600;
+    p.mtti = 20.0;
+    p.checkpoint_bytes = 64ull << 20;
+    p.bandwidth = 1e9;
+    p.ranks = 4;
+    p.segment = 4ull << 20;
+    workloads::CheckpointGenerator gen(p, sim::Rng(3));
+
+    // shard = 16 MB/rank, delta = shard/bandwidth, tau = sqrt(2 d M) - d.
+    const double delta = double(16ull << 20) / 1e9;
+    EXPECT_NEAR(gen.optimal_interval(),
+                std::max(delta, std::sqrt(2.0 * delta * p.mtti) - delta), 1e-12);
+
+    ASSERT_EQ(gen.files().size(), p.ranks);
+    const std::uint64_t shard = gen.files()[0].second;
+    EXPECT_EQ(shard, 16ull << 20);
+
+    const auto ops = drain(gen);
+    ASSERT_EQ(ops.size(), p.count);
+    bool saw_read = false;
+    for (const auto& op : ops) {
+        EXPECT_EQ(op.size, p.segment);
+        EXPECT_LE(op.offset + op.size, shard);
+        if (op.type == trace::IoType::kRead) saw_read = true;
+        // Restart reads can only follow a completed checkpoint.
+        if (!saw_read) {
+            EXPECT_EQ(op.type, trace::IoType::kWrite);
+        }
+    }
+    // With MTTI = 20s and tau ~ 1.1s many failures land in 600 ops.
+    EXPECT_TRUE(saw_read);
+}
+
+TEST(TraceReplayGenerator, ReplaysRequestLogInArrivalOrder) {
+    const auto dir = fs::temp_directory_path() / "kooza_gen_replay_src";
+    fs::remove_all(dir);
+    core::CaptureOptions co;
+    co.profile = "micro";
+    co.count = 120;
+    co.seed = 21;
+    co.out_dir = dir.string();
+    co.format = trace::Format::kBinary;
+    const auto cap = core::run_capture(co);
+    ASSERT_GT(cap.traces.requests.size(), 0u);
+
+    workloads::TraceReplayGenerator gen(dir);
+    EXPECT_EQ(gen.name(), "trace-replay");
+    EXPECT_EQ(gen.total_ops(), cap.traces.requests.size());
+    const auto ops = drain(gen);
+    ASSERT_EQ(ops.size(), cap.traces.requests.size());
+    // Identical on a second open: replay is deterministic.
+    workloads::TraceReplayGenerator again(dir);
+    expect_same_sequence(ops, drain(again));
+
+    EXPECT_THROW(workloads::TraceReplayGenerator(dir / "missing"), std::exception);
+    fs::remove_all(dir);
+}
+
+TEST(MergeGenerator, MergesInTimeOrderAndRejectsCollisions) {
+    auto part = [](const std::string& prefix, std::size_t count, double rate) {
+        workloads::MixGenerator::Params p;
+        p.count = count;
+        p.file_prefix = prefix;
+        p.files = 2;
+        return std::make_unique<workloads::MixGenerator>(
+            prefix, p, std::make_unique<queueing::PoissonArrivals>(rate),
+            sim::Rng(4));
+    };
+    std::vector<std::unique_ptr<workloads::Generator>> parts;
+    parts.push_back(part("a.", 50, 10.0));
+    parts.push_back(part("b.", 70, 25.0));
+    workloads::MergeGenerator merged("both", std::move(parts));
+    EXPECT_EQ(merged.files().size(), 4u);
+    const auto ops = drain(merged);
+    ASSERT_EQ(ops.size(), 120u);
+    std::size_t from_a = 0;
+    for (const auto& op : ops)
+        if (op.file.rfind("a.", 0) == 0) ++from_a;
+    EXPECT_EQ(from_a, 50u);  // merge drops nothing
+
+    std::vector<std::unique_ptr<workloads::Generator>> colliding;
+    colliding.push_back(part("same.", 10, 10.0));
+    colliding.push_back(part("same.", 10, 10.0));
+    EXPECT_THROW(workloads::MergeGenerator("bad", std::move(colliding)),
+                 std::invalid_argument);
+}
+
+TEST(ModelReplayGenerator, MatchesBatchGeneratorDraws) {
+    // The streaming model walk must reproduce Generator::generate()'s
+    // exact draw sequence: same times, types and storage sizes.
+    const auto dir = fs::temp_directory_path() / "kooza_gen_model_src";
+    fs::remove_all(dir);
+    core::CaptureOptions co;
+    co.profile = "micro";
+    co.count = 200;
+    co.seed = 31;
+    const auto cap = core::run_capture(co);
+    auto model = core::Trainer({.workload_name = "conformance"}).train(cap.traces);
+
+    const std::size_t n = 150;
+    const std::uint64_t seed = 13;
+    sim::Rng rng(seed);
+    const auto batch = core::Generator(model).generate(n, rng);
+
+    core::ModelReplayGenerator::Params mp;
+    mp.count = n;
+    mp.seed = seed;
+    core::ModelReplayGenerator gen(std::move(model), mp);
+    EXPECT_EQ(gen.name(), "model:conformance");
+    const auto ops = drain(gen);
+    ASSERT_EQ(ops.size(), n);
+    const std::uint64_t file_size = gen.files()[0].second;
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(ops[i].time, batch.requests[i].time) << i;
+        EXPECT_EQ(ops[i].type, batch.requests[i].type) << i;
+        EXPECT_EQ(ops[i].size,
+                  std::min(batch.requests[i].storage_bytes, file_size))
+            << i;
+        EXPECT_LE(ops[i].offset + ops[i].size, file_size) << i;
+    }
+    fs::remove_all(dir);
+}
+
+// ---- Capture integration: byte identity across modes and threads ------
+
+TEST(ScenarioCapture, StreamedByteIdenticalAcrossThreadCounts) {
+    // Acceptance contract: `kooza_capture --scenario diurnal --stream`
+    // produces byte-identical kooza.trace/1 files at 1 vs 8 threads, and
+    // both match the materialized (non-streamed) capture.
+    ThreadGuard guard;
+    auto slurp = [](const fs::path& p) {
+        std::ifstream f(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+    };
+    core::CaptureOptions opts;
+    opts.scenario = "diurnal";
+    opts.count = 300;
+    opts.rate = 40.0;
+    opts.period = 15.0;
+    opts.seed = 123;
+    opts.format = trace::Format::kBinary;
+    opts.chunk_records = 64;  // force many mid-run flushes
+
+    const auto base = fs::temp_directory_path();
+    const auto mat = base / "kooza_scen_mat";
+    const auto st1 = base / "kooza_scen_t1";
+    const auto st8 = base / "kooza_scen_t8";
+    auto run_into = [&](const fs::path& dir, bool stream, std::size_t threads) {
+        par::set_threads(threads);
+        fs::remove_all(dir);
+        auto o = opts;
+        o.out_dir = dir.string();
+        o.stream = stream;
+        return core::run_capture(o);
+    };
+    const auto res_mat = run_into(mat, false, 1);
+    const auto res_st1 = run_into(st1, true, 1);
+    const auto res_st8 = run_into(st8, true, 8);
+    EXPECT_GT(res_mat.records, 0u);
+    EXPECT_EQ(res_mat.records, res_st1.records);
+    EXPECT_EQ(res_mat.records, res_st8.records);
+    for (const auto* stem : trace::kStreamStems) {
+        const auto name = std::string(stem) + ".bin";
+        const auto a = slurp(mat / name);
+        EXPECT_FALSE(a.empty()) << name;
+        EXPECT_EQ(a, slurp(st1 / name)) << name;
+        EXPECT_EQ(a, slurp(st8 / name)) << name;
+    }
+    fs::remove_all(mat);
+    fs::remove_all(st1);
+    fs::remove_all(st8);
+}
+
+TEST(ScenarioCapture, ConflictingSourcesRejected) {
+    core::CaptureOptions opts;
+    opts.scenario = "diurnal";
+    opts.model_file = "some.model";
+    EXPECT_THROW((void)core::make_capture_schedule(opts), std::invalid_argument);
+    core::CaptureOptions unknown;
+    unknown.scenario = "nope";
+    EXPECT_THROW((void)core::make_capture_schedule(unknown), std::invalid_argument);
+}
+
+// ---- Validator warning surface (bugfix regression) --------------------
+
+TEST(ValidationReport, UnknownPhasesPrintAWarningRow) {
+    core::ValidationReport rep;
+    rep.model_name = "warn-test";
+    EXPECT_EQ(rep.to_table().find("WARNING"), std::string::npos);
+    rep.unknown_phases = 3;
+    const auto table = rep.to_table();
+    EXPECT_NE(table.find("WARNING"), std::string::npos);
+    EXPECT_NE(table.find("3"), std::string::npos);
+    EXPECT_NE(table.find("unknown_phases_total"), std::string::npos);
+}
+
+}  // namespace

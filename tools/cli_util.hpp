@@ -43,18 +43,49 @@ public:
         return it == flags_.end() ? fallback : it->second;
     }
 
+    /// Unsigned decimal only, full field consumed. Bare std::stoull
+    /// accepted trailing junk ("10x" -> 10) and wrapped negatives into
+    /// huge unsigned values ("-1" -> 2^64-1); a mistyped flag must fail
+    /// loudly, naming itself, not silently truncate.
     [[nodiscard]] std::uint64_t get_u64(const std::string& name,
                                         std::uint64_t fallback) const {
         auto it = flags_.find(name);
-        return it == flags_.end() ? fallback : std::stoull(it->second);
+        if (it == flags_.end()) return fallback;
+        const std::string& s = it->second;
+        if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+            bad_value(name, s, "an unsigned integer");
+        try {
+            return std::stoull(s);
+        } catch (const std::out_of_range&) {
+            bad_value(name, s, "an unsigned integer (out of range)");
+        }
     }
 
+    /// Floating-point, full field consumed ("1.5GB" and "1,000" no longer
+    /// parse as 1.5 / 1).
     [[nodiscard]] double get_double(const std::string& name, double fallback) const {
         auto it = flags_.find(name);
-        return it == flags_.end() ? fallback : std::stod(it->second);
+        if (it == flags_.end()) return fallback;
+        const std::string& s = it->second;
+        std::size_t pos = 0;
+        double v = 0.0;
+        try {
+            v = std::stod(s, &pos);
+        } catch (const std::exception&) {
+            bad_value(name, s, "a number");
+        }
+        if (pos != s.size()) bad_value(name, s, "a number");
+        return v;
     }
 
 private:
+    [[noreturn]] static void bad_value(const std::string& name,
+                                       const std::string& value,
+                                       const char* expected) {
+        throw std::invalid_argument("--" + name + ": expected " + expected +
+                                    ", got '" + value + "'");
+    }
+
     std::vector<std::string> positional_;
     std::map<std::string, std::string> flags_;
 };

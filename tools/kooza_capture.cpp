@@ -1,16 +1,27 @@
-// kooza_capture — run a workload profile on the GFS simulator and write
-// the captured traces (per-subsystem records + spans) in the format
+// kooza_capture — run a workload on the GFS simulator and write the
+// captured traces (per-subsystem records + spans) in the format
 // kooza_inspect and kooza_model consume: human-readable CSV (default) or
 // the kooza.trace/1 binary columnar fast path (--format bin).
 //
 // Usage:
-//   kooza_capture <profile> <output-dir> [--count N] [--rate R]
-//                 [--seed S] [--servers N] [--replication N]
-//                 [--sample-every N] [--threads N] [--format csv|bin]
-//                 [--faults R] [--mttr S] [--metrics FILE]
-//                 [--stream] [--chunk-records N]
-//                 [--read-size B] [--write-size B] [--no-latencies]
+//   kooza_capture <profile> <output-dir> [options]
+//   kooza_capture --scenario NAME <output-dir> [options]
+//   kooza_capture --model MODEL-FILE <output-dir> [options]
+//   kooza_capture --replay TRACE-DIR <output-dir> [options]
+//   kooza_capture --list-scenarios
+// Options: [--count N] [--rate R] [--seed S] [--period S]
+//          [--servers N] [--replication N] [--sample-every N]
+//          [--threads N] [--format csv|bin] [--faults R] [--mttr S]
+//          [--metrics FILE] [--stream] [--chunk-records N]
+//          [--read-size B] [--write-size B] [--no-latencies]
 // Profiles: micro | oltp | websearch | streaming | logappend
+//
+// --scenario runs a scenario-library workload (diurnal, flashcrowd,
+// tiered, checkpoint — see --list-scenarios); --period sets its envelope
+// period. --model replays a trained model file (kooza_model output)
+// through the capture pipeline; --replay re-issues the request log of an
+// earlier capture. The three are mutually exclusive and replace the
+// profile positional.
 //
 // --stream flushes records to <output-dir> (kooza.trace/1 binary, forced)
 // while the simulation runs, in chunks of --chunk-records rows per
@@ -34,12 +45,26 @@
 #include "obs/export.hpp"
 #include "par/pool.hpp"
 #include "trace/io.hpp"
+#include "workloads/scenarios.hpp"
 
 int main(int argc, char** argv) {
     using namespace kooza;
     try {
         cli::Args args(argc, argv);
-        if (args.positional().size() != 2) {
+        if (args.has("list-scenarios")) {
+            for (const auto& name : workloads::scenario_names())
+                std::cout << name << "  " << workloads::describe_scenario(name)
+                          << "\n";
+            return 0;
+        }
+        const std::string scenario = args.get("scenario", "");
+        const std::string model_file = args.get("model", "");
+        const std::string replay_dir = args.get("replay", "");
+        const bool has_source =
+            !scenario.empty() || !model_file.empty() || !replay_dir.empty();
+        // With an explicit workload source the profile positional drops out.
+        const std::size_t want_positional = has_source ? 1 : 2;
+        if (args.positional().size() != want_positional) {
             std::cerr << "usage: kooza_capture "
                          "<micro|oltp|websearch|streaming|logappend> "
                          "<output-dir> [--count N] [--rate R] [--seed S] "
@@ -47,19 +72,33 @@ int main(int argc, char** argv) {
                          "[--threads N] [--format csv|bin] [--faults R] "
                          "[--mttr S] [--metrics FILE] [--stream] "
                          "[--chunk-records N] [--read-size B] [--write-size B] "
-                         "[--no-latencies]\n";
+                         "[--no-latencies]\n"
+                         "   or: kooza_capture --scenario NAME <output-dir> "
+                         "[--period S] [options]\n"
+                         "   or: kooza_capture --model MODEL-FILE <output-dir> "
+                         "[options]\n"
+                         "   or: kooza_capture --replay TRACE-DIR <output-dir> "
+                         "[options]\n"
+                         "   or: kooza_capture --list-scenarios\n";
             return 2;
         }
-        const auto& out_dir = args.positional()[1];
+        const auto& out_dir = args.positional()[has_source ? 0 : 1];
         const auto fmt = trace::format_from_string(args.get("format", "csv"));
         if (!fmt) {
             std::cerr << "kooza_capture: --format must be csv or bin\n";
             return 2;
         }
         core::CaptureOptions opts;
-        opts.profile = args.positional()[0];
+        if (has_source) {
+            opts.scenario = scenario;
+            opts.model_file = model_file;
+            opts.replay_dir = replay_dir;
+        } else {
+            opts.profile = args.positional()[0];
+        }
         opts.count = std::size_t(args.get_u64("count", 500));
         opts.rate = args.get_double("rate", 20.0);
+        opts.period = args.get_double("period", 60.0);
         opts.seed = args.get_u64("seed", 42);
         opts.n_servers = std::size_t(args.get_u64("servers", 1));
         opts.replication = std::size_t(args.get_u64("replication", 0));

@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
                   << " ms\n";
         if (res.network_drops > 0)
             std::cout << "network drops: " << res.network_drops << "\n";
+        if (res.unknown_phases > 0)
+            std::cout << "WARNING: replay skipped " << res.unknown_phases
+                      << " unknown phase(s); results understate request cost "
+                         "(core.replayer.unknown_phases_total)\n";
 
         const auto out = args.get("out", "");
         if (!out.empty()) {

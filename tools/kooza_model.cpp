@@ -77,8 +77,9 @@ int main(int argc, char** argv) {
 
         const auto orig_features = trace::extract_features(ts);
         const auto synth_features = trace::extract_features(replayed.traces);
-        const auto report = core::compare_features(orig_features, synth_features,
-                                                   "KOOZA synthetic vs original");
+        auto report = core::compare_features(orig_features, synth_features,
+                                             "KOOZA synthetic vs original");
+        report.unknown_phases = replayed.unknown_phases;
         std::cout << "\n" << report.to_table() << "\n"
                   << "max feature variation: " << report.max_feature_variation()
                   << " %\nlatency variation:     " << report.latency_variation()
