@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/model_replay.hpp"
+#include "gfs/admission.hpp"
 #include "gfs/cluster.hpp"
 #include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "trace/streaming.hpp"
+#include "workloads/closedloop.hpp"
 #include "workloads/scenarios.hpp"
 
 namespace kooza::core {
@@ -20,6 +23,7 @@ struct CaptureMetrics {
     obs::Counter& runs = obs::counter("core.capture.runs_total");
     obs::Counter& requests = obs::counter("core.capture.requests_total");
     obs::Counter& failed = obs::counter("core.capture.failed_requests_total");
+    obs::Counter& rejected = obs::counter("core.capture.rejected_requests_total");
     // Sim-clock capture span: deterministic, so it stays in golden exports.
     obs::Histogram& duration_ns =
         obs::histogram("core.capture.duration_ns", obs::Unit::kNanoseconds);
@@ -130,10 +134,76 @@ struct SchedulePump {
     }
 };
 
+/// Closed-loop counterpart of SchedulePump: every client keeps
+/// `outstanding` requests in flight, and each completion callback pulls
+/// the next request for that client (arrival = now + think time). The
+/// schedule therefore reacts to cluster latency instead of replaying a
+/// fixed arrival list — the defining closed-loop feedback. Single
+/// engine, synchronous refills: the event sequence stays deterministic.
+struct ClosedLoopDriver {
+    gfs::Cluster& cluster;
+    workloads::ClosedLoopPool pool;
+
+    void start() {
+        for (const auto& [name, size] : pool.files())
+            cluster.create_file(name, size);
+        const auto& p = pool.params();
+        for (std::uint32_t c = 0; c < p.clients; ++c)
+            for (std::size_t w = 0; w < p.outstanding; ++w) launch(c, 0.0);
+    }
+
+    void launch(std::uint32_t client, double now) {
+        auto spec = pool.next(client, now);
+        if (!spec) return;  // budget spent: the window drains and run() ends
+        cluster.submit(*spec, [this, client](double /*latency*/) {
+            // Failures and rejections refill too — a closed-loop client
+            // moves on to its next request either way.
+            launch(client, cluster.engine().now());
+        });
+    }
+};
+
+/// The pool recipe behind a closed-loop capture: a named closed-loop
+/// scenario when one is requested, else the CaptureOptions knobs.
+workloads::ClosedLoopParams closed_loop_params(const CaptureOptions& opts) {
+    if (!opts.scenario.empty()) {
+        workloads::ScenarioParams sp;
+        sp.count = opts.count;
+        sp.rate = opts.rate;
+        sp.seed = opts.seed;
+        if (opts.read_size > 0) sp.read_size = opts.read_size;
+        if (opts.write_size > 0) sp.write_size = opts.write_size;
+        if (opts.period > 0.0) sp.period = opts.period;
+        return workloads::make_closed_loop_scenario(opts.scenario, sp);
+    }
+    workloads::ClosedLoopParams p;
+    p.clients = std::max<std::size_t>(1, opts.clients);
+    p.outstanding = std::max<std::size_t>(1, opts.outstanding);
+    p.think_time = std::max(0.0, opts.think_time);
+    p.total = opts.count;
+    p.seed = opts.seed;
+    if (opts.read_size > 0) p.read_size = opts.read_size;
+    if (opts.write_size > 0) p.write_size = opts.write_size;
+    if (opts.read_fraction >= 0.0) p.read_fraction = opts.read_fraction;
+    return p;
+}
+
 }  // namespace
 
 CaptureResult run_capture(const CaptureOptions& opts) {
-    auto schedule = make_capture_schedule(opts);
+    const bool closed =
+        opts.closed_loop || workloads::is_closed_loop_scenario(opts.scenario);
+    if (closed && (!opts.model_file.empty() || !opts.replay_dir.empty()))
+        throw std::invalid_argument(
+            "run_capture: closed-loop capture generates its own requests; "
+            "model_file/replay_dir replay sources do not apply");
+    if (opts.closed_loop && !opts.scenario.empty() &&
+        !workloads::is_closed_loop_scenario(opts.scenario))
+        throw std::invalid_argument(
+            "run_capture: scenario '" + opts.scenario +
+            "' is open-loop and cannot be driven with closed_loop");
+    std::unique_ptr<workloads::ScheduleStream> schedule;
+    if (!closed) schedule = make_capture_schedule(opts);
     if (opts.stream && opts.out_dir.empty())
         throw std::invalid_argument("run_capture: stream mode needs out_dir");
 
@@ -153,6 +223,22 @@ CaptureResult run_capture(const CaptureOptions& opts) {
         // artificially fault-free).
         cfg.faults.horizon = 0.0;
     }
+    if (!opts.admission.empty()) {
+        if (opts.admission != "queue" && opts.admission != "reject")
+            throw std::invalid_argument(
+                "run_capture: admission policy must be 'queue' or 'reject', got '" +
+                opts.admission + "'");
+        cfg.admission.enabled = true;
+        cfg.admission.queue = opts.admission == "queue";
+        if (opts.admission_tickets > 0) {
+            // Pinned ticket count: the offline-optimal sweep measures a
+            // fixed concurrency limit, so the probe loop stays off.
+            cfg.admission.initial_tickets = opts.admission_tickets;
+            cfg.admission.min_tickets = opts.admission_tickets;
+            cfg.admission.max_tickets = opts.admission_tickets;
+            cfg.admission.probe_interval = 0.0;
+        }
+    }
 
     std::unique_ptr<trace::StreamingSink> streaming;
     if (opts.stream) {
@@ -163,13 +249,23 @@ CaptureResult run_capture(const CaptureOptions& opts) {
             so, 1 + cfg.n_chunkservers);
     }
 
-    gfs::Cluster cluster(cfg, 1, streaming.get());
+    std::optional<workloads::ClosedLoopParams> clp;
+    if (closed) clp = closed_loop_params(opts);
+
+    gfs::Cluster cluster(cfg, closed ? clp->clients : 1, streaming.get());
     if (streaming) {
         sim::Engine& eng = cluster.engine();
         streaming->set_clock([&eng] { return eng.now(); });
     }
-    SchedulePump pump{cluster, std::move(schedule)};
-    pump.start();
+    std::optional<SchedulePump> pump;
+    std::optional<ClosedLoopDriver> loop;
+    if (closed) {
+        loop.emplace(cluster, workloads::ClosedLoopPool(*clp));
+        loop->start();
+    } else {
+        pump.emplace(cluster, std::move(schedule));
+        pump->start();
+    }
     cluster.run();
 
     CaptureResult res;
@@ -180,6 +276,10 @@ CaptureResult run_capture(const CaptureOptions& opts) {
         res.crashes = inj->crashes();
         res.repairs = inj->repairs();
     }
+    res.rejected = cluster.rejected_requests();
+    if (auto* adm = cluster.admission(0)) res.converged_tickets = adm->best_tickets();
+    if (!cluster.latencies().empty()) res.latency = stats::summarize(cluster.latencies());
+    res.goodput = res.duration > 0.0 ? double(res.completed) / res.duration : 0.0;
 
     if (streaming) {
         streaming->finish();
@@ -200,6 +300,7 @@ CaptureResult run_capture(const CaptureOptions& opts) {
     // fault injection.)
     metrics().requests.add(res.completed + res.failed);
     metrics().failed.add(res.failed);
+    metrics().rejected.add(res.rejected);
     metrics().duration_ns.observe_seconds(res.duration);
     return res;
 }

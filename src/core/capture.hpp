@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gfs/config.hpp"
+#include "stats/descriptive.hpp"
 #include "trace/io.hpp"
 #include "trace/traceset.hpp"
 #include "workloads/profiles.hpp"
@@ -54,6 +55,23 @@ struct CaptureOptions {
     std::uint64_t read_size = 0;
     std::uint64_t write_size = 0;
     double read_fraction = -1.0;
+
+    /// Closed-loop capture: replace the open-loop schedule with a
+    /// workloads::ClosedLoopPool of `clients` x `outstanding` windows and
+    /// exponential think time, refilled by request-completion callbacks.
+    /// A closed-loop scenario name in `scenario` switches this on too.
+    bool closed_loop = false;
+    std::size_t clients = 8;
+    std::size_t outstanding = 4;
+    double think_time = 0.01;  ///< mean think seconds between completions
+
+    /// Chunkserver admission control: "" = off, "queue" = wait in the
+    /// bounded FIFO, "reject" = bounce immediately when out of tickets.
+    /// Works for open- and closed-loop captures alike.
+    std::string admission;
+    /// >0 pins the ticket count (probing disabled) — the offline-optimal
+    /// sweep knob. 0 = adaptive probing at the AdmissionConfig defaults.
+    std::uint32_t admission_tickets = 0;
 };
 
 struct CaptureResult {
@@ -64,6 +82,14 @@ struct CaptureResult {
     std::uint64_t crashes = 0;  ///< 0 unless faults were enabled
     std::uint64_t repairs = 0;
     std::uint64_t records = 0;  ///< total records captured (either mode)
+    std::uint64_t rejected = 0;  ///< admission-control bounces (subset of failed)
+    /// Server 0's converged ticket count (AdmissionController::best_tickets);
+    /// 0 when admission control was off.
+    std::uint32_t converged_tickets = 0;
+    /// End-to-end latency summary with p50/p95/p99 (empty when
+    /// collect_latencies is off or nothing completed).
+    stats::Summary latency{};
+    double goodput = 0.0;  ///< completed requests per simulated second
 };
 
 /// Profile factory shared by run_capture and the tools. Returns nullptr

@@ -116,6 +116,9 @@ CharacterizationReport characterize(const trace::TraceSet& ts, double window) {
                 case trace::FailureRecord::Kind::kRequestFailed:
                     ++r.failed_requests;
                     break;
+                case trace::FailureRecord::Kind::kAdmissionReject:
+                    ++r.admission_rejections;
+                    break;
             }
         }
         if (r.failovers > 0) r.mean_failover_wait = failover_wait / double(r.failovers);
@@ -211,13 +214,18 @@ std::string CharacterizationReport::to_string() const {
        << (heavy_tailed ? " (heavy-tailed)" : "") << "\n"
        << "feature space:   " << pca_dims_90 << "/" << feature_dims
        << " PCA components explain 90% variance\n";
-    if (crashes + recoveries + failovers + repairs + failed_requests > 0) {
+    if (crashes + recoveries + failovers + repairs + failed_requests +
+            admission_rejections >
+        0) {
         os << "faults:          " << crashes << " crashes, " << recoveries
            << " recoveries, " << repairs << " re-replications\n"
            << "degradation:     " << failovers << " failovers (mean wait "
            << mean_failover_wait << " s), " << failed_requests
            << " failed requests (success rate " << request_success_rate * 100.0
            << "%)\n";
+        if (admission_rejections > 0)
+            os << "admission:       " << admission_rejections
+               << " pieces rejected by ticket admission\n";
     }
     return os.str();
 }

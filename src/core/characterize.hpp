@@ -55,6 +55,7 @@ struct CharacterizationReport {
     std::size_t failovers = 0;          ///< dead-replica timeouts clients paid
     std::size_t repairs = 0;            ///< committed re-replications
     std::size_t failed_requests = 0;    ///< requests that exhausted retries
+    std::size_t admission_rejections = 0;  ///< pieces bounced by ticket admission
     double mean_failover_wait = 0.0;    ///< mean backoff per failover, seconds
     double request_success_rate = 1.0;  ///< completed / (completed + failed)
 

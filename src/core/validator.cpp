@@ -26,6 +26,27 @@ MetricRow row(std::string subsystem, std::string metric, double original,
     return r;
 }
 
+/// Quantile that tolerates the degenerate sides admission control can
+/// produce (a rejected-out phase has no completed requests): empty input
+/// reports 0 so the row falls back to the zero-baseline absolute-
+/// deviation convention instead of throwing mid-table.
+double quantile_or_zero(const std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    return stats::quantile(v, q);
+}
+
+/// Goodput in completed requests/second over the feature set's span
+/// (first arrival to last completion); 0 for empty or instantaneous sets.
+double goodput_of(const std::vector<trace::RequestFeatures>& fs) {
+    if (fs.empty()) return 0.0;
+    double lo = fs.front().arrival, hi = fs.front().arrival + fs.front().latency;
+    for (const auto& f : fs) {
+        lo = std::min(lo, f.arrival);
+        hi = std::max(hi, f.arrival + f.latency);
+    }
+    return hi > lo ? double(fs.size()) / (hi - lo) : 0.0;
+}
+
 std::string fmt_value(double v, const std::string& unit) {
     std::ostringstream os;
     if (unit == "bytes") {
@@ -95,8 +116,10 @@ std::string ValidationReport::to_table() const {
 ValidationReport compare_features(const std::vector<trace::RequestFeatures>& original,
                                   const std::vector<trace::RequestFeatures>& synthetic,
                                   std::string model_name) {
-    if (original.empty() || synthetic.empty())
-        throw std::invalid_argument("compare_features: empty feature set");
+    // Empty sides are legal (admission control can reject an entire
+    // phase): every row degrades to the zero-baseline stats::variation{}
+    // convention (0-vs-0 -> 0%, else absolute deviation) instead of
+    // throwing while the table is being rendered.
     ValidationReport rep;
     rep.model_name = std::move(model_name);
     auto mean_of = [](std::vector<double> v) { return stats::mean(v); };
@@ -112,9 +135,26 @@ ValidationReport compare_features(const std::vector<trace::RequestFeatures>& ori
     rep.rows.push_back(row("Storage", "Size",
                            mean_of(trace::column_storage_bytes(original)),
                            mean_of(trace::column_storage_bytes(synthetic)), "bytes"));
+    // The mean-latency row stays first among Performance rows:
+    // latency_variation() reports it, and the quantile rows below make
+    // tail behaviour first-class without disturbing that contract (or
+    // max_feature_variation(), which skips Performance entirely).
     rep.rows.push_back(row("Performance", "Latency",
                            mean_of(trace::column_latency(original)),
                            mean_of(trace::column_latency(synthetic)), "ms"));
+    const auto lat_orig = trace::column_latency(original);
+    const auto lat_syn = trace::column_latency(synthetic);
+    rep.rows.push_back(row("Performance", "Latency p50",
+                           quantile_or_zero(lat_orig, 0.50),
+                           quantile_or_zero(lat_syn, 0.50), "ms"));
+    rep.rows.push_back(row("Performance", "Latency p95",
+                           quantile_or_zero(lat_orig, 0.95),
+                           quantile_or_zero(lat_syn, 0.95), "ms"));
+    rep.rows.push_back(row("Performance", "Latency p99",
+                           quantile_or_zero(lat_orig, 0.99),
+                           quantile_or_zero(lat_syn, 0.99), "ms"));
+    rep.rows.push_back(row("Performance", "Goodput", goodput_of(original),
+                           goodput_of(synthetic), "req/s"));
     return rep;
 }
 
@@ -146,6 +186,10 @@ ValidationReport compare_single(const trace::RequestFeatures& original,
 
 double latency_ks(const std::vector<trace::RequestFeatures>& original,
                   const std::vector<trace::RequestFeatures>& synthetic) {
+    // An empty side has no empirical CDF to compare against — report 0
+    // (no measurable distance) rather than throwing; callers reached
+    // here with fully-rejected phases under admission control.
+    if (original.empty() || synthetic.empty()) return 0.0;
     return stats::ks_statistic_two_sample(trace::column_latency(original),
                                           trace::column_latency(synthetic));
 }

@@ -40,15 +40,20 @@ struct ValidationReport {
     /// rows and absolute-deviation rows (zero baselines have no percentage
     /// — mixing byte deviations into a percent max would be meaningless).
     [[nodiscard]] double max_feature_variation() const;
-    /// Variation of the Performance/Latency row (0 if absent).
+    /// Variation of the first Performance row — the mean-latency row,
+    /// which compare_features/compare_single emit ahead of the quantile
+    /// and goodput rows (0 if absent).
     [[nodiscard]] double latency_variation() const;
 
     /// Fixed-width text table (the Table 2 reproduction format).
     [[nodiscard]] std::string to_table() const;
 };
 
-/// Aggregate comparison: means of each feature column plus mean latency
-/// and distribution distances. Throws if either side is empty.
+/// Aggregate comparison: means of each feature column, mean latency plus
+/// p50/p95/p99 latency-quantile rows, and goodput (completed requests per
+/// second over the set's span). Empty sides are legal — rows degrade to
+/// the zero-baseline stats::variation{} convention (admission control can
+/// reject an entire phase) instead of throwing.
 [[nodiscard]] ValidationReport compare_features(
     const std::vector<trace::RequestFeatures>& original,
     const std::vector<trace::RequestFeatures>& synthetic, std::string model_name);
@@ -59,7 +64,7 @@ struct ValidationReport {
                                               std::string label);
 
 /// Two-sample KS distance between the latency distributions (shape check
-/// beyond the mean).
+/// beyond the mean). Returns 0 when either side is empty.
 [[nodiscard]] double latency_ks(const std::vector<trace::RequestFeatures>& original,
                                 const std::vector<trace::RequestFeatures>& synthetic);
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
+#include "gfs/admission.hpp"
 #include "obs/metrics.hpp"
 
 namespace kooza::gfs {
@@ -76,10 +78,36 @@ void ChunkServer::verify_and_buffer(std::uint64_t request_id, std::uint64_t size
     });
 }
 
+std::function<void()> ChunkServer::release_ticket_then(
+    std::function<void()> on_done) {
+    return [this, on_done = std::move(on_done)]() mutable {
+        admission_->release();
+        on_done();
+    };
+}
+
 void ChunkServer::handle_read(std::uint64_t request_id, std::uint64_t lbn,
                               std::uint64_t size, trace::SpanId parent,
                               hw::SwitchPort& client_port,
-                              std::function<void()> on_done) {
+                              std::function<void()> on_done,
+                              std::function<void()> on_reject) {
+    if (admission_ != nullptr) {
+        admission_->admit(
+            [this, request_id, lbn, size, parent, &client_port,
+             on_done = std::move(on_done)]() mutable {
+                read_admitted(request_id, lbn, size, parent, client_port,
+                              release_ticket_then(std::move(on_done)));
+            },
+            std::move(on_reject));
+        return;
+    }
+    read_admitted(request_id, lbn, size, parent, client_port, std::move(on_done));
+}
+
+void ChunkServer::read_admitted(std::uint64_t request_id, std::uint64_t lbn,
+                                std::uint64_t size, trace::SpanId parent,
+                                hw::SwitchPort& client_port,
+                                std::function<void()> on_done) {
     metrics().reads.add();
     metrics().read_bytes.add(size);
     // net.rx: the request header reaches this server's port (control).
@@ -151,7 +179,29 @@ void ChunkServer::handle_write(std::uint64_t request_id, std::uint64_t lbn,
                                std::uint64_t size, trace::SpanId parent,
                                hw::SwitchPort& client_port,
                                std::vector<ChunkServer*> replicas,
-                               std::function<void()> on_done) {
+                               std::function<void()> on_done,
+                               std::function<void()> on_reject) {
+    if (admission_ != nullptr) {
+        admission_->admit(
+            [this, request_id, lbn, size, parent, &client_port,
+             replicas = std::move(replicas),
+             on_done = std::move(on_done)]() mutable {
+                write_admitted(request_id, lbn, size, parent, client_port,
+                               std::move(replicas),
+                               release_ticket_then(std::move(on_done)));
+            },
+            std::move(on_reject));
+        return;
+    }
+    write_admitted(request_id, lbn, size, parent, client_port, std::move(replicas),
+                   std::move(on_done));
+}
+
+void ChunkServer::write_admitted(std::uint64_t request_id, std::uint64_t lbn,
+                                 std::uint64_t size, trace::SpanId parent,
+                                 hw::SwitchPort& client_port,
+                                 std::vector<ChunkServer*> replicas,
+                                 std::function<void()> on_done) {
     metrics().writes.add();
     metrics().write_bytes.add(size);
     // net.rx: the write payload reaches this server's port.

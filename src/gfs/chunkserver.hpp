@@ -29,6 +29,8 @@
 
 namespace kooza::gfs {
 
+class AdmissionController;
+
 /// Canonical phase names (shared with the KOOZA structure queue).
 namespace phase {
 inline constexpr const char* kNetRx = "net.rx";
@@ -51,9 +53,13 @@ public:
     /// Handle a read of `size` bytes at `lbn`. `parent` is the client's
     /// root span. `on_done` fires when the response payload has reached
     /// the client's port (the caller transfers it; see `respond_via`).
+    /// With admission control attached, `on_reject` fires instead when
+    /// the server bounces the request (empty on_reject = never bounce,
+    /// queue past the limit instead).
     void handle_read(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size,
                      trace::SpanId parent, hw::SwitchPort& client_port,
-                     std::function<void()> on_done);
+                     std::function<void()> on_done,
+                     std::function<void()> on_reject = {});
 
     /// Handle a write of `size` bytes at `lbn`. `replicas` are the
     /// secondary servers to forward to (chain order). Completion fires
@@ -61,7 +67,19 @@ public:
     void handle_write(std::uint64_t request_id, std::uint64_t lbn, std::uint64_t size,
                       trace::SpanId parent, hw::SwitchPort& client_port,
                       std::vector<ChunkServer*> replicas,
-                      std::function<void()> on_done);
+                      std::function<void()> on_done,
+                      std::function<void()> on_reject = {});
+
+    /// Attach a ticket controller gating primary reads and writes.
+    /// Replica-side writes are NOT gated: the primary's ticket covers the
+    /// whole replication chain (gating forwards could deadlock the chain
+    /// against itself on small ticket counts).
+    void set_admission(AdmissionController* admission) noexcept {
+        admission_ = admission;
+    }
+    [[nodiscard]] AdmissionController* admission() const noexcept {
+        return admission_;
+    }
 
     /// Ingress port (client->server and server->server traffic lands here).
     [[nodiscard]] hw::SwitchPort& ingress() noexcept { return *ingress_; }
@@ -77,6 +95,23 @@ public:
     [[nodiscard]] bool failed() const noexcept { return failed_; }
 
 private:
+    /// Admission-gated entry bodies (the public handlers wrap these with
+    /// the ticket acquire/release when a controller is attached).
+    void read_admitted(std::uint64_t request_id, std::uint64_t lbn,
+                       std::uint64_t size, trace::SpanId parent,
+                       hw::SwitchPort& client_port, std::function<void()> on_done);
+    void write_admitted(std::uint64_t request_id, std::uint64_t lbn,
+                        std::uint64_t size, trace::SpanId parent,
+                        hw::SwitchPort& client_port,
+                        std::vector<ChunkServer*> replicas,
+                        std::function<void()> on_done);
+
+    /// Wrap `on_done` so the admission ticket is returned before the
+    /// caller's completion runs (the freed ticket must be grantable to
+    /// whatever that completion submits next).
+    [[nodiscard]] std::function<void()> release_ticket_then(
+        std::function<void()> on_done);
+
     /// Replica-side write: disk + devices only, no client ack.
     void handle_replica_write(std::uint64_t request_id, std::uint64_t lbn,
                               std::uint64_t size, trace::SpanId parent,
@@ -100,6 +135,7 @@ private:
     std::unique_ptr<hw::Cpu> cpu_;
     std::unique_ptr<hw::Memory> memory_;
     std::unique_ptr<hw::SwitchPort> ingress_;
+    AdmissionController* admission_ = nullptr;
     bool failed_ = false;
 };
 

@@ -24,6 +24,7 @@ struct ClientMetrics {
     obs::Counter& cache_hits = obs::counter("gfs.client.cache_hits_total");
     obs::Counter& cache_misses = obs::counter("gfs.client.cache_misses_total");
     obs::Counter& failovers = obs::counter("gfs.client.failovers_total");
+    obs::Counter& rejected = obs::counter("gfs.client.rejections_total");
     obs::Counter& retry_rounds = obs::counter("gfs.client.retry_rounds_total");
     obs::Histogram& latency_ns =
         obs::histogram("gfs.client.request_latency_ns", obs::Unit::kNanoseconds);
@@ -76,6 +77,12 @@ std::uint64_t Client::lbn_of(ChunkHandle handle, std::uint64_t offset_in_chunk) 
 }
 
 double Client::backoff_wait(std::uint32_t step) const {
+    // A backoff factor <= 1 cannot grow the wait, so short-circuit: the
+    // old loop ran all `step` iterations shrinking the wait toward zero,
+    // which both wasted O(step) work under large retry-round configs and
+    // silently turned "backoff" into "retry faster and faster".
+    if (cfg_.failover_backoff <= 1.0 || step == 0)
+        return std::min(cfg_.failover_timeout, cfg_.failover_timeout_max);
     double wait = cfg_.failover_timeout;
     for (std::uint32_t i = 0; i < step; ++i) {
         wait *= cfg_.failover_backoff;
@@ -217,8 +224,28 @@ void Client::try_replica(std::uint64_t request_id, std::string file,
         return;
     }
     const std::uint64_t lbn = lbn_of(loc.handle, offset_in_chunk);
+    // Admission rejection is the server deliberately shedding load:
+    // retrying would defeat the shed, so the piece (and the request)
+    // fails immediately and the bounce lands in the failures stream.
+    auto on_reject = [this, request_id, server = loc.servers[attempt],
+                      request_failed, done]() {
+        ++rejections_;
+        metrics().rejected.add();
+        if (sink_ != nullptr) {
+            trace::FailureRecord rec;
+            rec.time = engine_.now();
+            rec.request_id = request_id;
+            rec.server = server;
+            rec.kind = trace::FailureRecord::Kind::kAdmissionReject;
+            rec.duration = 0.0;
+            sink_->append(rec);
+        }
+        *request_failed = true;
+        done();
+    };
     if (type == trace::IoType::kRead) {
-        target->handle_read(request_id, lbn, size, root, *ingress_, std::move(done));
+        target->handle_read(request_id, lbn, size, root, *ingress_, std::move(done),
+                            std::move(on_reject));
     } else {
         // The chosen server acts as primary; remaining healthy replicas
         // form the forwarding chain.
@@ -229,7 +256,8 @@ void Client::try_replica(std::uint64_t request_id, std::string file,
             if (!rep->failed()) replicas.push_back(rep);
         }
         target->handle_write(request_id, lbn, size, root, *ingress_,
-                             std::move(replicas), std::move(done));
+                             std::move(replicas), std::move(done),
+                             std::move(on_reject));
     }
 }
 

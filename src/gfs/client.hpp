@@ -70,6 +70,11 @@ public:
     /// Failover waits this client has paid (dead-replica RPC timeouts).
     [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
 
+    /// Request pieces bounced by chunkserver admission control. A
+    /// rejected piece fails its request (rejection is the shed — the
+    /// client does not retry it).
+    [[nodiscard]] std::uint64_t rejections() const noexcept { return rejections_; }
+
 private:
     using CacheKey = std::pair<std::string, std::uint64_t>;  ///< file, chunk index
 
@@ -101,6 +106,7 @@ private:
     std::map<CacheKey, ChunkLocation> location_cache_;
     std::uint64_t failed_requests_ = 0;
     std::uint64_t failovers_ = 0;
+    std::uint64_t rejections_ = 0;
 };
 
 }  // namespace kooza::gfs

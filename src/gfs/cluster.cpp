@@ -44,6 +44,13 @@ Cluster::Cluster(GfsConfig cfg, std::size_t n_clients, trace::SinkProvider* prov
             std::uint32_t(s), *engine_, cfg_, server_sink, tracer_.get(),
             seeder.fork()));
     }
+    if (cfg_.admission.enabled) {
+        for (std::size_t s = 0; s < servers_.size(); ++s) {
+            admission_.push_back(std::make_unique<AdmissionController>(
+                *engine_, std::uint32_t(s), cfg_.admission));
+            servers_[s]->set_admission(admission_.back().get());
+        }
+    }
     for (std::size_t c = 0; c < n_clients; ++c)
         clients_.push_back(std::make_unique<Client>(std::uint32_t(c), *engine_, cfg_,
                                                     *master_, *master_node_, servers_,
@@ -83,24 +90,33 @@ void Cluster::create_file(const std::string& name, std::uint64_t size) {
 }
 
 std::uint64_t Cluster::submit(const RequestSpec& spec) {
+    return submit(spec, {});
+}
+
+std::uint64_t Cluster::submit(const RequestSpec& spec,
+                              std::function<void(double)> on_complete) {
     if (spec.client >= clients_.size())
         throw std::invalid_argument("Cluster::submit: unknown client");
     const std::uint64_t id = next_request_++;
-    engine_->schedule_at(spec.time, [this, id, spec] {
+    engine_->schedule_at(spec.time, [this, id, spec,
+                                     on_complete = std::move(on_complete)]() mutable {
         // Record appends resolve their offset at issue time, serializing
         // on the master's append cursor.
         const std::uint64_t offset =
             spec.append ? master_->allocate_append(spec.file, spec.size)
                         : spec.offset;
         const auto type = spec.append ? trace::IoType::kWrite : spec.type;
-        clients_[spec.client]->issue(id, spec.file, offset, spec.size, type,
-                                     [this](double latency) {
-                                         if (latency >= 0.0) {
-                                             if (cfg_.collect_latencies)
-                                                 latencies_.push_back(latency);
-                                             ++completed_;
-                                         }
-                                     });
+        clients_[spec.client]->issue(
+            id, spec.file, offset, spec.size, type,
+            [this, on_complete = std::move(on_complete)](double latency) {
+                if (latency >= 0.0) {
+                    if (cfg_.collect_latencies) latencies_.push_back(latency);
+                    ++completed_;
+                }
+                // Cluster accounting settles before the callback so a
+                // closed-loop refill observes a consistent cluster.
+                if (on_complete) on_complete(latency);
+            });
     });
     return id;
 }
@@ -122,6 +138,17 @@ std::uint64_t Cluster::failed_requests() const {
     std::uint64_t n = 0;
     for (const auto& c : clients_) n += c->failed_requests();
     return n;
+}
+
+std::uint64_t Cluster::rejected_requests() const {
+    std::uint64_t n = 0;
+    for (const auto& c : clients_) n += c->rejections();
+    return n;
+}
+
+AdmissionController* Cluster::admission(std::size_t i) {
+    if (admission_.empty()) return nullptr;
+    return admission_.at(i).get();
 }
 
 trace::TraceSet Cluster::traces() const {

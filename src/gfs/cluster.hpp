@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "gfs/admission.hpp"
 #include "gfs/client.hpp"
 #include "gfs/config.hpp"
 #include "gfs/faults.hpp"
@@ -53,6 +54,13 @@ public:
     /// Schedule one request (time must not precede the current sim time).
     /// Returns the request id it will run under.
     std::uint64_t submit(const RequestSpec& spec);
+
+    /// Like submit(), but fires `on_complete` when the request finishes:
+    /// the successful latency in seconds, or a negative value when it
+    /// failed (every replica down, or bounced by admission control).
+    /// Closed-loop sources use this to refill a client's window.
+    std::uint64_t submit(const RequestSpec& spec,
+                         std::function<void(double latency)> on_complete);
 
     /// Schedule many requests.
     void submit_all(const std::vector<RequestSpec>& specs);
@@ -99,6 +107,13 @@ public:
     /// Failover waits clients have paid (dead-replica RPC timeouts).
     [[nodiscard]] std::uint64_t failovers() const;
 
+    /// Request pieces bounced by chunkserver admission control.
+    [[nodiscard]] std::uint64_t rejected_requests() const;
+
+    /// Server `i`'s admission controller, or nullptr when
+    /// cfg.admission.enabled is false.
+    [[nodiscard]] AdmissionController* admission(std::size_t i);
+
     /// Inject an explicit crash/recover schedule. Call before run(); the
     /// cluster owns the injector. With cfg.faults.enabled the constructor
     /// already scheduled the auto-generated plan, and this throws.
@@ -126,6 +141,7 @@ private:
     std::unique_ptr<Master> master_;
     std::unique_ptr<MasterNode> master_node_;
     std::vector<std::unique_ptr<ChunkServer>> servers_;
+    std::vector<std::unique_ptr<AdmissionController>> admission_;
     std::vector<std::unique_ptr<Client>> clients_;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<MachineProfiler> profiler_;

@@ -40,6 +40,27 @@ struct FaultConfig {
     std::uint64_t seed = 0;  ///< 0 = derive from GfsConfig::seed
 };
 
+/// Ticket-style admission control at the chunkserver (after MongoDB's
+/// execution-control ticket pools). A server holds `tickets` concurrency
+/// tickets; requests past that either wait in a bounded FIFO or are
+/// rejected back to the client. When `probe_interval > 0` the controller
+/// probes: every interval it measures goodput (completions/interval),
+/// steps the ticket count in its current direction, and keeps the move
+/// only if goodput improved beyond the `hysteresis` band — settling on
+/// the smallest ticket count whose goodput is within the band of the
+/// best seen. `probe_interval <= 0` pins the ticket count at
+/// `initial_tickets` (used for offline-optimal sweeps).
+struct AdmissionConfig {
+    bool enabled = false;
+    std::uint32_t initial_tickets = 4;
+    std::uint32_t min_tickets = 1;
+    std::uint32_t max_tickets = 128;
+    double probe_interval = 0.25;  ///< seconds between probe steps; <=0 = static
+    double hysteresis = 0.05;      ///< relative goodput band treated as "same"
+    std::size_t queue_limit = 64;  ///< waiters held before rejecting
+    bool queue = true;             ///< false = reject immediately when out of tickets
+};
+
 struct GfsConfig {
     std::size_t n_chunkservers = 1;
     std::size_t replication = 1;   ///< replicas per chunk (1 = no replication)
@@ -90,6 +111,9 @@ struct GfsConfig {
 
     /// Chunkserver crash/recover schedule (disabled by default).
     FaultConfig faults{};
+
+    /// Chunkserver admission control (disabled by default).
+    AdmissionConfig admission{};
 
     /// Keep the per-request latency vector (Cluster::latencies()). Turn
     /// off for datacenter-scale streamed captures, where an O(requests)

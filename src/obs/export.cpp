@@ -1,6 +1,8 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -347,24 +349,31 @@ Snapshot load_metrics(const std::filesystem::path& path) {
     return load_json(path, text);
 }
 
-namespace {
-
-// Approximate quantile from log2 buckets: walk buckets until the target
-// rank is covered and report the bucket's upper bound (2^b - style).
-double approx_quantile(const MetricSnapshot& m, double q) {
-    if (m.count == 0) return 0.0;
-    const auto target = std::uint64_t(q * double(m.count - 1)) + 1;
+double histogram_quantile(const MetricSnapshot& m, double q) {
+    if (m.count == 0 || m.buckets.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Continuous rank in [1, count]; bucket b >= 1 covers [2^(b-1), 2^b)
+    // with its mass spread uniformly, so the estimate interpolates to the
+    // rank's fraction of the bucket instead of jumping to its upper bound
+    // (which overstated every percentile by up to 2x).
+    const double target = q * double(m.count - 1) + 1.0;
     std::uint64_t seen = 0;
-    for (const auto& [i, n] : m.buckets) {
+    for (const auto& [b, n] : m.buckets) {
+        if (n == 0) continue;
+        if (double(seen) + double(n) >= target) {
+            if (b == 0) return 0.0;
+            const double lo = std::ldexp(1.0, int(b) - 1);
+            const double hi = std::ldexp(1.0, int(b));
+            const double f =
+                std::clamp((target - double(seen)) / double(n), 0.0, 1.0);
+            return lo + f * (hi - lo);
+        }
         seen += n;
-        if (seen >= target)
-            return i == 0 ? 0.0 : double(std::uint64_t(1) << std::min<std::uint32_t>(i, 63));
     }
-    return m.buckets.empty()
-               ? 0.0
-               : double(std::uint64_t(1)
-                        << std::min<std::uint32_t>(m.buckets.back().first, 63));
+    return std::ldexp(1.0, int(std::min<std::uint32_t>(m.buckets.back().first, 64)));
 }
+
+namespace {
 
 std::string human_value(double v, Unit unit) {
     char buf[64];
@@ -413,11 +422,12 @@ std::string summarize(const Snapshot& snap) {
             case MetricSnapshot::Kind::kHistogram:
                 std::snprintf(
                     buf, sizeof buf,
-                    "  %-44s n=%" PRIu64 " mean=%s p50~%s p99~%s%s\n",
+                    "  %-44s n=%" PRIu64 " mean=%s p50~%s p95~%s p99~%s%s\n",
                     m.name.c_str(), m.count,
                     human_value(m.mean(), m.unit).c_str(),
-                    human_value(approx_quantile(m, 0.50), m.unit).c_str(),
-                    human_value(approx_quantile(m, 0.99), m.unit).c_str(),
+                    human_value(histogram_quantile(m, 0.50), m.unit).c_str(),
+                    human_value(histogram_quantile(m, 0.95), m.unit).c_str(),
+                    human_value(histogram_quantile(m, 0.99), m.unit).c_str(),
                     m.wall ? " [wall]" : "");
                 break;
         }

@@ -34,9 +34,16 @@ void write_metrics(const Snapshot& snap, const std::filesystem::path& path,
 /// Throws std::runtime_error on malformed input.
 [[nodiscard]] Snapshot load_metrics(const std::filesystem::path& path);
 
+/// Quantile (q in [0, 1]) of a histogram snapshot, linearly interpolated
+/// within its covering log2 bucket. The old export reported the bucket's
+/// upper bound, biasing every exported percentile high by up to 2x; with
+/// mass spread uniformly across [2^(b-1), 2^b) the estimate lands inside
+/// the bucket at the target rank's fraction instead.
+[[nodiscard]] double histogram_quantile(const MetricSnapshot& m, double q);
+
 /// Human-readable one-metric-per-line summary (kooza_inspect --metrics).
-/// Histogram lines include count, mean, and approximate p50/p99 derived
-/// from the log2 buckets.
+/// Histogram lines include count, mean, and approximate p50/p95/p99
+/// derived from the log2 buckets via histogram_quantile().
 [[nodiscard]] std::string summarize(const Snapshot& snap);
 
 }  // namespace kooza::obs

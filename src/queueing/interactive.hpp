@@ -1,0 +1,67 @@
+// Operational laws for closed (interactive) queueing systems, after
+// Lazowska et al., "Quantitative System Performance" (1984), ch. 3.
+//
+// A closed system with N clients, think time Z, and throughput X obeys
+// the interactive response-time law R = N/X - Z — an exact consequence
+// of Little's law applied to the client population, independent of any
+// distributional assumptions. It anchors the closed-loop capture path:
+// measured mean latency must match N/X - Z whenever the pool is fully
+// engaged, and the asymptotic bounds below say where adding concurrency
+// stops buying goodput (the knee the admission controller hunts for).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace kooza::queueing {
+
+/// Interactive response-time law: mean response time R = N/X - Z for a
+/// closed system of `clients` with mean think `think_time` sustaining
+/// throughput `throughput`. Returns 0 for non-positive throughput (an
+/// idle system has no meaningful response time) and floors at 0.
+[[nodiscard]] inline double interactive_response_time(std::size_t clients,
+                                                      double think_time,
+                                                      double throughput) {
+    if (throughput <= 0.0) return 0.0;
+    return std::max(0.0, double(clients) / throughput - think_time);
+}
+
+/// Throughput a closed system needs to give `clients` a mean response
+/// time of `response_time` (the law solved for X).
+[[nodiscard]] inline double interactive_throughput(std::size_t clients,
+                                                   double think_time,
+                                                   double response_time) {
+    const double cycle = response_time + think_time;
+    if (cycle <= 0.0) return 0.0;
+    return double(clients) / cycle;
+}
+
+/// Asymptotic throughput bound for a closed system: with total service
+/// demand `total_demand` per request and bottleneck demand `max_demand`,
+///   X(N) <= min(N / (Z + total_demand), 1 / max_demand).
+/// The crossover N* = (Z + total_demand) / max_demand is the smallest
+/// population that can saturate the bottleneck — the offline-optimal
+/// concurrency a ticket sweep discovers empirically.
+[[nodiscard]] inline double closed_throughput_bound(std::size_t clients,
+                                                    double think_time,
+                                                    double total_demand,
+                                                    double max_demand) {
+    double bound = max_demand > 0.0 ? 1.0 / max_demand : 0.0;
+    const double cycle = think_time + total_demand;
+    if (cycle > 0.0) {
+        const double light = double(clients) / cycle;
+        bound = bound > 0.0 ? std::min(bound, light) : light;
+    }
+    return bound;
+}
+
+/// Saturation population N* = (Z + total_demand) / max_demand: below it
+/// the system is client-limited, above it bottleneck-limited.
+[[nodiscard]] inline double saturation_population(double think_time,
+                                                  double total_demand,
+                                                  double max_demand) {
+    if (max_demand <= 0.0) return 0.0;
+    return (think_time + total_demand) / max_demand;
+}
+
+}  // namespace kooza::queueing

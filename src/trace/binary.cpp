@@ -674,7 +674,7 @@ TraceSet read_binary(const std::filesystem::path& dir) {
             r.time = c.f64(0, i);
             r.request_id = c.get<std::uint64_t>(1, i);
             r.server = c.get<std::uint32_t>(2, i);
-            r.kind = FailureRecord::Kind(c.enum8(3, i, 4, "failure kind"));
+            r.kind = FailureRecord::Kind(c.enum8(3, i, 5, "failure kind"));
             r.duration = c.f64(4, i);
         }
     }
@@ -914,7 +914,7 @@ void ChunkedReader::read_rows(StreamId s, std::uint64_t begin, std::uint64_t n,
             for (std::size_t i = 0; i < n; ++i)
                 out.failures.push_back(
                     {f64(0, i), u64(1, i), u32(2, i),
-                     FailureRecord::Kind(enum8(3, i, 4, "failure kind")),
+                     FailureRecord::Kind(enum8(3, i, 5, "failure kind")),
                      f64(4, i)});
             break;
         case StreamId::kSpans:

@@ -31,6 +31,7 @@ const char* to_string(FailureRecord::Kind k) noexcept {
         case FailureRecord::Kind::kFailover: return "failover";
         case FailureRecord::Kind::kRepair: return "repair";
         case FailureRecord::Kind::kRequestFailed: return "request_failed";
+        case FailureRecord::Kind::kAdmissionReject: return "admission_reject";
     }
     return "crash";
 }
@@ -41,6 +42,7 @@ FailureRecord::Kind failure_kind_from_string(const std::string& s) {
     if (s == "failover") return FailureRecord::Kind::kFailover;
     if (s == "repair") return FailureRecord::Kind::kRepair;
     if (s == "request_failed") return FailureRecord::Kind::kRequestFailed;
+    if (s == "admission_reject") return FailureRecord::Kind::kAdmissionReject;
     throw std::invalid_argument("failure_kind_from_string: '" + s + "'");
 }
 

@@ -72,6 +72,7 @@ struct FailureRecord {
         kFailover = 2,       ///< client waited `duration` on a dead replica
         kRepair = 3,         ///< master re-replicated a chunk onto `server`
         kRequestFailed = 4,  ///< request gave up after every retry round
+        kAdmissionReject = 5,  ///< chunkserver admission control bounced it
     };
     double time = 0.0;
     std::uint64_t request_id = 0;  ///< 0 for server-lifecycle events

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "trace/sink.hpp"
 
 namespace kooza::trace {
@@ -52,6 +53,7 @@ void SpanTracer::end_span(SpanId span, double now) {
     if (it == open_.end()) throw std::logic_error("SpanTracer::end_span: unknown span");
     ++ops_rec_;
     it->second.end = now;
+    phase_histogram(it->second.name).observe_seconds(now - it->second.start);
     if (sink_) {
         const double start = it->second.start;
         sink_->append(it->second);
@@ -60,6 +62,16 @@ void SpanTracer::end_span(SpanId span, double now) {
         done_.push_back(std::move(it->second));
     }
     open_.erase(it);
+}
+
+obs::Histogram& SpanTracer::phase_histogram(const std::string& name) {
+    auto it = phase_hist_.find(name);
+    if (it == phase_hist_.end())
+        it = phase_hist_
+                 .emplace(name, &obs::histogram("trace.phase." + name + ".duration_ns",
+                                                obs::Unit::kNanoseconds))
+                 .first;
+    return *it->second;
 }
 
 std::size_t SpanTracer::sampled_trace_count() const {

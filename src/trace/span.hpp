@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+namespace kooza::obs {
+class Histogram;
+}
+
 namespace kooza::trace {
 
 class Sink;
@@ -87,9 +91,15 @@ public:
     void clear();
 
 private:
+    /// Per-phase duration histogram ("trace.phase.<name>.duration_ns"),
+    /// fed at every end_span so p50/p95/p99 per phase are first-class in
+    /// the metrics export even when spans are sampled out of the trace.
+    [[nodiscard]] obs::Histogram& phase_histogram(const std::string& name);
+
     std::uint64_t every_;
     SpanId next_id_ = 1;
     Sink* sink_ = nullptr;
+    std::map<std::string, obs::Histogram*> phase_hist_;
     std::map<SpanId, Span> open_;
     std::vector<Span> done_;
     std::uint64_t ops_req_ = 0;

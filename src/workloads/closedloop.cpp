@@ -1,0 +1,91 @@
+#include "workloads/closedloop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "par/pool.hpp"
+
+namespace kooza::workloads {
+
+namespace {
+
+std::uint64_t align4k(std::uint64_t offset) { return offset & ~std::uint64_t(4095); }
+
+/// Clamp an offset so [offset, offset+size) stays inside the file.
+std::uint64_t clamp_offset(std::uint64_t offset, std::uint64_t size,
+                           std::uint64_t file_size) {
+    if (size >= file_size) return 0;
+    return std::min(offset, file_size - size);
+}
+
+}  // namespace
+
+ClosedLoopPool::ClosedLoopPool(ClosedLoopParams p) : p_(p) {
+    if (p_.clients == 0)
+        throw std::invalid_argument("ClosedLoopPool: zero clients");
+    if (p_.outstanding == 0)
+        throw std::invalid_argument("ClosedLoopPool: zero outstanding window");
+    if (p_.files == 0) throw std::invalid_argument("ClosedLoopPool: zero files");
+    if (p_.read_size == 0 || p_.write_size == 0)
+        throw std::invalid_argument("ClosedLoopPool: zero request size");
+    if (p_.file_size == 0)
+        throw std::invalid_argument("ClosedLoopPool: zero file size");
+    if (p_.think_time < 0.0)
+        throw std::invalid_argument("ClosedLoopPool: negative think time");
+    if (p_.read_fraction < 0.0 || p_.read_fraction > 1.0)
+        throw std::invalid_argument("ClosedLoopPool: read fraction outside [0, 1]");
+
+    for (std::size_t f = 0; f < p_.files; ++f)
+        files_.emplace_back(p_.file_prefix + std::to_string(f), p_.file_size);
+    if (p_.zipf_s > 0.0 && p_.files > 1) {
+        popularity_cdf_.resize(p_.files);
+        double total = 0.0;
+        for (std::size_t f = 0; f < p_.files; ++f) {
+            total += 1.0 / std::pow(double(f + 1), p_.zipf_s);
+            popularity_cdf_[f] = total;
+        }
+        for (double& c : popularity_cdf_) c /= total;
+    }
+    rngs_.reserve(p_.clients);
+    for (std::size_t c = 0; c < p_.clients; ++c)
+        rngs_.emplace_back(par::shard_seed(p_.seed, c));
+}
+
+std::optional<gfs::RequestSpec> ClosedLoopPool::next(std::uint32_t client,
+                                                     double now) {
+    if (client >= p_.clients)
+        throw std::out_of_range("ClosedLoopPool::next: client " +
+                                std::to_string(client) + " of " +
+                                std::to_string(p_.clients));
+    if (issued_ >= p_.total) return std::nullopt;
+    ++issued_;
+    auto& rng = rngs_[client];
+
+    gfs::RequestSpec r;
+    const double think =
+        p_.think_time > 0.0 ? rng.exponential(1.0 / p_.think_time) : 0.0;
+    r.time = now + think;
+    r.client = client;
+
+    std::size_t file_ix = 0;
+    if (!popularity_cdf_.empty()) {
+        const double u = rng.uniform(0.0, 1.0);
+        file_ix = std::size_t(std::upper_bound(popularity_cdf_.begin(),
+                                               popularity_cdf_.end(), u) -
+                              popularity_cdf_.begin());
+        file_ix = std::min(file_ix, p_.files - 1);
+    } else if (p_.files > 1) {
+        file_ix = std::size_t(rng.uniform_int(0, std::int64_t(p_.files) - 1));
+    }
+    r.file = files_[file_ix].first;
+    r.type = rng.bernoulli(p_.read_fraction) ? trace::IoType::kRead
+                                             : trace::IoType::kWrite;
+    r.size = r.type == trace::IoType::kRead ? p_.read_size : p_.write_size;
+    r.offset = clamp_offset(
+        align4k(std::uint64_t(rng.uniform(0.0, double(p_.file_size)))), r.size,
+        p_.file_size);
+    return r;
+}
+
+}  // namespace kooza::workloads

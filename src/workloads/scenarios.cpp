@@ -1,6 +1,7 @@
 #include "workloads/scenarios.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "queueing/arrival.hpp"
 
@@ -130,6 +131,88 @@ std::unique_ptr<Generator> make_scenario(const std::string& name,
     for (const auto& s : kScenarios)
         if (name == s.name) return s.make(p);
     return nullptr;
+}
+
+// ------------------------------------------------------- closed-loop table
+
+namespace {
+
+/// Common knob mapping shared by every closed-loop recipe.
+ClosedLoopParams closed_loop_base(const ScenarioParams& p) {
+    ClosedLoopParams cl;
+    cl.total = p.count;
+    cl.read_size = p.read_size;
+    cl.write_size = p.write_size;
+    cl.seed = p.seed;
+    return cl;
+}
+
+ClosedLoopParams make_closedloop(const ScenarioParams& p) {
+    // Moderate load: the pool keeps the cluster busy without saturating
+    // it, so latency tracks service time rather than queueing.
+    ClosedLoopParams cl = closed_loop_base(p);
+    cl.clients = 8;
+    cl.outstanding = 4;
+    cl.think_time = 0.01;
+    return cl;
+}
+
+ClosedLoopParams make_closedloop_saturated(const ScenarioParams& p) {
+    // Saturation: a large pool with near-zero think time drives offered
+    // concurrency far past the service capacity — the regime where
+    // admission control and tail quantiles earn their keep.
+    ClosedLoopParams cl = closed_loop_base(p);
+    cl.clients = 32;
+    cl.outstanding = 4;
+    cl.think_time = 0.001;
+    cl.read_fraction = 0.9;
+    return cl;
+}
+
+struct ClosedLoopEntry {
+    const char* name;
+    const char* description;
+    ClosedLoopParams (*make)(const ScenarioParams&);
+};
+
+const ClosedLoopEntry kClosedLoopScenarios[] = {
+    {"closedloop",
+     "closed-loop pool at moderate load (8 clients x 4 outstanding, 10ms think)",
+     &make_closedloop},
+    {"closedloop-saturated",
+     "closed-loop pool driving saturation (32 clients x 4 outstanding, 1ms think)",
+     &make_closedloop_saturated},
+};
+
+}  // namespace
+
+const std::vector<std::string>& closed_loop_scenario_names() {
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto& s : kClosedLoopScenarios) v.emplace_back(s.name);
+        return v;
+    }();
+    return names;
+}
+
+bool is_closed_loop_scenario(const std::string& name) {
+    for (const auto& s : kClosedLoopScenarios)
+        if (name == s.name) return true;
+    return false;
+}
+
+std::string describe_closed_loop_scenario(const std::string& name) {
+    for (const auto& s : kClosedLoopScenarios)
+        if (name == s.name) return s.description;
+    return "";
+}
+
+ClosedLoopParams make_closed_loop_scenario(const std::string& name,
+                                           const ScenarioParams& p) {
+    for (const auto& s : kClosedLoopScenarios)
+        if (name == s.name) return s.make(p);
+    throw std::invalid_argument("make_closed_loop_scenario: unknown scenario '" +
+                                name + "'");
 }
 
 }  // namespace kooza::workloads

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "workloads/closedloop.hpp"
 #include "workloads/generator.hpp"
 
 namespace kooza::workloads {
@@ -41,5 +42,18 @@ struct ScenarioParams {
 /// Build a scenario generator, or nullptr for an unknown name.
 [[nodiscard]] std::unique_ptr<Generator> make_scenario(const std::string& name,
                                                        const ScenarioParams& p);
+
+/// Closed-loop scenarios are feedback recipes (client pools driven by
+/// completion callbacks), not ScheduleStreams, so they live in their own
+/// table: make_scenario() cannot build them and they are absent from
+/// scenario_names(). run_capture routes them to the closed-loop driver.
+[[nodiscard]] const std::vector<std::string>& closed_loop_scenario_names();
+[[nodiscard]] bool is_closed_loop_scenario(const std::string& name);
+[[nodiscard]] std::string describe_closed_loop_scenario(const std::string& name);
+
+/// Map the common scenario knobs onto a closed-loop recipe. Throws
+/// std::invalid_argument for a name not in closed_loop_scenario_names().
+[[nodiscard]] ClosedLoopParams make_closed_loop_scenario(const std::string& name,
+                                                         const ScenarioParams& p);
 
 }  // namespace kooza::workloads

@@ -7,11 +7,11 @@ namespace {
 
 using kooza::cli::Args;
 
-Args make(std::vector<std::string> argv) {
+Args make(std::vector<std::string> argv, std::set<std::string> switches = {}) {
     std::vector<char*> ptrs;
     ptrs.push_back(const_cast<char*>("prog"));
     for (auto& a : argv) ptrs.push_back(a.data());
-    return Args(int(ptrs.size()), ptrs.data());
+    return Args(int(ptrs.size()), ptrs.data(), std::move(switches));
 }
 
 TEST(CliArgs, PositionalAndFlags) {
@@ -89,6 +89,23 @@ TEST(CliArgs, RejectsTrailingJunkOnDoubles) {
                  std::invalid_argument);
     // Plain scientific notation still parses.
     EXPECT_DOUBLE_EQ(make({"--rate", "2e2"}).get_double("rate", 0.0), 200.0);
+}
+
+TEST(CliArgs, RegisteredSwitchesNeverConsumeAValue) {
+    // "kooza_capture --closed-loop /tmp/dir": without registration the
+    // parser swallowed the directory as the switch's value and the tool
+    // saw zero positionals.
+    auto args = make({"--closed-loop", "/tmp/dir", "--count", "5"},
+                     {"closed-loop"});
+    EXPECT_TRUE(args.has("closed-loop"));
+    EXPECT_EQ(args.get("closed-loop", "sentinel"), "");
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "/tmp/dir");
+    EXPECT_EQ(args.get_u64("count", 0), 5u);
+    // Unregistered flags keep the old greedy behaviour.
+    auto greedy = make({"--out", "/tmp/dir"});
+    EXPECT_EQ(greedy.get("out", ""), "/tmp/dir");
+    EXPECT_TRUE(greedy.positional().empty());
 }
 
 TEST(CliArgs, ErrorNamesTheFlag) {

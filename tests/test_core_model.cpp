@@ -185,7 +185,85 @@ TEST(Validator, AggregateComparison) {
     const auto rep = compare_features(fs, fs, "self");
     EXPECT_DOUBLE_EQ(rep.max_feature_variation(), 0.0);
     EXPECT_DOUBLE_EQ(rep.latency_variation(), 0.0);
-    EXPECT_THROW(compare_features({}, fs, "x"), std::invalid_argument);
+}
+
+TEST(Validator, TailRowsMakeQuantilesAndGoodputFirstClass) {
+    const auto ts = simulate_micro(200, 18);
+    const auto fs = kooza::trace::extract_features(ts);
+    const auto rep = compare_features(fs, fs, "tails");
+    auto find_row = [&rep](const std::string& metric) -> const MetricRow* {
+        for (const auto& r : rep.rows)
+            if (r.metric == metric) return &r;
+        return nullptr;
+    };
+    const auto* p50 = find_row("Latency p50");
+    const auto* p95 = find_row("Latency p95");
+    const auto* p99 = find_row("Latency p99");
+    const auto* goodput = find_row("Goodput");
+    ASSERT_NE(p50, nullptr);
+    ASSERT_NE(p95, nullptr);
+    ASSERT_NE(p99, nullptr);
+    ASSERT_NE(goodput, nullptr);
+    EXPECT_GT(p50->original, 0.0);
+    EXPECT_GE(p95->original, p50->original);
+    EXPECT_GE(p99->original, p95->original);
+    EXPECT_GT(goodput->original, 0.0);
+    EXPECT_EQ(goodput->unit, "req/s");
+    // Self-comparison: every new row is exact.
+    EXPECT_DOUBLE_EQ(p99->variation_pct, 0.0);
+    EXPECT_DOUBLE_EQ(goodput->variation_pct, 0.0);
+    // The mean-latency row stays FIRST among Performance rows — that is
+    // the latency_variation() contract the quantile rows must not break.
+    for (const auto& r : rep.rows) {
+        if (r.subsystem != "Performance") continue;
+        EXPECT_EQ(r.metric, "Latency");
+        break;
+    }
+    // Tail rows are excluded from max_feature_variation (Performance).
+    EXPECT_DOUBLE_EQ(rep.max_feature_variation(), 0.0);
+}
+
+// Regression for the empty-side guards: admission control can reject an
+// entire phase, leaving one side of the comparison with no completed
+// requests. compare_features used to throw from stats::quantile mid-table;
+// now every row degrades to the zero-baseline convention and the table
+// still renders.
+TEST(Validator, EmptySidesRenderInsteadOfThrowing) {
+    const auto ts = simulate_micro(120, 18);
+    const auto fs = kooza::trace::extract_features(ts);
+    ValidationReport rep;
+    ASSERT_NO_THROW(rep = compare_features({}, fs, "empty-original"));
+    const auto table = rep.to_table();
+    EXPECT_NE(table.find("empty-original"), std::string::npos);
+    EXPECT_NE(table.find("Latency p99"), std::string::npos);
+    for (const auto& r : rep.rows) {
+        EXPECT_TRUE(r.absolute || r.variation_pct == 0.0) << r.metric;
+        EXPECT_DOUBLE_EQ(r.original, 0.0) << r.metric;
+    }
+    EXPECT_DOUBLE_EQ(rep.max_feature_variation(), 0.0);  // absolute rows skip it
+
+    ASSERT_NO_THROW(rep = compare_features(fs, {}, "empty-synthetic"));
+    EXPECT_NO_THROW((void)rep.to_table());
+    ASSERT_NO_THROW(rep = compare_features({}, {}, "both-empty"));
+    for (const auto& r : rep.rows) {
+        EXPECT_DOUBLE_EQ(r.variation_pct, 0.0) << r.metric;  // 0-vs-0 -> 0%
+        EXPECT_FALSE(r.absolute) << r.metric;
+    }
+
+    // Single-sample sides exercise the quantile guard's other edge: one
+    // completed request still yields finite, rendered quantile rows.
+    std::vector<kooza::trace::RequestFeatures> one(fs.begin(), fs.begin() + 1);
+    ASSERT_NO_THROW(rep = compare_features(one, one, "single"));
+    EXPECT_NO_THROW((void)rep.to_table());
+    EXPECT_DOUBLE_EQ(rep.latency_variation(), 0.0);
+}
+
+TEST(Validator, LatencyKsEmptySidesReportZero) {
+    const auto ts = simulate_micro(100, 18);
+    const auto fs = kooza::trace::extract_features(ts);
+    EXPECT_DOUBLE_EQ(latency_ks({}, fs), 0.0);
+    EXPECT_DOUBLE_EQ(latency_ks(fs, {}), 0.0);
+    EXPECT_DOUBLE_EQ(latency_ks({}, {}), 0.0);
 }
 
 TEST(Validator, LatencyKsZeroForIdentical) {

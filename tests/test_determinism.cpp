@@ -222,6 +222,114 @@ TEST(Determinism, StreamedCaptureByteIdenticalToMaterialized) {
     fs::remove_all(st8);
 }
 
+TEST(Determinism, ClosedLoopCaptureByteIdenticalAcrossThreadCounts) {
+    // Closed-loop feedback (completion callbacks refill the client
+    // windows) plus admission control plus faults — all of it runs on the
+    // single-threaded engine, so the capture files must stay
+    // byte-identical at 1 vs 8 threads in both capture modes, exactly
+    // like the open-loop contract above.
+    namespace fs = std::filesystem;
+    ThreadGuard guard;
+    auto slurp = [](const fs::path& p) {
+        std::ifstream f(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+    };
+    CaptureOptions opts;
+    opts.closed_loop = true;
+    opts.clients = 6;
+    opts.outstanding = 3;
+    opts.think_time = 0.002;
+    opts.count = 400;
+    opts.seed = 91;
+    opts.n_servers = 3;
+    opts.replication = 2;
+    opts.fault_rate = 0.2;
+    opts.mttr = 1.0;
+    opts.admission = "queue";
+    opts.format = trace::Format::kBinary;
+    opts.chunk_records = 64;
+
+    const auto base = fs::temp_directory_path();
+    const auto mat = base / "kooza_det_closed_mat";
+    const auto st1 = base / "kooza_det_closed_t1";
+    const auto st8 = base / "kooza_det_closed_t8";
+    auto run_into = [&](const fs::path& dir, bool stream, std::size_t threads) {
+        par::set_threads(threads);
+        fs::remove_all(dir);
+        auto o = opts;
+        o.out_dir = dir.string();
+        o.stream = stream;
+        return core::run_capture(o);
+    };
+    const auto res_mat = run_into(mat, false, 1);
+    const auto res_st1 = run_into(st1, true, 1);
+    const auto res_st8 = run_into(st8, true, 8);
+    EXPECT_GT(res_mat.completed, 0u);
+    EXPECT_GT(res_mat.records, 0u);
+    EXPECT_EQ(res_mat.records, res_st1.records);
+    EXPECT_EQ(res_mat.records, res_st8.records);
+    EXPECT_EQ(res_st1.completed, res_st8.completed);
+    EXPECT_EQ(res_st1.rejected, res_st8.rejected);
+    EXPECT_EQ(res_st1.converged_tickets, res_st8.converged_tickets);
+    for (const auto* stem : trace::kStreamStems) {
+        const auto name = std::string(stem) + ".bin";
+        const auto a = slurp(mat / name);
+        EXPECT_FALSE(a.empty()) << name;
+        EXPECT_EQ(a, slurp(st1 / name)) << name;
+        EXPECT_EQ(a, slurp(st8 / name)) << name;
+    }
+    fs::remove_all(mat);
+    fs::remove_all(st1);
+    fs::remove_all(st8);
+}
+
+TEST(Determinism, ClosedLoopCsvIdenticalAcrossThreadCounts) {
+    // CSV leg of the same contract: a materialized closed-loop capture
+    // written as CSV must lay down identical text at any thread count.
+    namespace fs = std::filesystem;
+    ThreadGuard guard;
+    auto slurp_dir = [](const fs::path& dir) {
+        std::string all;
+        std::vector<fs::path> files;
+        for (const auto& e : fs::directory_iterator(dir)) files.push_back(e.path());
+        std::sort(files.begin(), files.end());
+        for (const auto& p : files) {
+            std::ifstream f(p, std::ios::binary);
+            all += p.filename().string();
+            all += std::string(std::istreambuf_iterator<char>(f),
+                               std::istreambuf_iterator<char>());
+        }
+        return all;
+    };
+    CaptureOptions opts;
+    opts.scenario = "closedloop";
+    opts.count = 300;
+    opts.seed = 17;
+    opts.n_servers = 2;
+    opts.admission = "queue";
+    opts.format = trace::Format::kCsv;
+    auto run_into = [&](const fs::path& dir, std::size_t threads) {
+        par::set_threads(threads);
+        fs::remove_all(dir);
+        auto o = opts;
+        o.out_dir = dir.string();
+        return core::run_capture(o);
+    };
+    const auto base = fs::temp_directory_path();
+    const auto d1 = base / "kooza_det_closed_csv_t1";
+    const auto d8 = base / "kooza_det_closed_csv_t8";
+    const auto r1 = run_into(d1, 1);
+    const auto r8 = run_into(d8, 8);
+    EXPECT_GT(r1.completed, 0u);
+    EXPECT_EQ(r1.completed, r8.completed);
+    const auto a = slurp_dir(d1);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, slurp_dir(d8));
+    fs::remove_all(d1);
+    fs::remove_all(d8);
+}
+
 TEST(Determinism, SqsSamplingIdenticalAcrossThreadCounts) {
     ThreadGuard guard;
     std::vector<double> gaps, services;

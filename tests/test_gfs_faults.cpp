@@ -136,6 +136,64 @@ TEST(FailoverRegression, BackoffGrowsAndCaps) {
     EXPECT_TRUE(saw_failed);
 }
 
+TEST(FailoverRegression, ShrinkingBackoffFactorNeverShrinksTheWait) {
+    // Regression for the backoff_wait hardening: with a backoff factor
+    // <= 1 the old loop multiplied the wait smaller on every step,
+    // silently turning "back off" into "retry faster and faster" (and
+    // doing O(step) work to get there). The contract now: a non-growing
+    // factor pins every wait at the base timeout (capped), so waits are
+    // nondecreasing in the step for ANY factor.
+    GfsConfig cfg;
+    cfg.failover_backoff = 0.5;   // pathological: would shrink waits
+    cfg.client_retry_rounds = 4;  // several rounds -> several backoff steps
+    Cluster cluster(cfg);         // one server, replication 1
+    cluster.create_file("f", 64ull << 20);
+    cluster.server(0).set_failed(true);
+    cluster.submit({.time = 0.0, .file = "f", .offset = 0, .size = 4096,
+                    .type = IoType::kRead});
+    cluster.run();
+    EXPECT_EQ(cluster.failed_requests(), 1u);
+    const auto ts = cluster.traces();
+    std::vector<double> waits;
+    for (const auto& f : ts.failures)
+        if (f.kind == FailureRecord::Kind::kFailover) waits.push_back(f.duration);
+    ASSERT_GE(waits.size(), 2u);
+    for (const auto w : waits) {
+        EXPECT_DOUBLE_EQ(w, cfg.failover_timeout);  // pinned, never shrunk
+        EXPECT_LE(w, cfg.failover_timeout_max);
+    }
+}
+
+TEST(FailoverRegression, LargeBackoffManyRoundsStaysCapped) {
+    // Aggressive growth with many retry rounds: every recorded wait must
+    // respect the failover_timeout_max ceiling, and once the cap is hit
+    // the waits stay there (the sequence is nondecreasing throughout).
+    GfsConfig cfg;
+    cfg.failover_backoff = 10.0;
+    cfg.client_retry_rounds = 50;
+    Cluster cluster(cfg);
+    cluster.create_file("f", 64ull << 20);
+    cluster.server(0).set_failed(true);
+    cluster.submit({.time = 0.0, .file = "f", .offset = 0, .size = 4096,
+                    .type = IoType::kRead});
+    cluster.run();
+    EXPECT_EQ(cluster.failed_requests(), 1u);
+    const auto ts = cluster.traces();
+    std::vector<double> waits;
+    for (const auto& f : ts.failures)
+        if (f.kind == FailureRecord::Kind::kFailover) waits.push_back(f.duration);
+    ASSERT_GT(waits.size(), 2u);
+    bool hit_cap = false;
+    for (std::size_t i = 0; i < waits.size(); ++i) {
+        EXPECT_LE(waits[i], cfg.failover_timeout_max) << i;
+        if (i > 0) {
+            EXPECT_GE(waits[i], waits[i - 1]) << i;
+        }
+        hit_cap = hit_cap || waits[i] == cfg.failover_timeout_max;
+    }
+    EXPECT_TRUE(hit_cap);  // 50 rounds of 10x growth must reach the ceiling
+}
+
 TEST(Repair, CrashTriggersReReplication) {
     GfsConfig cfg;
     cfg.n_chunkservers = 4;

@@ -14,6 +14,8 @@
 #include "core/capture.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/sample.hpp"
 
 namespace {
 
@@ -129,6 +131,72 @@ TEST(Registry, ResetKeepsReferencesValid) {
     EXPECT_EQ(c.value(), 0u);
     c.add(1);  // cached reference still live after reset
     EXPECT_EQ(reg.snapshot().find("c")->value, 1u);
+}
+
+TEST(HistogramQuantile, EdgeCases) {
+    obs::Registry reg;
+    auto& h = reg.histogram("hq.edge");
+    {
+        const auto snap = reg.snapshot();
+        EXPECT_DOUBLE_EQ(obs::histogram_quantile(*snap.find("hq.edge"), 0.5), 0.0);
+    }
+    h.observe(0);
+    h.observe(0);
+    {
+        // Bucket 0 holds exactly the value 0 — no interpolation to do.
+        const auto snap = reg.snapshot();
+        EXPECT_DOUBLE_EQ(obs::histogram_quantile(*snap.find("hq.edge"), 0.99), 0.0);
+    }
+    h.observe(1000);  // bucket [512, 1024)
+    const auto snap = reg.snapshot();
+    const auto& m = *snap.find("hq.edge");
+    // Out-of-range q clamps instead of misindexing.
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(m, -1.0),
+                     obs::histogram_quantile(m, 0.0));
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(m, 2.0),
+                     obs::histogram_quantile(m, 1.0));
+    // The top rank interpolates inside [512, 1024), never past the bucket
+    // edge (the old estimator pinned every answer to the upper edge).
+    const double p100 = obs::histogram_quantile(m, 1.0);
+    EXPECT_GE(p100, 512.0);
+    EXPECT_LE(p100, 1024.0);
+    // Quantiles are nondecreasing in q.
+    double prev = 0.0;
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        const double v = obs::histogram_quantile(m, q);
+        EXPECT_GE(v, prev) << q;
+        prev = v;
+    }
+}
+
+TEST(HistogramQuantile, CrossChecksExactSampleWithinOneBucket) {
+    // Feed the identical deterministic stream into a log2 histogram and
+    // an exact first-K sample (cap never hit), then compare quantile
+    // estimates. A log2 bucket spans a factor of 2, so the interpolated
+    // estimate must land within [exact/2, exact*2] — and typically much
+    // closer on dense data like this.
+    obs::Registry reg;
+    auto& h = reg.histogram("hq.cross");
+    stats::CappedSample exact;
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 5000; ++i) {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        const std::uint64_t v = 1 + s % 1'000'000;
+        h.observe(v);
+        exact.observe(double(v));
+    }
+    ASSERT_FALSE(exact.truncated());
+    const auto snap = reg.snapshot();
+    const auto& m = *snap.find("hq.cross");
+    ASSERT_EQ(m.count, 5000u);
+    for (double q : {0.01, 0.1, 0.5, 0.9, 0.95, 0.99}) {
+        const double est = obs::histogram_quantile(m, q);
+        const double ex = stats::quantile(exact.values(), q);
+        EXPECT_GE(est, ex / 2.0) << "q=" << q;
+        EXPECT_LE(est, ex * 2.0) << "q=" << q;
+    }
 }
 
 // Fixed total work split across T threads; integer shard merges commute,

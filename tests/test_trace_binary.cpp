@@ -58,7 +58,7 @@ TraceSet random_traceset(std::uint64_t seed, std::size_t n,
                                f64(), f64(), u64()});
         ts.failures.push_back(
             {f64(), u64(), std::uint32_t(rng.uniform_int(0, 32)),
-             FailureRecord::Kind(rng.uniform_int(0, 4)), f64()});
+             FailureRecord::Kind(rng.uniform_int(0, 5)), f64()});
         Span sp;
         sp.trace_id = u64();
         sp.span_id = u64();

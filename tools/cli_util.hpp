@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,17 +12,21 @@ namespace kooza::cli {
 
 /// Parses "positional... [--flag value]... [--switch]..." command lines.
 /// A flag followed by another "--" token (or the end of the line) is a
-/// boolean switch; query those with has().
+/// boolean switch; query those with has(). Names in `switches` never
+/// consume a value, so "--closed-loop <output-dir>" keeps the directory
+/// as a positional instead of swallowing it as the switch's value.
 class Args {
 public:
-    Args(int argc, char** argv) {
+    Args(int argc, char** argv, std::set<std::string> switches = {}) {
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
             if (a.rfind("--", 0) == 0) {
-                if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
-                    flags_[a.substr(2)] = "";
+                const std::string name = a.substr(2);
+                if (switches.count(name) != 0 || i + 1 >= argc ||
+                    std::string(argv[i + 1]).rfind("--", 0) == 0)
+                    flags_[name] = "";
                 else
-                    flags_[a.substr(2)] = argv[++i];
+                    flags_[name] = argv[++i];
             } else {
                 positional_.push_back(std::move(a));
             }

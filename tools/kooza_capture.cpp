@@ -8,12 +8,15 @@
 //   kooza_capture --scenario NAME <output-dir> [options]
 //   kooza_capture --model MODEL-FILE <output-dir> [options]
 //   kooza_capture --replay TRACE-DIR <output-dir> [options]
+//   kooza_capture --closed-loop <output-dir> [options]
 //   kooza_capture --list-scenarios
 // Options: [--count N] [--rate R] [--seed S] [--period S]
 //          [--servers N] [--replication N] [--sample-every N]
 //          [--threads N] [--format csv|bin] [--faults R] [--mttr S]
 //          [--metrics FILE] [--stream] [--chunk-records N]
 //          [--read-size B] [--write-size B] [--no-latencies]
+//          [--clients N] [--outstanding N] [--think-time S]
+//          [--admission queue|reject] [--admission-tickets N]
 // Profiles: micro | oltp | websearch | streaming | logappend
 //
 // --scenario runs a scenario-library workload (diurnal, flashcrowd,
@@ -33,6 +36,15 @@
 // failure rate of R crashes/second (MTBF = 1/R); --mttr sets the mean
 // repair time. Failure/retry records land in failures.csv.
 //
+// --closed-loop drives the cluster with a pool of --clients clients each
+// keeping --outstanding requests in flight, drawing exponential think
+// time with mean --think-time between a completion and the next issue
+// (closed-loop scenarios from --list-scenarios select a tuned pool).
+// --admission enables ticket-based admission control at each chunkserver
+// ("queue" parks overflow in a bounded FIFO, "reject" bounces it);
+// --admission-tickets pins the ticket count instead of probing, which is
+// how bench_closedloop sweeps for the offline-optimal concurrency.
+//
 // --metrics FILE exports the run's metrics registry after the capture.
 // ".csv" writes CSV; any other extension writes canonical JSON plus a
 // sibling ".csv". Wall-clock metrics are excluded, so a fixed seed
@@ -50,18 +62,23 @@
 int main(int argc, char** argv) {
     using namespace kooza;
     try {
-        cli::Args args(argc, argv);
+        cli::Args args(argc, argv,
+                       {"closed-loop", "stream", "no-latencies", "list-scenarios"});
         if (args.has("list-scenarios")) {
             for (const auto& name : workloads::scenario_names())
                 std::cout << name << "  " << workloads::describe_scenario(name)
                           << "\n";
+            for (const auto& name : workloads::closed_loop_scenario_names())
+                std::cout << name << "  "
+                          << workloads::describe_closed_loop_scenario(name) << "\n";
             return 0;
         }
         const std::string scenario = args.get("scenario", "");
         const std::string model_file = args.get("model", "");
         const std::string replay_dir = args.get("replay", "");
-        const bool has_source =
-            !scenario.empty() || !model_file.empty() || !replay_dir.empty();
+        const bool closed_loop = args.has("closed-loop");
+        const bool has_source = !scenario.empty() || !model_file.empty() ||
+                                !replay_dir.empty() || closed_loop;
         // With an explicit workload source the profile positional drops out.
         const std::size_t want_positional = has_source ? 1 : 2;
         if (args.positional().size() != want_positional) {
@@ -78,6 +95,10 @@ int main(int argc, char** argv) {
                          "   or: kooza_capture --model MODEL-FILE <output-dir> "
                          "[options]\n"
                          "   or: kooza_capture --replay TRACE-DIR <output-dir> "
+                         "[options]\n"
+                         "   or: kooza_capture --closed-loop <output-dir> "
+                         "[--clients N] [--outstanding N] [--think-time S] "
+                         "[--admission queue|reject] [--admission-tickets N] "
                          "[options]\n"
                          "   or: kooza_capture --list-scenarios\n";
             return 2;
@@ -113,6 +134,13 @@ int main(int argc, char** argv) {
         opts.read_size = args.get_u64("read-size", 0);
         opts.write_size = args.get_u64("write-size", 0);
         opts.collect_latencies = !args.has("no-latencies");
+        opts.closed_loop = closed_loop;
+        opts.clients = std::size_t(args.get_u64("clients", 8));
+        opts.outstanding = std::size_t(args.get_u64("outstanding", 4));
+        opts.think_time = args.get_double("think-time", 0.01);
+        opts.admission = args.get("admission", "");
+        opts.admission_tickets =
+            std::uint32_t(args.get_u64("admission-tickets", 0));
         if (opts.stream) opts.format = trace::Format::kBinary;
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
@@ -126,6 +154,20 @@ int main(int argc, char** argv) {
             std::cout << "faults: " << res.crashes << " crashes, " << res.repairs
                       << " re-replications, " << res.failed
                       << " failed requests\n";
+        const bool closed_run =
+            closed_loop || workloads::is_closed_loop_scenario(scenario);
+        if (closed_run || !opts.admission.empty()) {
+            std::cout << "closed-loop: " << res.completed << " completed, "
+                      << res.rejected << " rejected, goodput=" << res.goodput
+                      << " req/s";
+            if (res.latency.count > 0)
+                std::cout << ", latency p50=" << res.latency.median * 1e3
+                          << "ms p95=" << res.latency.p95 * 1e3
+                          << "ms p99=" << res.latency.p99 * 1e3 << "ms";
+            if (!opts.admission.empty())
+                std::cout << ", tickets=" << res.converged_tickets;
+            std::cout << "\n";
+        }
         std::cout << "run: seed=" << opts.seed << " threads=" << par::threads()
                   << "\n"
                   << "wrote " << trace::to_string(opts.format) << " traces to "
