@@ -11,12 +11,14 @@
 #include <cmath>
 #include <iostream>
 
+#include "baselines/hmm.hpp"
 #include "bench_util.hpp"
 #include "markov/chain.hpp"
 #include "markov/discretizer.hpp"
 #include "markov/echmm.hpp"
 #include "stats/hypothesis.hpp"
 #include "trace/features.hpp"
+#include "workloads/profiles.hpp"
 
 namespace {
 
@@ -95,6 +97,41 @@ void print_ablation() {
               << "parameters than a fine-grained bank chain — Moro's claim.\n\n";
 }
 
+/// State-count sweep of the full HMM storage baseline (baselines::HmmModel,
+/// both ECHMMs + the per-state request mix) on a GFS trace: the
+/// accuracy-vs-training-cost curve behind the cross-examination's fourth
+/// column. KS is measured on the synthetic storage-size marginal.
+void print_hmm_state_sweep() {
+    std::cout << "==================================================================\n"
+              << " HMM baseline state-count sweep (web-search GFS trace; seed="
+              << kSeed << ")\n"
+              << "==================================================================\n\n";
+    sim::Rng rng(kSeed);
+    workloads::WebSearchProfile profile({.count = 400, .arrival_rate = 30.0});
+    const auto ts = bench::simulate(profile.generate(rng), gfs::GfsConfig{});
+    const auto orig = trace::extract_features(ts);
+    const auto orig_sizes = trace::column_storage_bytes(orig);
+
+    bench::Table t({16, 10, 12, 10, 12});
+    t.row("Model", "Params", "FitMs", "SizeKS", "Iters");
+    t.rule();
+    for (std::size_t states : {2, 4, 8, 16}) {
+        baselines::HmmConfig cfg{.n_states = states};
+        const auto model = baselines::HmmModel::train(ts, cfg);
+        sim::Rng gen_rng(kSeed + states);
+        const auto w = model.generate(1000, gen_rng);
+        std::vector<double> synth_sizes;
+        for (const auto& r : w.requests) synth_sizes.push_back(double(r.storage_bytes));
+        t.row("hmm/" + std::to_string(states), model.parameter_count(),
+              bench::fmt(model.fit_wall_seconds() * 1e3, 2),
+              bench::fmt(stats::ks_statistic_two_sample(orig_sizes, synth_sizes), 3),
+              model.size_hmm().iterations_run());
+    }
+    std::cout << "\nExpected shape: SizeKS drops steeply up to ~4 states, then\n"
+              << "flattens while FitMs and Params keep growing — the knee the\n"
+              << "--hmm-states knob should sit at.\n\n";
+}
+
 void BM_FitEchmm(benchmark::State& state) {
     const auto train = address_stream(3000, kSeed);
     const std::vector<std::vector<double>> seqs{train};
@@ -110,5 +147,6 @@ BENCHMARK(BM_FitEchmm)->Arg(2)->Arg(8);
 int main(int argc, char** argv) {
     kooza::bench::print_run_header(kSeed);
     print_ablation();
+    print_hmm_state_sweep();
     return kooza::bench::run_benchmarks(argc, argv);
 }

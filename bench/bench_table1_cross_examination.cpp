@@ -16,8 +16,10 @@
 //   ease-of-use        total parameters to fit
 //   completeness       which of the two error axes stay under 15%
 
+#include <chrono>
 #include <iostream>
 
+#include "baselines/hmm.hpp"
 #include "baselines/inbreadth.hpp"
 #include "baselines/indepth.hpp"
 #include "bench_util.hpp"
@@ -44,7 +46,19 @@ struct Scores {
     std::size_t params_coarse = 0;
     std::size_t params_fine = 0;
     std::size_t params = 0;
+    double train_ms = 0.0;       // default-config fit wall time
 };
+
+/// Wall-clock the default-configuration training call — the cost half of
+/// every accuracy-vs-training-cost row.
+template <typename Fn>
+auto timed_train(Fn&& fn, double& out_ms) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto model = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    out_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return model;
+}
 
 struct Context {
     gfs::GfsConfig cfg;
@@ -86,7 +100,8 @@ Scores score_kooza(const Context& c) {
     s.params_coarse = core::Trainer(coarse).train(c.ts).parameter_count();
     s.params_fine = core::Trainer(fine).train(c.ts).parameter_count();
 
-    const auto model = core::Trainer().train(c.ts);
+    const auto model =
+        timed_train([&] { return core::Trainer().train(c.ts); }, s.train_ms);
     s.params = model.parameter_count();
     s.phase_order = model.reads().structure.dominant() == kFig1Path;
     sim::Rng rng(kSeed + 1);
@@ -111,7 +126,8 @@ Scores score_inbreadth(const Context& c) {
         baselines::InBreadthModel::train(c.ts, coarse).parameter_count();
     s.params_fine = baselines::InBreadthModel::train(c.ts, fine).parameter_count();
 
-    const auto model = baselines::InBreadthModel::train(c.ts);
+    const auto model = timed_train(
+        [&] { return baselines::InBreadthModel::train(c.ts); }, s.train_ms);
     s.params = model.parameter_count();
     s.phase_order = false;  // no structure information at all
     sim::Rng rng(kSeed + 2);
@@ -127,7 +143,8 @@ Scores score_inbreadth(const Context& c) {
 Scores score_indepth(const Context& c) {
     Scores s;
     s.name = "In-depth";
-    const auto model = baselines::InDepthModel::train(c.ts);
+    const auto model = timed_train(
+        [&] { return baselines::InDepthModel::train(c.ts); }, s.train_ms);
     s.params = model.parameter_count();
     s.params_coarse = s.params;  // no state-space knob to turn
     s.params_fine = s.params;
@@ -141,58 +158,91 @@ Scores score_indepth(const Context& c) {
     return s;
 }
 
+/// Fourth contender: the Harrison-style HMM storage baseline. Hidden
+/// regimes give it the in-breadth marginals *plus* temporal texture, but
+/// like in-breadth it carries no phase structure, so it replays in
+/// independent mode.
+Scores score_hmm(const Context& c) {
+    Scores s;
+    s.name = "HMM";
+    baselines::HmmConfig coarse{.n_states = 2};
+    baselines::HmmConfig fine{.n_states = 16};
+    s.params_coarse = baselines::HmmModel::train(c.ts, coarse).parameter_count();
+    s.params_fine = baselines::HmmModel::train(c.ts, fine).parameter_count();
+
+    const auto model =
+        timed_train([&] { return baselines::HmmModel::train(c.ts); }, s.train_ms);
+    s.params = model.parameter_count();
+    s.phase_order = false;  // hidden regimes, but no request structure
+    sim::Rng rng(kSeed + 4);
+    const auto w = model.generate(500, rng);
+    s.feature_ks = stats::ks_statistic_two_sample(c.orig_sizes, sizes_of(w));
+    core::Replayer rep(bench::replay_config(c.cfg, 0.4));
+    const auto lat =
+        stats::mean(rep.replay(w, core::ReplayMode::kIndependent).latencies);
+    s.latency_err_pct = stats::variation_pct(lat, c.orig_latency);
+    return s;
+}
+
 const char* yes_no(bool b) { return b ? "yes" : "no"; }
 
 void print_table1() {
     std::cout
         << "============================================================================\n"
-        << " Table 1 - Cross-examination of In-breadth / In-depth / KOOZA\n"
+        << " Table 1 - Cross-examination of In-breadth / In-depth / HMM / KOOZA\n"
         << " (trained on the same web-search-like GFS trace; seed=" << kSeed << ")\n"
         << "============================================================================\n\n";
     const auto c = make_context();
-    // The three contenders train and validate independently from the same
+    // The four contenders train and validate independently from the same
     // (read-only) context — score them across the pool.
-    const auto rows = bench::sweep(3, [&](std::size_t i) {
+    const auto rows = bench::sweep(4, [&](std::size_t i) {
         switch (i) {
             case 0: return score_inbreadth(c);
             case 1: return score_indepth(c);
+            case 2: return score_hmm(c);
             default: return score_kooza(c);
         }
     });
 
-    bench::Table t({14, 16, 16, 18, 16, 12});
-    t.row("Model", "FeatureKS", "LatencyErr%", "PhaseOrder", "Params(2..16)", "Params");
+    // Accuracy vs training cost: the two error axes next to the fit wall
+    // time and the parameter budget each model pays for them.
+    bench::Table t({14, 16, 16, 18, 16, 12, 10});
+    t.row("Model", "FeatureKS", "LatencyErr%", "PhaseOrder", "Params(2..16)",
+          "Params", "FitMs");
     t.rule();
     for (const auto& s : rows)
         t.row(s.name, bench::fmt(s.feature_ks, 3), bench::fmt(s.latency_err_pct, 1),
               yes_no(s.phase_order),
               std::to_string(s.params_coarse) + ".." + std::to_string(s.params_fine),
-              s.params);
+              s.params, bench::fmt(s.train_ms, 2));
 
     std::cout << "\nPaper's qualitative axes, scored from the measurements above:\n\n";
-    bench::Table q({20, 14, 14, 14});
-    q.row("Axis", "In-breadth", "In-depth", "KOOZA");
+    bench::Table q({20, 14, 14, 14, 14});
+    q.row("Axis", "In-breadth", "In-depth", "HMM", "KOOZA");
     q.rule();
     auto feature_ok = [](const Scores& s) { return s.feature_ks < 0.1; };
     auto timing_ok = [](const Scores& s) {
         return s.phase_order && s.latency_err_pct < 15.0;
     };
     q.row("Request features", yes_no(feature_ok(rows[0])), yes_no(feature_ok(rows[1])),
-          yes_no(feature_ok(rows[2])));
+          yes_no(feature_ok(rows[2])), yes_no(feature_ok(rows[3])));
     q.row("Time dependencies", yes_no(timing_ok(rows[0])), yes_no(timing_ok(rows[1])),
-          yes_no(timing_ok(rows[2])));
+          yes_no(timing_ok(rows[2])), yes_no(timing_ok(rows[3])));
     q.row("Configurability", yes_no(rows[0].params_coarse != rows[0].params_fine),
           yes_no(rows[1].params_coarse != rows[1].params_fine),
-          yes_no(rows[2].params_coarse != rows[2].params_fine));
-    q.row("Fine granularity", "yes", "no", "yes");
-    q.row("Scalability", "yes", "f(complexity)", "yes");
+          yes_no(rows[2].params_coarse != rows[2].params_fine),
+          yes_no(rows[3].params_coarse != rows[3].params_fine));
+    q.row("Fine granularity", "yes", "no", "per-regime", "yes");
+    q.row("Scalability", "yes", "f(complexity)", "yes", "yes");
     q.row("Ease-of-use",
           rows[0].params < 5000 ? "yes" : "no",
           rows[1].params < 5000 ? "yes" : "no",
-          rows[2].params < 5000 ? "yes (4 models)" : "no");
+          rows[2].params < 5000 ? "yes" : "no",
+          rows[3].params < 5000 ? "yes (4 models)" : "no");
     q.row("Completeness", yes_no(feature_ok(rows[0]) && timing_ok(rows[0])),
           yes_no(feature_ok(rows[1]) && timing_ok(rows[1])),
-          yes_no(feature_ok(rows[2]) && timing_ok(rows[2])));
+          yes_no(feature_ok(rows[2]) && timing_ok(rows[2])),
+          yes_no(feature_ok(rows[3]) && timing_ok(rows[3])));
     std::cout << "\n";
 }
 
@@ -255,6 +305,18 @@ void BM_TrainAllThree(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_TrainAllThree);
+
+void BM_TrainHmm(benchmark::State& state) {
+    const auto c = make_context();
+    baselines::HmmConfig cfg{.n_states = std::size_t(state.range(0))};
+    for (auto _ : state) {
+        auto m = baselines::HmmModel::train(c.ts, cfg);
+        benchmark::DoNotOptimize(m.parameter_count());
+    }
+    state.counters["params"] = double(
+        baselines::HmmModel::train(c.ts, cfg).parameter_count());
+}
+BENCHMARK(BM_TrainHmm)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "baselines/hmm.hpp"
 #include "bench_util.hpp"
 #include "core/capture.hpp"
 #include "core/generator.hpp"
@@ -113,6 +114,48 @@ void print_table2() {
     }
 }
 
+/// Fourth column: the Harrison-style HMM baseline run through the same
+/// validation loop (train on the identical trace, generate 200, replay in
+/// independent mode — the HMM carries no phase structure to follow), with
+/// an accuracy-vs-training-cost line under each block.
+void print_hmm_column() {
+    std::cout << "=====================================================================\n"
+              << " Table 2, HMM column - the same validation loop through the\n"
+              << " Harrison-style HMM storage baseline (replayed independently)\n"
+              << " seed=" << kSeed << "\n"
+              << "=====================================================================\n\n";
+    const gfs::GfsConfig cfg;
+    const auto original = bench::simulate(training_workload(50), cfg);
+    const auto model = baselines::HmmModel::train(original);
+    sim::Rng rng(kSeed);
+    const auto synthetic = model.generate(200, rng);
+    core::Replayer replayer(bench::replay_config(cfg, 0.4));
+    const auto replayed =
+        replayer.replay(synthetic, core::ReplayMode::kIndependent).traces;
+
+    const auto orig = trace::extract_features(original);
+    const auto synth = trace::extract_features(replayed);
+    const struct {
+        IoType type;
+        const char* label;
+    } blocks[] = {{IoType::kRead, "1st User Request via HMM (64 KB read)"},
+                  {IoType::kWrite, "2nd User Request via HMM (4 MB write)"}};
+    for (const auto& b : blocks) {
+        const auto report = core::compare_single(mean_features(orig, b.type),
+                                                 mean_features(synth, b.type),
+                                                 b.label);
+        std::cout << report.to_table() << "\n";
+        std::cout << "  max feature variation: "
+                  << kooza::bench::fmt_pct(report.max_feature_variation())
+                  << "   latency variation: "
+                  << kooza::bench::fmt_pct(report.latency_variation()) << "\n\n";
+    }
+    std::cout << "  accuracy-vs-cost: " << model.parameter_count() << " params, "
+              << model.config().n_states << " states, "
+              << bench::fmt(model.fit_wall_seconds() * 1e3, 2) << " ms fit, "
+              << model.segments_fitted() << " segments\n\n";
+}
+
 /// Scenario axis: the same capture -> train -> generate -> replay ->
 /// validate loop, but driven by the scenario library instead of the
 /// paper's two-request micro workload. One validation block per scenario
@@ -156,6 +199,15 @@ void print_scenario_axis() {
     }
 }
 
+void BM_TrainHmmTable2(benchmark::State& state) {
+    const auto ts = bench::simulate(training_workload(50));
+    for (auto _ : state) {
+        auto model = baselines::HmmModel::train(ts);
+        benchmark::DoNotOptimize(model.parameter_count());
+    }
+}
+BENCHMARK(BM_TrainHmmTable2);
+
 void BM_TrainTable2(benchmark::State& state) {
     const auto ts = bench::simulate(training_workload(50));
     core::Trainer trainer;
@@ -196,6 +248,7 @@ BENCHMARK(BM_ReplayTable2);
 int main(int argc, char** argv) {
     kooza::bench::print_run_header(kSeed);
     print_table2();
+    print_hmm_column();
     print_scenario_axis();
     return kooza::bench::run_benchmarks(argc, argv);
 }

@@ -3,14 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace kooza::markov {
 
 namespace {
 constexpr double kLog2Pi = 1.8378770664093453;
 constexpr double kSigmaFloor = 1e-6;
+
+struct EchmmMetrics {
+    obs::Counter& ll_decreased = obs::counter("markov.echmm.ll_decreased_total");
+    obs::Counter& fits = obs::counter("markov.echmm.fits_total");
+};
+
+EchmmMetrics& echmm_metrics() {
+    static EchmmMetrics m;
+    return m;
+}
 }  // namespace
 
 double Echmm::log_emission(std::size_t state, double x) const {
@@ -18,153 +31,207 @@ double Echmm::log_emission(std::size_t state, double x) const {
     return -0.5 * (kLog2Pi + d * d) - std::log(sigma_[state]);
 }
 
-Echmm Echmm::fit(std::span<const std::vector<double>> sequences, std::size_t n_states,
-                 std::size_t max_iter, double tol, std::uint64_t seed) {
+Echmm::Fitter::Fitter(std::size_t n_states, double tol)
+    : m_(n_states), tol_(tol), prev_ll_(-std::numeric_limits<double>::infinity()) {
+    if (n_states == 0) throw std::invalid_argument("Echmm::Fitter: n_states 0");
+}
+
+void Echmm::Fitter::initialize(std::span<const double> pooled, std::uint64_t seed,
+                               std::size_t restart) {
+    const std::size_t n_states = m_.n_;
+    if (pooled.size() < 2 * n_states)
+        throw std::invalid_argument("Echmm::fit: too little data for state count");
+    std::vector<double> sorted(pooled.begin(), pooled.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    // Quantile initialization of the emissions.
+    m_.mu_.resize(n_states);
+    m_.sigma_.resize(n_states);
+    const std::size_t per = sorted.size() / n_states;
+    for (std::size_t k = 0; k < n_states; ++k) {
+        const std::size_t lo = k * per;
+        const std::size_t hi = (k + 1 == n_states) ? sorted.size() : (k + 1) * per;
+        double mean = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) mean += sorted[i];
+        mean /= double(hi - lo);
+        double var = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            var += (sorted[i] - mean) * (sorted[i] - mean);
+        var /= double(hi - lo);
+        m_.mu_[k] = mean;
+        m_.sigma_[k] = std::max(std::sqrt(var), kSigmaFloor);
+    }
+    // Fall back to a global spread when a quantile bucket is degenerate.
+    double gmean = 0.0;
+    for (double x : sorted) gmean += x;
+    gmean /= double(sorted.size());
+    double gvar = 0.0;
+    for (double x : sorted) gvar += (x - gmean) * (x - gmean);
+    gvar /= double(sorted.size());
+    const double gsd = std::max(std::sqrt(gvar), kSigmaFloor);
+    for (auto& s : m_.sigma_)
+        if (s < gsd * 1e-6) s = gsd * 0.1;
+
+    // Randomized restart: jitter the initial means so each restart climbs
+    // from a different basin. Restart 0 stays deterministic (byte-compat
+    // with the single-restart fit regardless of seed).
+    if (restart > 0) {
+        sim::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * std::uint64_t(restart)));
+        for (auto& mu : m_.mu_) mu += rng.normal(0.0, gsd * 0.25);
+    }
+
+    m_.pi_.assign(n_states, 1.0 / double(n_states));
+    m_.a_.assign(n_states, std::vector<double>(n_states,
+                                               n_states > 1 ? 0.2 / double(n_states - 1)
+                                                            : 1.0));
+    if (n_states > 1)
+        for (std::size_t i = 0; i < n_states; ++i) m_.a_[i][i] = 0.8;
+
+    prev_ll_ = -std::numeric_limits<double>::infinity();
+    m_.train_ll_ = 0.0;
+    m_.iters_ = 0;
+    iters_ = 0;
+    initialized_ = true;
+    in_iteration_ = false;
+}
+
+void Echmm::Fitter::begin_iteration() {
+    if (!initialized_)
+        throw std::logic_error("Echmm::Fitter: begin_iteration before initialize");
+    const std::size_t n = m_.n_;
+    pi_acc_.assign(n, 1e-10);
+    a_acc_.assign(n, std::vector<double>(n, 1e-10));
+    gamma_all_.assign(n, 1e-10);
+    x_acc_.assign(n, 0.0);
+    x2_acc_.assign(n, 0.0);
+    total_ll_ = 0.0;
+    in_iteration_ = true;
+}
+
+void Echmm::Fitter::accumulate(std::span<const double> seq) {
+    if (!in_iteration_)
+        throw std::logic_error("Echmm::Fitter: accumulate outside an iteration");
+    const std::size_t T = seq.size();
+    if (T == 0) return;
+    const std::size_t n = m_.n_;
+    // Scaled forward.
+    std::vector<std::vector<double>> alpha(T, std::vector<double>(n));
+    std::vector<std::vector<double>> beta(T, std::vector<double>(n));
+    std::vector<double> scale(T, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        alpha[0][i] = m_.pi_[i] * std::exp(m_.log_emission(i, seq[0]));
+    for (std::size_t i = 0; i < n; ++i) scale[0] += alpha[0][i];
+    scale[0] = std::max(scale[0], 1e-300);
+    for (std::size_t i = 0; i < n; ++i) alpha[0][i] /= scale[0];
+    for (std::size_t t = 1; t < T; ++t) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < n; ++i) s += alpha[t - 1][i] * m_.a_[i][j];
+            alpha[t][j] = s * std::exp(m_.log_emission(j, seq[t]));
+        }
+        for (std::size_t j = 0; j < n; ++j) scale[t] += alpha[t][j];
+        scale[t] = std::max(scale[t], 1e-300);
+        for (std::size_t j = 0; j < n; ++j) alpha[t][j] /= scale[t];
+    }
+    for (std::size_t t = 0; t < T; ++t) total_ll_ += std::log(scale[t]);
+    // Scaled backward.
+    for (std::size_t i = 0; i < n; ++i) beta[T - 1][i] = 1.0;
+    for (std::size_t t = T - 1; t-- > 0;) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                s += m_.a_[i][j] * std::exp(m_.log_emission(j, seq[t + 1])) *
+                     beta[t + 1][j];
+            beta[t][i] = s / scale[t + 1];
+        }
+    }
+    // Gamma accumulation: first/second moments per state, so the M-step
+    // can form the variance against the updated mean.
+    for (std::size_t t = 0; t < T; ++t) {
+        double norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) norm += alpha[t][i] * beta[t][i];
+        norm = std::max(norm, 1e-300);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double g = alpha[t][i] * beta[t][i] / norm;
+            gamma_all_[i] += g;
+            x_acc_[i] += g * seq[t];
+            x2_acc_[i] += g * seq[t] * seq[t];
+            if (t == 0) pi_acc_[i] += g;
+        }
+    }
+    // Xi accumulation.
+    std::vector<std::vector<double>> xi(n, std::vector<double>(n));
+    for (std::size_t t = 0; t + 1 < T; ++t) {
+        double norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j) {
+                xi[i][j] = alpha[t][i] * m_.a_[i][j] *
+                           std::exp(m_.log_emission(j, seq[t + 1])) * beta[t + 1][j];
+                norm += xi[i][j];
+            }
+        norm = std::max(norm, 1e-300);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j) a_acc_[i][j] += xi[i][j] / norm;
+    }
+}
+
+bool Echmm::Fitter::end_iteration() {
+    if (!in_iteration_)
+        throw std::logic_error("Echmm::Fitter: end_iteration outside an iteration");
+    in_iteration_ = false;
+    const std::size_t n = m_.n_;
+    double pi_norm = 0.0;
+    for (double p : pi_acc_) pi_norm += p;
+    for (std::size_t i = 0; i < n; ++i) m_.pi_[i] = pi_acc_[i] / pi_norm;
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j) row += a_acc_[i][j];
+        for (std::size_t j = 0; j < n; ++j) m_.a_[i][j] = a_acc_[i][j] / row;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double mu = x_acc_[i] / gamma_all_[i];
+        // E[x^2] - mu^2 against the *updated* mean; clamp the (possible)
+        // tiny negative from catastrophic cancellation.
+        const double var = std::max(x2_acc_[i] / gamma_all_[i] - mu * mu, 0.0);
+        m_.mu_[i] = mu;
+        m_.sigma_[i] = std::max(std::sqrt(var), kSigmaFloor);
+    }
+    m_.train_ll_ = total_ll_;
+    m_.iters_ = ++iters_;
+    if (total_ll_ < prev_ll_) echmm_metrics().ll_decreased.add();
+    // |delta| guard: a decrease is numerical noise from the floored
+    // accumulators, never evidence of convergence. prev_ll_ starts at
+    // -inf, so the first iteration can never satisfy this.
+    const bool converged = std::abs(total_ll_ - prev_ll_) < tol_;
+    prev_ll_ = total_ll_;
+    return converged;
+}
+
+Echmm Echmm::fit(std::span<const std::vector<double>> sequences,
+                 std::size_t n_states, std::size_t max_iter, double tol,
+                 std::uint64_t seed, std::size_t n_restarts) {
     if (n_states == 0) throw std::invalid_argument("Echmm::fit: n_states 0");
+    if (n_restarts == 0) throw std::invalid_argument("Echmm::fit: n_restarts 0");
     std::vector<double> pooled;
     for (const auto& s : sequences) pooled.insert(pooled.end(), s.begin(), s.end());
     if (pooled.size() < 2 * n_states)
         throw std::invalid_argument("Echmm::fit: too little data for state count");
-    (void)seed;  // reserved for randomized restarts
+    echmm_metrics().fits.add();
 
-    Echmm m(n_states);
-    // Quantile initialization of the emissions.
-    std::sort(pooled.begin(), pooled.end());
-    m.mu_.resize(n_states);
-    m.sigma_.resize(n_states);
-    const std::size_t per = pooled.size() / n_states;
-    for (std::size_t k = 0; k < n_states; ++k) {
-        const std::size_t lo = k * per;
-        const std::size_t hi = (k + 1 == n_states) ? pooled.size() : (k + 1) * per;
-        double mean = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) mean += pooled[i];
-        mean /= double(hi - lo);
-        double var = 0.0;
-        for (std::size_t i = lo; i < hi; ++i)
-            var += (pooled[i] - mean) * (pooled[i] - mean);
-        var /= double(hi - lo);
-        m.mu_[k] = mean;
-        m.sigma_[k] = std::max(std::sqrt(var), kSigmaFloor);
-    }
-    // Fall back to a global spread when a quantile bucket is degenerate.
-    {
-        double gmean = 0.0;
-        for (double x : pooled) gmean += x;
-        gmean /= double(pooled.size());
-        double gvar = 0.0;
-        for (double x : pooled) gvar += (x - gmean) * (x - gmean);
-        gvar /= double(pooled.size());
-        const double gsd = std::max(std::sqrt(gvar), kSigmaFloor);
-        for (auto& s : m.sigma_)
-            if (s < gsd * 1e-6) s = gsd * 0.1;
-    }
-    m.pi_.assign(n_states, 1.0 / double(n_states));
-    m.a_.assign(n_states, std::vector<double>(n_states,
-                                              n_states > 1 ? 0.2 / double(n_states - 1)
-                                                           : 1.0));
-    if (n_states > 1)
-        for (std::size_t i = 0; i < n_states; ++i) m.a_[i][i] = 0.8;
-
-    double prev_ll = -std::numeric_limits<double>::infinity();
-    for (std::size_t iter = 0; iter < max_iter; ++iter) {
-        // Accumulators.
-        std::vector<double> pi_acc(n_states, 1e-10);
-        std::vector<std::vector<double>> a_acc(n_states,
-                                               std::vector<double>(n_states, 1e-10));
-        std::vector<double> gamma_sum(n_states, 1e-10);       // over t < T-1
-        std::vector<double> gamma_sum_all(n_states, 1e-10);   // over all t
-        std::vector<double> mu_acc(n_states, 0.0);
-        std::vector<double> var_acc(n_states, 0.0);
-        double total_ll = 0.0;
-
-        for (const auto& seq : sequences) {
-            const std::size_t T = seq.size();
-            if (T == 0) continue;
-            // Scaled forward.
-            std::vector<std::vector<double>> alpha(T, std::vector<double>(n_states));
-            std::vector<std::vector<double>> beta(T, std::vector<double>(n_states));
-            std::vector<double> scale(T, 0.0);
-            for (std::size_t i = 0; i < n_states; ++i)
-                alpha[0][i] = m.pi_[i] * std::exp(m.log_emission(i, seq[0]));
-            for (std::size_t i = 0; i < n_states; ++i) scale[0] += alpha[0][i];
-            scale[0] = std::max(scale[0], 1e-300);
-            for (std::size_t i = 0; i < n_states; ++i) alpha[0][i] /= scale[0];
-            for (std::size_t t = 1; t < T; ++t) {
-                for (std::size_t j = 0; j < n_states; ++j) {
-                    double s = 0.0;
-                    for (std::size_t i = 0; i < n_states; ++i)
-                        s += alpha[t - 1][i] * m.a_[i][j];
-                    alpha[t][j] = s * std::exp(m.log_emission(j, seq[t]));
-                }
-                for (std::size_t j = 0; j < n_states; ++j) scale[t] += alpha[t][j];
-                scale[t] = std::max(scale[t], 1e-300);
-                for (std::size_t j = 0; j < n_states; ++j) alpha[t][j] /= scale[t];
-            }
-            for (std::size_t t = 0; t < T; ++t) total_ll += std::log(scale[t]);
-            // Scaled backward.
-            for (std::size_t i = 0; i < n_states; ++i) beta[T - 1][i] = 1.0;
-            for (std::size_t t = T - 1; t-- > 0;) {
-                for (std::size_t i = 0; i < n_states; ++i) {
-                    double s = 0.0;
-                    for (std::size_t j = 0; j < n_states; ++j)
-                        s += m.a_[i][j] * std::exp(m.log_emission(j, seq[t + 1])) *
-                             beta[t + 1][j];
-                    beta[t][i] = s / scale[t + 1];
-                }
-            }
-            // Gamma / xi accumulation.
-            for (std::size_t t = 0; t < T; ++t) {
-                double norm = 0.0;
-                for (std::size_t i = 0; i < n_states; ++i)
-                    norm += alpha[t][i] * beta[t][i];
-                norm = std::max(norm, 1e-300);
-                for (std::size_t i = 0; i < n_states; ++i) {
-                    const double g = alpha[t][i] * beta[t][i] / norm;
-                    gamma_sum_all[i] += g;
-                    mu_acc[i] += g * seq[t];
-                    var_acc[i] += g * (seq[t] - m.mu_[i]) * (seq[t] - m.mu_[i]);
-                    if (t == 0) pi_acc[i] += g;
-                    if (t + 1 < T) gamma_sum[i] += g;
-                }
-            }
-            for (std::size_t t = 0; t + 1 < T; ++t) {
-                double norm = 0.0;
-                std::vector<std::vector<double>> xi(n_states,
-                                                    std::vector<double>(n_states));
-                for (std::size_t i = 0; i < n_states; ++i)
-                    for (std::size_t j = 0; j < n_states; ++j) {
-                        xi[i][j] = alpha[t][i] * m.a_[i][j] *
-                                   std::exp(m.log_emission(j, seq[t + 1])) *
-                                   beta[t + 1][j];
-                        norm += xi[i][j];
-                    }
-                norm = std::max(norm, 1e-300);
-                for (std::size_t i = 0; i < n_states; ++i)
-                    for (std::size_t j = 0; j < n_states; ++j)
-                        a_acc[i][j] += xi[i][j] / norm;
-            }
+    std::optional<Echmm> best;
+    for (std::size_t restart = 0; restart < n_restarts; ++restart) {
+        Fitter fitter(n_states, tol);
+        fitter.initialize(pooled, seed, restart);
+        for (std::size_t iter = 0; iter < max_iter; ++iter) {
+            fitter.begin_iteration();
+            for (const auto& seq : sequences) fitter.accumulate(seq);
+            if (fitter.end_iteration()) break;
         }
-
-        // M-step.
-        double pi_norm = 0.0;
-        for (double p : pi_acc) pi_norm += p;
-        for (std::size_t i = 0; i < n_states; ++i) m.pi_[i] = pi_acc[i] / pi_norm;
-        for (std::size_t i = 0; i < n_states; ++i) {
-            double row = 0.0;
-            for (std::size_t j = 0; j < n_states; ++j) row += a_acc[i][j];
-            for (std::size_t j = 0; j < n_states; ++j) m.a_[i][j] = a_acc[i][j] / row;
-        }
-        for (std::size_t i = 0; i < n_states; ++i) {
-            m.mu_[i] = mu_acc[i] / gamma_sum_all[i];
-            m.sigma_[i] =
-                std::max(std::sqrt(var_acc[i] / gamma_sum_all[i]), kSigmaFloor);
-        }
-        m.train_ll_ = total_ll;
-        m.iters_ = iter + 1;
-        if (total_ll - prev_ll < tol && iter > 0) break;
-        prev_ll = total_ll;
+        if (!best || fitter.model().training_log_likelihood() >
+                         best->training_log_likelihood())
+            best = fitter.model();
     }
-    return m;
+    return *best;
 }
 
 double Echmm::transition(std::size_t i, std::size_t j) const {

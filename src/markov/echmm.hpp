@@ -7,10 +7,12 @@
 // This is a fully-connected (ergodic) HMM with one Gaussian emission per
 // state, trained by Baum-Welch, with Viterbi decoding and generative
 // sampling. It serves as the alternative, finer-grained memory model the
-// A6 ablation compares against KOOZA's bank chain.
+// A6 ablation compares against KOOZA's bank chain, and the machinery
+// behind the Harrison-style HMM storage baseline (baselines::HmmModel).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,14 +23,26 @@ namespace kooza::markov {
 
 class Echmm {
 public:
+    class Fitter;
+
     /// Train on one or more observation sequences (e.g. memory reference
     /// addresses as doubles) with `n_states` hidden states.
     /// Initialization: k-means-style quantile split of the pooled data;
-    /// then `max_iter` Baum-Welch iterations (stops early when the total
-    /// log-likelihood improves by less than `tol`).
+    /// then `max_iter` Baum-Welch iterations per restart (stopping early
+    /// once |delta log-likelihood| < `tol`; a likelihood *decrease* —
+    /// possible because the accumulator/sigma floors make the M-step
+    /// inexact — is counted under `markov.echmm.ll_decreased_total`, not
+    /// treated as convergence).
+    ///
+    /// `seed` drives randomized restarts: restart 0 always uses the
+    /// deterministic quantile initialization (so the default
+    /// `n_restarts = 1` is byte-identical for every seed), and restarts
+    /// 1..n-1 jitter the initial emission means with Rng(seed ^ restart).
+    /// The model with the best final training log-likelihood wins.
     static Echmm fit(std::span<const std::vector<double>> sequences,
                      std::size_t n_states, std::size_t max_iter = 50,
-                     double tol = 1e-4, std::uint64_t seed = 1);
+                     double tol = 1e-4, std::uint64_t seed = 1,
+                     std::size_t n_restarts = 1);
 
     [[nodiscard]] std::size_t n_states() const noexcept { return n_; }
     [[nodiscard]] double transition(std::size_t i, std::size_t j) const;
@@ -58,7 +72,7 @@ public:
     [[nodiscard]] std::string describe() const;
 
 private:
-    Echmm(std::size_t n) : n_(n) {}
+    explicit Echmm(std::size_t n) : n_(n) {}
 
     [[nodiscard]] double log_emission(std::size_t state, double x) const;
 
@@ -69,6 +83,57 @@ private:
     std::vector<double> sigma_;               ///< emission stddevs
     double train_ll_ = 0.0;
     std::size_t iters_ = 0;
+};
+
+/// Incremental Baum-Welch driver: owns the model and the per-iteration
+/// expectation accumulators, but never the observations. Each EM
+/// iteration the caller streams every sequence through accumulate() —
+/// from an in-memory vector or re-read chunk by chunk from disk — then
+/// end_iteration() applies the M-step and reports convergence. Feeding
+/// the same sequences in the same order every iteration makes the result
+/// byte-identical to Echmm::fit on the materialized sequence list, which
+/// is the contract baselines::HmmModel's streaming training relies on.
+///
+/// M-step variance uses the E[x^2] - mu_new^2 form, so sigma is computed
+/// against the *updated* mean (a single stale-mean pass overestimates it
+/// by (mu_new - mu_old)^2 every iteration).
+class Echmm::Fitter {
+public:
+    explicit Fitter(std::size_t n_states, double tol = 1e-4);
+
+    /// Quantile-initialize the emissions from the pooled observations
+    /// (any order; sorted internally). `restart` 0 is deterministic;
+    /// restarts >= 1 jitter the initial means with Rng(seed ^ restart).
+    void initialize(std::span<const double> pooled, std::uint64_t seed = 1,
+                    std::size_t restart = 0);
+
+    void begin_iteration();
+    /// E-step sufficient statistics of one observation sequence under the
+    /// current model (empty sequences are ignored).
+    void accumulate(std::span<const double> seq);
+    /// M-step from everything accumulated this iteration. Returns true
+    /// when |total_ll - previous total_ll| < tol (never on the first
+    /// iteration); a log-likelihood decrease bumps
+    /// `markov.echmm.ll_decreased_total` and does NOT count as converged.
+    bool end_iteration();
+
+    /// Current model (valid after initialize(); refined per iteration).
+    [[nodiscard]] const Echmm& model() const noexcept { return m_; }
+
+private:
+    Echmm m_;
+    double tol_;
+    double prev_ll_;
+    double total_ll_ = 0.0;
+    std::size_t iters_ = 0;
+    bool initialized_ = false;
+    bool in_iteration_ = false;
+    // Per-iteration expectation accumulators.
+    std::vector<double> pi_acc_;
+    std::vector<std::vector<double>> a_acc_;
+    std::vector<double> gamma_all_;  ///< sum of gamma over all t
+    std::vector<double> x_acc_;      ///< sum of gamma * x
+    std::vector<double> x2_acc_;     ///< sum of gamma * x^2
 };
 
 }  // namespace kooza::markov

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "markov/echmm.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -115,6 +117,180 @@ TEST(Echmm, Validation) {
     Rng rng(22);
     EXPECT_THROW(m.generate(0, rng), std::invalid_argument);
     EXPECT_TRUE(m.viterbi(std::vector<double>{}).empty());
+}
+
+/// Like two_regime_sequence but with unequal regime masses (~6:1), which
+/// makes the quantile initialization start the high-regime mean far from
+/// 100 — the first EM iterations move it a long way, exactly the setting
+/// where a variance computed against the stale mean blows up.
+std::vector<double> skewed_two_regime(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    double level = 10.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(level < 50.0 ? 0.01 : 0.06)) {
+            level = level < 50.0 ? 100.0 : 10.0;
+        }
+        out.push_back(rng.normal(level, 1.0));
+    }
+    return out;
+}
+
+// Regression for the stale-mean M-step bug: sigma was accumulated against
+// the previous iteration's mu, overestimating the variance by
+// (mu_new - mu_old)^2 per iteration. With the skewed fixture and only 3
+// iterations the stale formula leaves sigma_high ~ 3.5; E[x^2] - mu_new^2
+// recovers ~1.07 (true stddev 1.0).
+TEST(Echmm, RecoveredStddevsUnbiased) {
+    const std::vector<std::vector<double>> seqs{skewed_two_regime(3000, 1)};
+    const auto m = Echmm::fit(seqs, 2, /*max_iter=*/3, /*tol=*/1e-12);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_GT(m.emission_stddev(i), 0.5) << "state " << i;
+        EXPECT_LT(m.emission_stddev(i), 2.0) << "state " << i;
+    }
+}
+
+// Convergence path 1: the |delta LL| stop. Feeding identical data twice
+// leaves the likelihood nearly unchanged, so the second iteration
+// converges under a generous tolerance — but the first never can (the
+// previous likelihood starts at -inf).
+TEST(Echmm, ConvergesOnSmallAbsoluteDelta) {
+    const auto data = two_regime_sequence(800, 30);
+    Echmm::Fitter fitter(2, /*tol=*/1e9);
+    fitter.initialize(data);
+    fitter.begin_iteration();
+    fitter.accumulate(data);
+    EXPECT_FALSE(fitter.end_iteration());  // first iteration: prev = -inf
+    fitter.begin_iteration();
+    fitter.accumulate(data);
+    EXPECT_TRUE(fitter.end_iteration());
+    EXPECT_EQ(fitter.model().iterations_run(), 2u);
+}
+
+// Convergence path 2: a likelihood *decrease* is counted, not treated as
+// convergence. The old check (total_ll - prev_ll < tol) declared any
+// drop converged; force a genuine drop by swapping in wildly different
+// data on the second iteration and check the fitter keeps going.
+TEST(Echmm, LikelihoodDecreaseCountedNotConverged) {
+    const auto matching = two_regime_sequence(800, 31);
+    Rng rng(32);
+    std::vector<double> noise(800);
+    for (auto& x : noise) x = rng.uniform(-5000.0, 5000.0);
+
+    auto& ctr = kooza::obs::counter("markov.echmm.ll_decreased_total");
+    const auto before = ctr.value();
+
+    Echmm::Fitter fitter(2, /*tol=*/1e-4);
+    fitter.initialize(matching);
+    fitter.begin_iteration();
+    fitter.accumulate(matching);
+    EXPECT_FALSE(fitter.end_iteration());
+    const double ll_first = fitter.model().training_log_likelihood();
+    fitter.begin_iteration();
+    fitter.accumulate(noise);  // likelihood craters
+    EXPECT_FALSE(fitter.end_iteration());  // NOT convergence
+    EXPECT_LT(fitter.model().training_log_likelihood(), ll_first);
+    EXPECT_EQ(ctr.value(), before + 1);
+}
+
+// Seed handling: with the default single restart the fit is deterministic
+// and byte-identical for every seed (restart 0 never consults it).
+TEST(Echmm, SingleRestartByteCompatAcrossSeeds) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(1000, 33)};
+    const auto a = Echmm::fit(seqs, 2, 20, 1e-4, /*seed=*/1, /*n_restarts=*/1);
+    const auto b = Echmm::fit(seqs, 2, 20, 1e-4, /*seed=*/999, /*n_restarts=*/1);
+    EXPECT_EQ(a.training_log_likelihood(), b.training_log_likelihood());
+    EXPECT_EQ(a.iterations_run(), b.iterations_run());
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(a.emission_mean(i), b.emission_mean(i));
+        EXPECT_EQ(a.emission_stddev(i), b.emission_stddev(i));
+        EXPECT_EQ(a.initial()[i], b.initial()[i]);
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_EQ(a.transition(i, j), b.transition(i, j));
+    }
+}
+
+// Seeded restarts keep the best-likelihood model, are reproducible for a
+// fixed seed, and can never do worse than the deterministic restart 0.
+TEST(Echmm, SeededRestartsKeepBest) {
+    const std::vector<std::vector<double>> seqs{two_regime_sequence(1000, 34)};
+    const auto base = Echmm::fit(seqs, 3, 15, 1e-4, 7, 1);
+    const auto multi = Echmm::fit(seqs, 3, 15, 1e-4, 7, 6);
+    const auto multi_again = Echmm::fit(seqs, 3, 15, 1e-4, 7, 6);
+    EXPECT_GE(multi.training_log_likelihood(), base.training_log_likelihood());
+    EXPECT_EQ(multi.training_log_likelihood(),
+              multi_again.training_log_likelihood());
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(multi.emission_mean(i), multi_again.emission_mean(i));
+}
+
+// Multi-sequence Baum-Welch, degenerate case: with a single state there
+// are no boundary effects (pi and the transition matrix are trivial), so
+// fitting {s1, s2} must be byte-identical to fitting the concatenation —
+// the accumulators see the same values in the same order.
+TEST(Echmm, SingleStateMultiSequenceMatchesConcatenation) {
+    const auto s1 = two_regime_sequence(400, 35);
+    const auto s2 = two_regime_sequence(400, 36);
+    std::vector<double> concat = s1;
+    concat.insert(concat.end(), s2.begin(), s2.end());
+    const std::vector<std::vector<double>> split{s1, s2};
+    const std::vector<std::vector<double>> joined{concat};
+    const auto a = Echmm::fit(split, 1, 10, 1e-12);
+    const auto b = Echmm::fit(joined, 1, 10, 1e-12);
+    EXPECT_EQ(a.emission_mean(0), b.emission_mean(0));
+    EXPECT_EQ(a.emission_stddev(0), b.emission_stddev(0));
+}
+
+// Multi-sequence Baum-Welch, boundary semantics: each sequence restarts
+// from pi (every t=0 contributes) and no xi crosses a sequence boundary.
+// One pure-low and one pure-high sequence therefore yield pi ~ {1/2, 1/2},
+// while their concatenation pins pi to the single starting regime.
+TEST(Echmm, MultiSequencePiSeesEveryStart) {
+    Rng rng(37);
+    std::vector<double> low(400), high(400);
+    for (auto& x : low) x = rng.normal(10.0, 1.0);
+    for (auto& x : high) x = rng.normal(100.0, 1.0);
+    std::vector<double> concat = low;
+    concat.insert(concat.end(), high.begin(), high.end());
+
+    const std::vector<std::vector<double>> split{low, high};
+    const std::vector<std::vector<double>> joined{concat};
+    const auto m_split = Echmm::fit(split, 2, 20);
+    const auto m_joined = Echmm::fit(joined, 2, 20);
+
+    // Both recover the regime means...
+    for (const auto* m : {&m_split, &m_joined}) {
+        const bool first_low = m->emission_mean(0) < 50.0;
+        EXPECT_NEAR(m->emission_mean(first_low ? 0 : 1), 10.0, 2.0);
+        EXPECT_NEAR(m->emission_mean(first_low ? 1 : 0), 100.0, 2.0);
+    }
+    // ...but only the split fit sees two sequence starts.
+    const double split_pi_max =
+        std::max(m_split.initial()[0], m_split.initial()[1]);
+    const double joined_pi_max =
+        std::max(m_joined.initial()[0], m_joined.initial()[1]);
+    EXPECT_NEAR(split_pi_max, 0.5, 0.05);
+    EXPECT_GT(joined_pi_max, 0.9);
+}
+
+// Fitter misuse is a logic error, not UB.
+TEST(Echmm, FitterGuardsProtocol) {
+    EXPECT_THROW(Echmm::Fitter(0), std::invalid_argument);
+    Echmm::Fitter fitter(2);
+    EXPECT_THROW(fitter.begin_iteration(), std::logic_error);
+    const auto data = two_regime_sequence(100, 38);
+    EXPECT_THROW(fitter.accumulate(data), std::logic_error);
+    EXPECT_THROW(fitter.end_iteration(), std::logic_error);
+    fitter.initialize(data);
+    EXPECT_THROW(fitter.accumulate(data), std::logic_error);  // no iteration yet
+    fitter.begin_iteration();
+    fitter.accumulate(data);
+    EXPECT_FALSE(fitter.end_iteration());
+    EXPECT_THROW(fitter.end_iteration(), std::logic_error);  // already ended
+    const std::vector<double> tiny{1.0, 2.0};
+    Echmm::Fitter starved(4);
+    EXPECT_THROW(starved.initialize(tiny), std::invalid_argument);
 }
 
 TEST(Echmm, InitialDistributionNormalized) {

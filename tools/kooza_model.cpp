@@ -1,13 +1,21 @@
 // kooza_model — the full KOOZA pipeline over trace dirs (CSV or
-// kooza.trace/1 binary, auto-detected): train a ServerModel, print it,
+// kooza.trace/1 binary, auto-detected): train a model, print it,
 // generate a synthetic workload, replay it on the device models, and
 // validate features + latency against the original. Optionally writes
 // the replayed traces back out (--out, in --format csv|bin).
 //
 // Usage:
-//   kooza_model <trace-dir> [--generate N] [--seed S] [--lbn-ranges N]
-//               [--util-levels N] [--out DIR] [--format csv|bin]
-//               [--save MODEL-FILE] [--threads N] [--metrics FILE]
+//   kooza_model <trace-dir> [--baseline kooza|hmm] [--generate N] [--seed S]
+//               [--lbn-ranges N] [--util-levels N] [--hmm-states N]
+//               [--out DIR] [--format csv|bin] [--save MODEL-FILE]
+//               [--threads N] [--metrics FILE]
+//
+// --baseline hmm swaps the KOOZA trainer for the Harrison-style HMM
+// storage baseline (baselines::HmmModel); --hmm-states sets its hidden
+// state count and is only valid there, just as --lbn-ranges /
+// --util-levels / --save are only valid for the KOOZA model. HMM
+// workloads replay in independent mode (the model carries no phase
+// structure).
 //
 // --metrics FILE exports the pipeline's metrics registry (train/generate/
 // replay counters and timers) after the run; ".csv" selects CSV,
@@ -15,6 +23,7 @@
 
 #include <iostream>
 
+#include "baselines/hmm.hpp"
 #include "cli_util.hpp"
 #include "core/generator.hpp"
 #include "core/replayer.hpp"
@@ -31,8 +40,10 @@ int main(int argc, char** argv) {
     try {
         cli::Args args(argc, argv);
         if (args.positional().size() != 1) {
-            std::cerr << "usage: kooza_model <trace-dir> [--generate N] [--seed S] "
-                         "[--lbn-ranges N] [--util-levels N] [--out DIR] "
+            std::cerr << "usage: kooza_model <trace-dir> [--baseline kooza|hmm] "
+                         "[--generate N] [--seed S] "
+                         "[--lbn-ranges N] [--util-levels N] [--hmm-states N] "
+                         "[--out DIR] "
                          "[--format csv|bin] [--save MODEL-FILE] [--threads N] "
                          "[--metrics FILE]\n";
             return 2;
@@ -42,6 +53,26 @@ int main(int argc, char** argv) {
             std::cerr << "kooza_model: --format must be csv or bin\n";
             return 2;
         }
+        const auto baseline = args.get("baseline", "kooza");
+        if (baseline != "kooza" && baseline != "hmm") {
+            std::cerr << "kooza_model: --baseline must be kooza or hmm\n";
+            return 2;
+        }
+        // Per-model knobs are rejected, not ignored, on the other model —
+        // a silently dropped flag reads as a tighter fit that never happened.
+        if (baseline != "hmm" && args.has("hmm-states")) {
+            std::cerr << "kooza_model: --hmm-states requires --baseline hmm\n";
+            return 2;
+        }
+        if (baseline == "hmm") {
+            for (const char* flag : {"lbn-ranges", "util-levels", "save"}) {
+                if (args.has(flag)) {
+                    std::cerr << "kooza_model: --" << flag
+                              << " only applies to --baseline kooza\n";
+                    return 2;
+                }
+            }
+        }
         // 0 = auto (KOOZA_THREADS env, else hardware concurrency).
         par::set_threads(std::size_t(args.get_u64("threads", 0)));
         const auto ts = trace::read_traces(args.positional()[0]);
@@ -50,35 +81,51 @@ int main(int argc, char** argv) {
             return 1;
         }
 
-        core::TrainerConfig tc;
-        tc.workload_name = args.positional()[0];
-        tc.lbn_ranges = std::size_t(args.get_u64("lbn-ranges", 4));
-        tc.util_levels = std::size_t(args.get_u64("util-levels", 4));
-        const auto model = core::Trainer(tc).train(ts);
-        std::cout << model.describe() << "\n"
-                  << "run: seed=" << args.get_u64("seed", 42)
-                  << " threads=" << par::threads() << "\n";
-
-        const auto save_path = args.get("save", "");
-        if (!save_path.empty()) {
-            core::save_model(model, std::filesystem::path(save_path));
-            std::cout << "saved model to " << save_path
-                      << " (load with kooza_generate)\n";
-        }
-
         const auto n = std::size_t(args.get_u64("generate", ts.requests.size()));
         sim::Rng rng(args.get_u64("seed", 42));
-        const auto synthetic = core::Generator(model).generate(n, rng);
-
+        core::SyntheticWorkload synthetic;
+        auto replay_mode = core::ReplayMode::kStructured;
         core::ReplayConfig rc;
-        rc.cpu_verify_fraction = model.cpu_verify_fraction();
+
+        if (baseline == "hmm") {
+            baselines::HmmConfig hc;
+            hc.n_states = std::size_t(args.get_u64("hmm-states", 4));
+            const auto model = baselines::HmmModel::train(ts, hc);
+            std::cout << model.describe() << "\n"
+                      << "run: seed=" << args.get_u64("seed", 42)
+                      << " threads=" << par::threads() << "\n";
+            synthetic = model.generate(n, rng);
+            replay_mode = core::ReplayMode::kIndependent;
+            rc.cpu_verify_fraction = 0.4;
+        } else {
+            core::TrainerConfig tc;
+            tc.workload_name = args.positional()[0];
+            tc.lbn_ranges = std::size_t(args.get_u64("lbn-ranges", 4));
+            tc.util_levels = std::size_t(args.get_u64("util-levels", 4));
+            const auto model = core::Trainer(tc).train(ts);
+            std::cout << model.describe() << "\n"
+                      << "run: seed=" << args.get_u64("seed", 42)
+                      << " threads=" << par::threads() << "\n";
+
+            const auto save_path = args.get("save", "");
+            if (!save_path.empty()) {
+                core::save_model(model, std::filesystem::path(save_path));
+                std::cout << "saved model to " << save_path
+                          << " (load with kooza_generate)\n";
+            }
+            synthetic = core::Generator(model).generate(n, rng);
+            rc.cpu_verify_fraction = model.cpu_verify_fraction();
+        }
+
         core::Replayer replayer(rc);
-        const auto replayed = replayer.replay(synthetic);
+        const auto replayed = replayer.replay(synthetic, replay_mode);
 
         const auto orig_features = trace::extract_features(ts);
         const auto synth_features = trace::extract_features(replayed.traces);
-        auto report = core::compare_features(orig_features, synth_features,
-                                             "KOOZA synthetic vs original");
+        auto report = core::compare_features(
+            orig_features, synth_features,
+            (baseline == "hmm" ? "HMM" : "KOOZA") +
+                std::string(" synthetic vs original"));
         report.unknown_phases = replayed.unknown_phases;
         std::cout << "\n" << report.to_table() << "\n"
                   << "max feature variation: " << report.max_feature_variation()
